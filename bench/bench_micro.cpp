@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks for the substrates: the CDCL solver, the
+// enumerative synthesiser, trace abstraction and segmentation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/abstraction/abstraction.h"
+#include "src/core/segmentation.h"
+#include "src/sat/solver.h"
+#include "src/sim/basic/counter.h"
+#include "src/sim/basic/integrator.h"
+#include "src/sim/rtlinux/workloads.h"
+#include "src/synth/enumerative.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace t2m;
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver solver;
+    const int pigeons = holes + 1;
+    std::vector<std::vector<sat::Var>> at(pigeons, std::vector<sat::Var>(holes));
+    for (auto& row : at) {
+      for (auto& v : row) v = solver.new_var();
+    }
+    for (int p = 0; p < pigeons; ++p) {
+      sat::Clause c;
+      for (int h = 0; h < holes; ++h) c.push_back(sat::pos(at[p][h]));
+      solver.add_clause(c);
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int p1 = 0; p1 < pigeons; ++p1) {
+        for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+          solver.add_binary(sat::neg(at[p1][h]), sat::neg(at[p2][h]));
+        }
+      }
+    }
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(7)->Arg(8);
+
+void BM_SatRandom3Sat(benchmark::State& state) {
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  const std::size_t clauses = vars * 4;
+  for (auto _ : state) {
+    Rng rng(7);
+    sat::Solver solver;
+    for (std::size_t i = 0; i < vars; ++i) solver.new_var();
+    for (std::size_t c = 0; c < clauses; ++c) {
+      sat::Clause clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.push_back(
+            sat::Lit(static_cast<sat::Var>(rng.below(vars)), rng.chance(0.5)));
+      }
+      solver.add_clause(clause);
+    }
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SynthIncrement(benchmark::State& state) {
+  Schema schema;
+  schema.add_int("x");
+  std::vector<UpdateExample> examples;
+  for (std::int64_t x = 0; x < state.range(0); ++x) {
+    examples.push_back({{Value::of_int(x)}, Value::of_int(x + 1)});
+  }
+  const Grammar grammar = Grammar::for_updates(schema, 0, examples);
+  for (auto _ : state) {
+    const EnumerativeSynth engine(schema, grammar);
+    benchmark::DoNotOptimize(engine.synthesize(examples));
+  }
+}
+BENCHMARK(BM_SynthIncrement)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AbstractCounter(benchmark::State& state) {
+  const Trace trace =
+      sim::generate_counter_trace({128, static_cast<std::size_t>(state.range(0)), 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abstract_trace(trace));
+  }
+}
+BENCHMARK(BM_AbstractCounter)->Arg(447)->Arg(4470);
+
+void BM_AbstractIntegrator(benchmark::State& state) {
+  sim::IntegratorConfig config;
+  config.length = static_cast<std::size_t>(state.range(0));
+  const Trace trace = sim::generate_integrator_trace(config);
+  AbstractionConfig abs;
+  abs.input_vars = {sim::integrator_input_var()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abstract_trace(trace, abs));
+  }
+}
+BENCHMARK(BM_AbstractIntegrator)->Arg(4096)->Arg(32768);
+
+void BM_SegmentSchedTrace(benchmark::State& state) {
+  const Trace trace = sim::generate_full_coverage_sched_trace(20165);
+  const PredicateSequence preds = abstract_trace(trace);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segment_sequence(preds.seq, 3));
+  }
+}
+BENCHMARK(BM_SegmentSchedTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table I: runtime comparison for segmented vs non-segmented trace input.
+// As in the paper, learning starts with the number of states equal to the
+// known N, and the non-segmented runs hit a budget on the long traces (the
+// paper's ">16 hours" rows). Flags: --timeout SEC (default 60).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/util/cli.h"
+#include "src/util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace t2m;
+  const CliArgs args(argc, argv);
+  const double timeout = args.get_double_or("timeout", 60.0);
+
+  TableWriter table({"Example", "N", "Trace Length", "Full Trace (s)", "Segmented (s)",
+                     "[paper full]", "[paper seg]"});
+
+  for (const auto& c : bench::paper_benchmarks()) {
+    const Trace trace = c.make_trace();
+    const LearnResult full =
+        ModelLearner(bench::table_config(c, /*segmented=*/false, timeout)).learn(trace);
+    const LearnResult seg =
+        ModelLearner(bench::table_config(c, /*segmented=*/true, timeout)).learn(trace);
+    table.add_row({c.name, std::to_string(seg.success ? seg.states : c.paper_states),
+                   std::to_string(trace.size()), bench::runtime_cell(full, timeout),
+                   bench::runtime_cell(seg, timeout), c.paper_full_s, c.paper_seg_s});
+  }
+
+  std::cout << "TABLE I -- segmented vs non-segmented runtime "
+               "(paper columns: authors' CBMC on their machine)\n";
+  table.write_ascii(std::cout);
+  if (args.has("csv")) table.write_csv(std::cout);
+  return 0;
+}

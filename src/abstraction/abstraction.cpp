@@ -1,0 +1,36 @@
+#include "src/abstraction/abstraction.h"
+
+#include <stdexcept>
+
+#include "src/abstraction/event_abstraction.h"
+#include "src/abstraction/mixed_abstraction.h"
+#include "src/abstraction/numeric_abstraction.h"
+
+namespace t2m {
+
+AbstractionMode select_mode(const Schema& schema) {
+  if (schema.all_categorical()) return AbstractionMode::Event;
+  if (schema.all_numeric()) return AbstractionMode::Numeric;
+  return AbstractionMode::Mixed;
+}
+
+PredicateSequence abstract_trace(const Trace& trace, const AbstractionConfig& config,
+                                 AbstractionMode mode) {
+  if (trace.size() < 2) {
+    throw std::invalid_argument("abstract_trace: trace needs at least two observations");
+  }
+  if (mode == AbstractionMode::Auto) mode = select_mode(trace.schema());
+  switch (mode) {
+    case AbstractionMode::Event:
+      return abstract_event_trace(trace, config);
+    case AbstractionMode::Numeric:
+      return abstract_numeric_trace(trace, config);
+    case AbstractionMode::Mixed:
+      return abstract_mixed_trace(trace, config);
+    case AbstractionMode::Auto:
+      break;
+  }
+  throw std::logic_error("abstract_trace: unreachable");
+}
+
+}  // namespace t2m

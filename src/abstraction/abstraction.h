@@ -1,0 +1,50 @@
+#ifndef T2M_ABSTRACTION_ABSTRACTION_H
+#define T2M_ABSTRACTION_ABSTRACTION_H
+
+#include <string>
+#include <vector>
+
+#include "src/abstraction/predicate.h"
+#include "src/trace/trace.h"
+
+namespace t2m {
+
+/// Which predicate-generation strategy to apply (DESIGN.md section 2).
+enum class AbstractionMode {
+  Auto,     ///< choose from the schema: Event / Numeric / Mixed
+  Event,    ///< all-categorical traces: one destination-event atom per step
+  Numeric,  ///< all-numeric traces: windowed update synthesis + mode guards
+  Mixed,    ///< categorical + numeric: per-step atoms, pooled update synthesis
+};
+
+struct AbstractionConfig {
+  /// Sliding window size w in observations (the paper fixes w = 3).
+  std::size_t window = 3;
+  /// Variables treated as environment inputs: they may appear on the
+  /// right-hand side of updates and inside guards, but no update atom is
+  /// synthesised for them (the integrator's `ip`).
+  std::vector<std::string> input_vars;
+  /// Merge guards whose occurrence contexts in P coincide into one
+  /// disjunctive predicate (reproduces the paper's integrator predicate).
+  bool merge_guards = true;
+  /// Maximum AST size for synthesised update expressions. The default (one
+  /// binary operator over leaves) keeps updates of the `x' = x + c` /
+  /// `op' = op + ip` family while rejecting contrived constant combinations
+  /// such as `x' = 127 + (128 - x)` at mode switches, which must become
+  /// guards instead.
+  std::size_t synth_max_size = 4;
+};
+
+/// Turns a concrete trace into the predicate sequence P consumed by the
+/// model-construction algorithm. Throws std::invalid_argument when the trace
+/// is too short (fewer than two observations) or the mode does not fit the
+/// schema.
+PredicateSequence abstract_trace(const Trace& trace, const AbstractionConfig& config = {},
+                                 AbstractionMode mode = AbstractionMode::Auto);
+
+/// Mode actually selected by Auto for this trace's schema.
+AbstractionMode select_mode(const Schema& schema);
+
+}  // namespace t2m
+
+#endif  // T2M_ABSTRACTION_ABSTRACTION_H

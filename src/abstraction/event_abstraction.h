@@ -1,0 +1,18 @@
+#ifndef T2M_ABSTRACTION_EVENT_ABSTRACTION_H
+#define T2M_ABSTRACTION_EVENT_ABSTRACTION_H
+
+#include "src/abstraction/abstraction.h"
+
+namespace t2m {
+
+/// Mode E: all-categorical traces. Each step (v_t, v_t+1) is labelled by the
+/// conjunction of destination atoms `v' = value` over the categorical
+/// variables (a single atom for single-variable event traces, which is the
+/// common case: USB slot commands, ring operations, sched events). Display
+/// names are the bare event spellings so learned models read like the
+/// paper's figures.
+PredicateSequence abstract_event_trace(const Trace& trace, const AbstractionConfig& config);
+
+}  // namespace t2m
+
+#endif  // T2M_ABSTRACTION_EVENT_ABSTRACTION_H

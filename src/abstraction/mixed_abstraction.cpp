@@ -1,0 +1,165 @@
+#include "src/abstraction/mixed_abstraction.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "src/expr/eval.h"
+#include "src/expr/simplify.h"
+#include "src/synth/cegis.h"
+#include "src/synth/ite_chain.h"
+#include "src/util/log.h"
+
+namespace t2m {
+
+namespace {
+
+/// Change signature of a step: categorical (src, dst) symbol pairs plus a
+/// changed/unchanged flag per numeric variable. Steps sharing a signature
+/// pool their update-synthesis examples.
+using StepSignature = std::vector<std::int64_t>;
+
+class MixedAbstractor {
+public:
+  MixedAbstractor(const Trace& trace, const AbstractionConfig& config)
+      : trace_(trace), schema_(trace.schema()), config_(config) {
+    for (VarIndex v = 0; v < schema_.size(); ++v) {
+      const bool is_input =
+          std::find(config_.input_vars.begin(), config_.input_vars.end(),
+                    schema_.var(v).name) != config_.input_vars.end();
+      if (schema_.var(v).type == VarType::Cat) {
+        cat_vars_.push_back(v);
+      } else if (!is_input) {
+        num_vars_.push_back(v);
+      }
+    }
+  }
+
+  PredicateSequence run() {
+    if (trace_.size() < 2) {
+      throw std::invalid_argument("mixed abstraction: trace needs two observations");
+    }
+    // Group step indices by change signature.
+    std::map<StepSignature, std::vector<std::size_t>> groups;
+    for (std::size_t t = 0; t < trace_.num_steps(); ++t) {
+      groups[signature_of(t)].push_back(t);
+    }
+    // One predicate per signature group.
+    std::map<StepSignature, PredId> pred_of;
+    for (const auto& [sig, steps] : groups) {
+      pred_of.emplace(sig, build_predicate(steps));
+    }
+    for (std::size_t t = 0; t < trace_.num_steps(); ++t) {
+      result_.seq.push_back(pred_of.at(signature_of(t)));
+    }
+    return std::move(result_);
+  }
+
+private:
+  StepSignature signature_of(std::size_t t) const {
+    const Valuation& cur = trace_.step_cur(t);
+    const Valuation& next = trace_.step_next(t);
+    StepSignature sig;
+    for (const VarIndex v : cat_vars_) {
+      sig.push_back(cur[v].raw());
+      sig.push_back(next[v].raw());
+    }
+    for (const VarIndex v : num_vars_) {
+      sig.push_back(cur[v] == next[v] ? 0 : 1);
+    }
+    return sig;
+  }
+
+  PredId build_predicate(const std::vector<std::size_t>& steps) {
+    const std::size_t t0 = steps.front();
+    const Valuation& cur = trace_.step_cur(t0);
+    const Valuation& next = trace_.step_next(t0);
+
+    std::vector<ExprPtr> atoms;
+    std::string display;
+    bool events_only = true;
+
+    // Categorical atoms: destination value, idle destination suppressed.
+    std::vector<ExprPtr> suppressed;
+    for (const VarIndex v : cat_vars_) {
+      if (cur[v] == next[v]) continue;
+      const auto& info = schema_.var(v);
+      const ExprPtr atom = Expr::eq(Expr::var_ref(v, true), Expr::constant(next[v]));
+      if (info.default_sym && next[v].as_sym() == *info.default_sym) {
+        suppressed.push_back(atom);
+        continue;
+      }
+      atoms.push_back(atom);
+      if (!display.empty()) display += " & ";
+      display += schema_.format_value(v, next[v]);
+    }
+
+    // Numeric update atoms from the pooled examples of the signature group.
+    for (const VarIndex x : num_vars_) {
+      bool changed = false;
+      for (const std::size_t t : steps) {
+        if (trace_.step_cur(t)[x] != trace_.step_next(t)[x]) {
+          changed = true;
+          break;
+        }
+      }
+      if (!changed) continue;
+      events_only = false;
+      std::vector<UpdateExample> pool;
+      pool.reserve(steps.size());
+      for (const std::size_t t : steps) {
+        pool.push_back(UpdateExample{trace_.step_cur(t), trace_.step_next(t)[x]});
+      }
+      if (ExprPtr rhs = synthesize_update(x, pool)) {
+        atoms.push_back(Expr::update_of(x, std::move(rhs)));
+      } else {
+        log_warn() << "mixed abstraction: no update expression for "
+                   << schema_.var(x).name << " (signature group of " << steps.size()
+                   << " steps); atom omitted";
+      }
+    }
+
+    if (atoms.empty()) {
+      // Only idle-destination events (or nothing) changed: keep the
+      // suppressed atoms if any, otherwise an explicit stutter.
+      atoms = suppressed.empty()
+                  ? std::vector<ExprPtr>{Expr::bool_const(true)}
+                  : std::move(suppressed);
+      events_only = false;
+    }
+
+    const PredId id = result_.vocab.intern(simplify(Expr::conj(std::move(atoms))));
+    if (events_only && !display.empty()) {
+      if (result_.display_names.size() <= id) result_.display_names.resize(id + 1);
+      result_.display_names[id] = display;
+    }
+    return id;
+  }
+
+  ExprPtr synthesize_update(VarIndex x, const std::vector<UpdateExample>& pool) {
+    Grammar grammar = Grammar::for_updates(schema_, x, pool);
+    grammar.max_size = config_.synth_max_size;
+    // Leaves restricted to numeric variables (Grammar::for_updates already
+    // does this); CEGIS keeps the signatures small on big pools.
+    const CegisSynth cegis(schema_, grammar);
+    if (ExprPtr rhs = cegis.synthesize(pool)) return rhs;
+    // Trivial-but-exact fallback.
+    const IteChainSynth fallback(schema_);
+    return fallback.synthesize(pool);
+  }
+
+  const Trace& trace_;
+  const Schema& schema_;
+  AbstractionConfig config_;
+  std::vector<VarIndex> cat_vars_;
+  std::vector<VarIndex> num_vars_;
+  PredicateSequence result_;
+};
+
+}  // namespace
+
+PredicateSequence abstract_mixed_trace(const Trace& trace, const AbstractionConfig& config) {
+  return MixedAbstractor(trace, config).run();
+}
+
+}  // namespace t2m

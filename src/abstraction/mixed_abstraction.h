@@ -1,0 +1,22 @@
+#ifndef T2M_ABSTRACTION_MIXED_ABSTRACTION_H
+#define T2M_ABSTRACTION_MIXED_ABSTRACTION_H
+
+#include "src/abstraction/abstraction.h"
+
+namespace t2m {
+
+/// Mode M: traces mixing categorical events with numeric data (the serial
+/// port benchmark). Each step is labelled with a conjunction of atoms:
+///
+/// * categorical variables that change contribute `v' = value` atoms, with
+///   the schema's default ("idle") destination suppressed, so operation
+///   steps read as bare events (`read`) and effect steps carry only data;
+/// * numeric state variables that change contribute `x' = e(X)` atoms where
+///   `e` is synthesised (CEGIS over the enumerative engine) from the pool of
+///   all steps sharing this step's change signature — every read effect in
+///   the trace jointly yields `x' = x - 1`, every reset `x' = 0`.
+PredicateSequence abstract_mixed_trace(const Trace& trace, const AbstractionConfig& config);
+
+}  // namespace t2m
+
+#endif  // T2M_ABSTRACTION_MIXED_ABSTRACTION_H

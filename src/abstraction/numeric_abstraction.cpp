@@ -1,0 +1,279 @@
+#include "src/abstraction/numeric_abstraction.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "src/expr/eval.h"
+#include "src/expr/simplify.h"
+#include "src/synth/enumerative.h"
+#include "src/synth/guard_synth.h"
+#include "src/util/log.h"
+
+namespace t2m {
+
+namespace {
+
+/// Sentinel PredId used in occurrence contexts at sequence boundaries.
+constexpr PredId kBoundary = static_cast<PredId>(-1);
+
+class NumericAbstractor {
+public:
+  NumericAbstractor(const Trace& trace, const AbstractionConfig& config)
+      : trace_(trace), schema_(trace.schema()), config_(config) {
+    for (VarIndex v = 0; v < schema_.size(); ++v) {
+      if (!schema_.var(v).is_numeric()) {
+        throw std::invalid_argument("numeric abstraction: categorical variable " +
+                                    schema_.var(v).name);
+      }
+      const bool is_input =
+          std::find(config_.input_vars.begin(), config_.input_vars.end(),
+                    schema_.var(v).name) != config_.input_vars.end();
+      if (!is_input) state_vars_.push_back(v);
+    }
+    if (state_vars_.empty()) {
+      throw std::invalid_argument("numeric abstraction: no state variables");
+    }
+  }
+
+  PredicateSequence run() {
+    const std::size_t n = trace_.size();
+    if (n < 2) {
+      throw std::invalid_argument("numeric abstraction: trace needs two observations");
+    }
+    w_ = std::max<std::size_t>(2, std::min(config_.window, n));
+    const std::size_t windows = n + 1 - w_;
+    center_offset_ = (w_ - 1) / 2;
+
+    // Deduplicate windows by content; remember one occurrence per key.
+    std::map<std::vector<Value>, std::size_t> key_index;
+    std::vector<std::size_t> key_occurrence;          // key -> first window index
+    std::vector<std::size_t> window_key(windows);     // window -> key
+    for (std::size_t i = 0; i < windows; ++i) {
+      const auto [it, inserted] = key_index.emplace(window_key_of(i), key_occurrence.size());
+      if (inserted) key_occurrence.push_back(i);
+      window_key[i] = it->second;
+    }
+
+    // Pass 1 -- discovery: grow the per-variable update vocabulary from all
+    // unique windows (order-independent thanks to pass 2).
+    for (const std::size_t i : key_occurrence) {
+      for (const VarIndex x : state_vars_) discover_rhs(x, i);
+    }
+    // Rank discovered updates by trace-wide explanatory power.
+    for (auto& [x, vocab] : rhs_vocab_) {
+      std::stable_sort(vocab.begin(), vocab.end(),
+                       [](const RankedRhs& a, const RankedRhs& b) {
+                         return a.global_fit > b.global_fit;
+                       });
+    }
+
+    // Pass 2 -- labelling: each unique window gets its best explanation;
+    // windows no update law explains are heterogeneous (mode switches).
+    std::vector<std::int64_t> key_label(key_occurrence.size());
+    std::vector<std::size_t> hetero_keys;  // key ids
+    std::set<Valuation> homog_centers;
+    for (std::size_t k = 0; k < key_occurrence.size(); ++k) {
+      if (ExprPtr pred = label_window(key_occurrence[k])) {
+        key_label[k] = static_cast<std::int64_t>(result_.vocab.intern(pred));
+        homog_centers.insert(center_of(key_occurrence[k]));
+      } else {
+        key_label[k] = -static_cast<std::int64_t>(hetero_keys.size()) - 1;
+        hetero_keys.push_back(k);
+      }
+    }
+
+    // Pass 3 -- guards for the heterogeneous windows.
+    std::vector<PredId> hetero_pred(hetero_keys.size());
+    for (std::size_t h = 0; h < hetero_keys.size(); ++h) {
+      hetero_pred[h] =
+          guard_predicate(center_of(key_occurrence[hetero_keys[h]]), homog_centers);
+    }
+
+    result_.seq.reserve(windows);
+    for (std::size_t i = 0; i < windows; ++i) {
+      const std::int64_t label = key_label[window_key[i]];
+      result_.seq.push_back(label >= 0
+                                ? static_cast<PredId>(label)
+                                : hetero_pred[static_cast<std::size_t>(-label - 1)]);
+    }
+
+    if (config_.merge_guards) merge_guards();
+    compact_sequence(result_);
+    return std::move(result_);
+  }
+
+private:
+  struct RankedRhs {
+    ExprPtr expr;
+    std::size_t global_fit = 0;
+  };
+
+  std::vector<Value> window_key_of(std::size_t i) const {
+    std::vector<Value> key;
+    key.reserve(w_ * schema_.size());
+    for (std::size_t t = i; t < i + w_; ++t) {
+      const Valuation& obs = trace_.obs(t);
+      key.insert(key.end(), obs.begin(), obs.end());
+    }
+    return key;
+  }
+
+  Valuation center_of(std::size_t i) const { return trace_.obs(i + center_offset_); }
+
+  std::vector<UpdateExample> window_examples(VarIndex x, std::size_t i) const {
+    std::vector<UpdateExample> examples;
+    examples.reserve(w_ - 1);
+    for (std::size_t t = i; t + 1 < i + w_; ++t) {
+      examples.push_back(UpdateExample{trace_.obs(t), trace_.obs(t + 1)[x]});
+    }
+    return examples;
+  }
+
+  bool fits(const ExprPtr& rhs, const std::vector<UpdateExample>& examples) const {
+    for (const UpdateExample& ex : examples) {
+      if (eval_value(*rhs, ex.input, ex.input) != ex.output) return false;
+    }
+    return true;
+  }
+
+  std::size_t global_fit(const ExprPtr& rhs, VarIndex x) const {
+    std::size_t count = 0;
+    for (std::size_t t = 0; t < trace_.num_steps(); ++t) {
+      if (eval_value(*rhs, trace_.step_cur(t), trace_.step_cur(t)) ==
+          trace_.step_next(t)[x]) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  /// Discovery for variable x at window i: if no known update fits, run the
+  /// synthesiser and keep the minimal candidate with the best trace-wide fit.
+  void discover_rhs(VarIndex x, std::size_t i) {
+    const auto examples = window_examples(x, i);
+    for (const RankedRhs& known : rhs_vocab_[x]) {
+      if (fits(known.expr, examples)) return;
+    }
+    Grammar grammar = Grammar::for_updates(schema_, x, examples);
+    grammar.max_size = config_.synth_max_size;
+    // An update law must depend on the variable's own current value:
+    // `op' = 5` or `op' = ip + 4` describe the saturation mode, not a law,
+    // and such windows must fall through to guard synthesis.
+    grammar.solution_must_reference = x;
+    const EnumerativeSynth engine(schema_, grammar);
+    std::vector<ExprPtr> candidates = engine.synthesize_all(examples);
+    if (candidates.empty()) return;  // heterogeneous for x (so far)
+
+    std::size_t best = 0;
+    std::size_t best_score = global_fit(candidates[0], x);
+    for (std::size_t c = 1; c < candidates.size(); ++c) {
+      const std::size_t score = global_fit(candidates[c], x);
+      if (score > best_score) {
+        best = c;
+        best_score = score;
+      }
+    }
+    rhs_vocab_[x].push_back(RankedRhs{simplify(candidates[best]), best_score});
+    log_debug() << "numeric abstraction: new update for " << schema_.var(x).name
+                << " (global fit " << best_score << ")";
+  }
+
+  /// Labelling: conjunction of the best-fitting update per state variable,
+  /// or nullptr when some variable has no fitting update (mode switch).
+  ExprPtr label_window(std::size_t i) const {
+    std::vector<ExprPtr> atoms;
+    for (const VarIndex x : state_vars_) {
+      const auto examples = window_examples(x, i);
+      const ExprPtr* found = nullptr;
+      const auto it = rhs_vocab_.find(x);
+      if (it != rhs_vocab_.end()) {
+        for (const RankedRhs& known : it->second) {
+          if (fits(known.expr, examples)) {
+            found = &known.expr;
+            break;
+          }
+        }
+      }
+      if (!found) return nullptr;
+      atoms.push_back(Expr::update_of(x, *found));
+    }
+    return simplify(Expr::conj(std::move(atoms)));
+  }
+
+  PredId guard_predicate(const Valuation& center, const std::set<Valuation>& homog_centers) {
+    std::vector<GuardExample> examples;
+    examples.push_back(GuardExample{center, true});
+    for (const Valuation& negative : homog_centers) {
+      if (negative == center) continue;
+      examples.push_back(GuardExample{negative, false});
+    }
+    const GuardSynth synth(schema_);
+    if (ExprPtr guard = synth.synthesize(examples)) {
+      const PredId id = result_.vocab.intern(guard);
+      guard_ids_.insert(id);
+      return id;
+    }
+    // Fallback: an exact description of the centre observation. Always
+    // sound, never concise; only reached when the guard language cannot
+    // separate the centre from the regular-mode observations.
+    log_warn() << "numeric abstraction: guard synthesis failed; "
+                  "falling back to exact centre description";
+    std::vector<ExprPtr> atoms;
+    for (VarIndex v = 0; v < schema_.size(); ++v) {
+      atoms.push_back(Expr::eq(Expr::var_ref(v, false), Expr::constant(center[v])));
+    }
+    return result_.vocab.intern(Expr::conj(std::move(atoms)));
+  }
+
+  /// Merges guards with identical occurrence contexts into one disjunction.
+  void merge_guards() {
+    if (guard_ids_.size() < 2) return;
+    std::map<PredId, std::set<std::pair<PredId, PredId>>> contexts;
+    for (std::size_t j = 0; j < result_.seq.size(); ++j) {
+      const PredId p = result_.seq[j];
+      if (guard_ids_.count(p) == 0) continue;
+      const PredId prev = j > 0 ? result_.seq[j - 1] : kBoundary;
+      const PredId next = j + 1 < result_.seq.size() ? result_.seq[j + 1] : kBoundary;
+      contexts[p].emplace(prev, next);
+    }
+    std::map<std::set<std::pair<PredId, PredId>>, std::vector<PredId>> groups;
+    for (const auto& [p, ctx] : contexts) groups[ctx].push_back(p);
+    std::map<PredId, PredId> remap;
+    for (const auto& [ctx, members] : groups) {
+      if (members.size() < 2) continue;
+      std::vector<ExprPtr> parts;
+      for (const PredId p : members) parts.push_back(result_.vocab.expr(p));
+      const PredId keeper = members.front();
+      result_.vocab.replace(keeper, Expr::disj(std::move(parts)));
+      for (std::size_t m = 1; m < members.size(); ++m) remap[members[m]] = keeper;
+      log_debug() << "numeric abstraction: merged " << members.size()
+                  << " context-equivalent guards";
+    }
+    if (remap.empty()) return;
+    for (PredId& p : result_.seq) {
+      const auto it = remap.find(p);
+      if (it != remap.end()) p = it->second;
+    }
+  }
+
+  const Trace& trace_;
+  const Schema& schema_;
+  AbstractionConfig config_;
+  std::vector<VarIndex> state_vars_;
+  std::size_t w_ = 3;
+  std::size_t center_offset_ = 1;
+  std::map<VarIndex, std::vector<RankedRhs>> rhs_vocab_;
+  std::set<PredId> guard_ids_;
+  PredicateSequence result_;
+};
+
+}  // namespace
+
+PredicateSequence abstract_numeric_trace(const Trace& trace,
+                                         const AbstractionConfig& config) {
+  return NumericAbstractor(trace, config).run();
+}
+
+}  // namespace t2m

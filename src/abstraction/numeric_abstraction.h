@@ -1,0 +1,28 @@
+#ifndef T2M_ABSTRACTION_NUMERIC_ABSTRACTION_H
+#define T2M_ABSTRACTION_NUMERIC_ABSTRACTION_H
+
+#include "src/abstraction/abstraction.h"
+
+namespace t2m {
+
+/// Mode N: all-numeric traces. One predicate per sliding window of `w`
+/// observations (Algorithm 1, lines 9-13):
+///
+/// * homogeneous window — the enumerative synthesiser finds, for every state
+///   variable, one small update expression consistent with all steps in the
+///   window; the predicate is the conjunction of `x' = e(X)` atoms. Among
+///   minimal-size candidates the one explaining the most steps trace-wide
+///   wins, so `op' = op + ip` beats `op' = op + 1` even in windows where the
+///   input happens to be constant.
+/// * heterogeneous window (mode switch) — no such expression exists; the
+///   predicate becomes the smallest guard separating the window's centre
+///   observation from the centres of all homogeneous windows (`x >= 128`).
+///
+/// Guards whose occurrence contexts in P coincide are merged into one
+/// disjunction when config.merge_guards is set.
+PredicateSequence abstract_numeric_trace(const Trace& trace,
+                                         const AbstractionConfig& config);
+
+}  // namespace t2m
+
+#endif  // T2M_ABSTRACTION_NUMERIC_ABSTRACTION_H

@@ -1,0 +1,59 @@
+#include "src/abstraction/predicate.h"
+
+#include <stdexcept>
+
+#include "src/expr/printer.h"
+
+namespace t2m {
+
+PredId PredicateVocab::intern(const ExprPtr& expr) {
+  if (!expr) throw std::invalid_argument("PredicateVocab::intern: null expression");
+  const auto it = index_.find(expr);
+  if (it != index_.end()) return it->second;
+  const PredId id = exprs_.size();
+  exprs_.push_back(expr);
+  index_.emplace(expr, id);
+  return id;
+}
+
+std::optional<PredId> PredicateVocab::find(const ExprPtr& expr) const {
+  const auto it = index_.find(expr);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string PredicateVocab::name(PredId id, const Schema& schema) const {
+  return to_string(*expr(id), schema);
+}
+
+std::vector<std::string> PredicateVocab::names(const Schema& schema) const {
+  std::vector<std::string> out;
+  out.reserve(exprs_.size());
+  for (const auto& e : exprs_) out.push_back(to_string(*e, schema));
+  return out;
+}
+
+void PredicateVocab::replace(PredId id, ExprPtr expr) {
+  if (id >= exprs_.size()) throw std::out_of_range("PredicateVocab::replace");
+  index_.erase(exprs_[id]);
+  exprs_[id] = std::move(expr);
+  index_.emplace(exprs_[id], id);
+}
+
+void compact_sequence(PredicateSequence& p) {
+  PredicateVocab fresh;
+  std::vector<std::string> fresh_names;
+  std::vector<PredId> remap(p.vocab.size(), static_cast<PredId>(-1));
+  for (PredId& id : p.seq) {
+    if (remap[id] == static_cast<PredId>(-1)) {
+      remap[id] = fresh.intern(p.vocab.expr(id));
+      if (fresh_names.size() <= remap[id]) fresh_names.resize(remap[id] + 1);
+      if (id < p.display_names.size()) fresh_names[remap[id]] = p.display_names[id];
+    }
+    id = remap[id];
+  }
+  p.vocab = std::move(fresh);
+  p.display_names = std::move(fresh_names);
+}
+
+}  // namespace t2m

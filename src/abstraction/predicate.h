@@ -1,0 +1,74 @@
+#ifndef T2M_ABSTRACTION_PREDICATE_H
+#define T2M_ABSTRACTION_PREDICATE_H
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/automaton/nfa.h"
+#include "src/base/schema.h"
+#include "src/expr/expr.h"
+
+namespace t2m {
+
+/// The alphabet of a learned model: interned transition predicates. The
+/// abstraction layer maps trace steps/windows to PredIds; the learner and the
+/// state-merge baseline both consume the resulting predicate sequence.
+class PredicateVocab {
+public:
+  PredicateVocab() = default;
+
+  /// Interns an expression (structural equality) and returns its id.
+  PredId intern(const ExprPtr& expr);
+
+  /// Id of `expr` if already interned.
+  std::optional<PredId> find(const ExprPtr& expr) const;
+
+  std::size_t size() const { return exprs_.size(); }
+  const ExprPtr& expr(PredId id) const { return exprs_.at(id); }
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
+
+  /// Printable name of predicate `id` using `schema` variable names.
+  std::string name(PredId id, const Schema& schema) const;
+  /// All names, indexed by PredId (for Nfa::set_pred_names).
+  std::vector<std::string> names(const Schema& schema) const;
+
+  /// Replaces the expression behind `id` (used by guard merging, which turns
+  /// two context-equivalent guards into one disjunction).
+  void replace(PredId id, ExprPtr expr);
+
+private:
+  std::vector<ExprPtr> exprs_;
+  std::unordered_map<ExprPtr, PredId, ExprPtrHash, ExprPtrEqual> index_;
+};
+
+/// A predicate sequence P = p1..pk over a vocabulary: the output of trace
+/// abstraction and the input of model construction (Algorithm 1, line 14).
+struct PredicateSequence {
+  PredicateVocab vocab;
+  std::vector<PredId> seq;
+  /// Optional per-predicate display names overriding the printer (event
+  /// abstraction uses bare event names, matching the paper's figures).
+  std::vector<std::string> display_names;
+
+  std::size_t length() const { return seq.size(); }
+
+  /// Names for every predicate: display name when set, else printed form.
+  std::vector<std::string> names_for(const Schema& schema) const {
+    std::vector<std::string> out = vocab.names(schema);
+    for (std::size_t i = 0; i < display_names.size() && i < out.size(); ++i) {
+      if (!display_names[i].empty()) out[i] = display_names[i];
+    }
+    return out;
+  }
+};
+
+/// Drops vocabulary entries that no longer occur in `seq` (artifacts of
+/// re-labelling and guard merging) and renumbers the remaining predicates in
+/// first-use order.
+void compact_sequence(PredicateSequence& p);
+
+}  // namespace t2m
+
+#endif  // T2M_ABSTRACTION_PREDICATE_H

@@ -1,0 +1,47 @@
+#include "src/automaton/coverage.h"
+
+#include <set>
+#include <sstream>
+
+namespace t2m {
+
+CoverageReport compare_coverage(const Nfa& reference, const Nfa& learned) {
+  std::set<std::string> ref_labels;
+  for (const Transition& t : reference.transitions()) {
+    ref_labels.insert(reference.pred_name(t.pred));
+  }
+  std::set<std::string> got_labels;
+  for (const Transition& t : learned.transitions()) {
+    got_labels.insert(learned.pred_name(t.pred));
+  }
+
+  CoverageReport report;
+  for (const auto& label : ref_labels) {
+    if (got_labels.count(label) > 0) {
+      report.covered_labels.push_back(label);
+    } else {
+      report.uncovered_labels.push_back(label);
+    }
+  }
+  for (const auto& label : got_labels) {
+    if (ref_labels.count(label) == 0) report.extra_labels.push_back(label);
+  }
+  return report;
+}
+
+std::string format_report(const CoverageReport& report) {
+  std::ostringstream os;
+  os << "label coverage: " << report.covered_labels.size() << "/"
+     << (report.covered_labels.size() + report.uncovered_labels.size()) << "\n";
+  if (!report.uncovered_labels.empty()) {
+    os << "uncovered (reference behaviour the load never exercised):\n";
+    for (const auto& label : report.uncovered_labels) os << "  - " << label << "\n";
+  }
+  if (!report.extra_labels.empty()) {
+    os << "extra (learned behaviour outside the reference):\n";
+    for (const auto& label : report.extra_labels) os << "  + " << label << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace t2m

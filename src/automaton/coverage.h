@@ -1,0 +1,40 @@
+#ifndef T2M_AUTOMATON_COVERAGE_H
+#define T2M_AUTOMATON_COVERAGE_H
+
+#include <string>
+#include <vector>
+
+#include "src/automaton/nfa.h"
+
+namespace t2m {
+
+/// Label-level coverage comparison of a learned model against a reference
+/// ("datasheet") model. The paper observes that transitions absent from the
+/// learned USB slot model expose scenarios the application load never drove
+/// the system into; this report makes that analysis a library feature.
+struct CoverageReport {
+  /// Edge labels present in the reference but not in the learned model.
+  std::vector<std::string> uncovered_labels;
+  /// Edge labels in both.
+  std::vector<std::string> covered_labels;
+  /// Edge labels only the learned model has (behaviour outside the
+  /// reference, or predicates the reference abstracts differently).
+  std::vector<std::string> extra_labels;
+
+  double label_coverage() const {
+    const std::size_t total = covered_labels.size() + uncovered_labels.size();
+    return total == 0 ? 1.0 : static_cast<double>(covered_labels.size()) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Compares by predicate NAME so the two automata may use different
+/// vocabularies (e.g. hand-written reference vs learned).
+CoverageReport compare_coverage(const Nfa& reference, const Nfa& learned);
+
+/// Renders the report as human-readable text.
+std::string format_report(const CoverageReport& report);
+
+}  // namespace t2m
+
+#endif  // T2M_AUTOMATON_COVERAGE_H

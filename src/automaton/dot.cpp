@@ -1,0 +1,63 @@
+#include "src/automaton/dot.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace t2m {
+
+namespace {
+
+std::string escape_label(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Nfa& m, const std::string& graph_name) {
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=circle];\n";
+  os << "  __start [shape=point];\n";
+  os << "  __start -> q" << (m.initial() + 1) << ";\n";
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    os << "  q" << (s + 1) << " [label=\"q" << (s + 1) << "\"];\n";
+  }
+  // Merge parallel edges into one label.
+  std::map<std::pair<StateId, StateId>, std::string> merged;
+  for (const Transition& t : m.transitions()) {
+    auto& label = merged[{t.src, t.dst}];
+    if (!label.empty()) label += "\\n";
+    label += escape_label(m.pred_name(t.pred));
+  }
+  for (const auto& [edge, label] : merged) {
+    os << "  q" << (edge.first + 1) << " -> q" << (edge.second + 1) << " [label=\"" << label
+       << "\"];\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Nfa& m, const std::string& graph_name) {
+  std::ostringstream os;
+  write_dot(os, m, graph_name);
+  return os.str();
+}
+
+std::string to_text(const Nfa& m) {
+  std::ostringstream os;
+  os << "states: " << m.num_states() << ", initial: q" << (m.initial() + 1)
+     << ", transitions: " << m.num_transitions() << "\n";
+  for (const Transition& t : m.transitions()) {
+    os << "  q" << (t.src + 1) << " --[" << m.pred_name(t.pred) << "]--> q" << (t.dst + 1)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace t2m

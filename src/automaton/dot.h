@@ -1,0 +1,25 @@
+#ifndef T2M_AUTOMATON_DOT_H
+#define T2M_AUTOMATON_DOT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "src/automaton/nfa.h"
+
+namespace t2m {
+
+/// Graphviz DOT export. Edge labels come from the automaton's predicate
+/// names; parallel edges between the same state pair are merged into one
+/// multi-line label, matching the figures in the paper.
+void write_dot(std::ostream& os, const Nfa& m, const std::string& graph_name = "model");
+
+/// DOT as a string (convenience for examples and tests).
+std::string to_dot(const Nfa& m, const std::string& graph_name = "model");
+
+/// Plain-text adjacency rendering for terminals:
+///   q1 --[x' = x + 1]--> q1
+std::string to_text(const Nfa& m);
+
+}  // namespace t2m
+
+#endif  // T2M_AUTOMATON_DOT_H

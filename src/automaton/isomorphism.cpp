@@ -1,0 +1,108 @@
+#include "src/automaton/isomorphism.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace t2m {
+
+namespace {
+
+/// Edge set of a state as a sorted (label, dst) list, labels as strings or ids.
+template <typename Label>
+using EdgeProfile = std::vector<std::pair<Label, StateId>>;
+
+template <typename Label, typename LabelOf>
+bool isomorphic_impl(const Nfa& a, const Nfa& b, LabelOf label_of) {
+  if (a.num_states() != b.num_states()) return false;
+  if (a.num_transitions() != b.num_transitions()) return false;
+
+  const std::size_t n = a.num_states();
+  // adjacency keyed by (src) -> sorted vector of (label, dst)
+  const auto edges_of = [&](const Nfa& m) {
+    std::vector<EdgeProfile<Label>> out(m.num_states());
+    for (const Transition& t : m.transitions()) {
+      out[t.src].emplace_back(label_of(m, t.pred), t.dst);
+    }
+    for (auto& profile : out) std::sort(profile.begin(), profile.end());
+    return out;
+  };
+  const auto ea = edges_of(a);
+  const auto eb = edges_of(b);
+
+  std::vector<std::int64_t> map_ab(n, -1);
+  std::vector<std::int64_t> map_ba(n, -1);
+
+  // Consistency: every mapped edge of `sa` must exist identically in `sb`
+  // modulo the (possibly partial) state mapping; degree profiles must match.
+  const auto consistent = [&](StateId sa, StateId sb) {
+    if (ea[sa].size() != eb[sb].size()) return false;
+    // multiset of labels must coincide
+    std::multiset<Label> la, lb;
+    for (const auto& [l, d] : ea[sa]) la.insert(l);
+    for (const auto& [l, d] : eb[sb]) lb.insert(l);
+    return la == lb;
+  };
+
+  // Backtracking over states in BFS order from the initial state.
+  std::vector<StateId> order;
+  {
+    std::set<StateId> seen = {a.initial()};
+    order.push_back(a.initial());
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      for (const auto& [l, d] : ea[order[head]]) {
+        if (seen.insert(d).second) order.push_back(d);
+      }
+    }
+    for (StateId s = 0; s < n; ++s) {
+      if (seen.insert(s).second) order.push_back(s);
+    }
+  }
+
+  // Full check of the current complete mapping.
+  const auto edges_match = [&]() {
+    for (const Transition& t : a.transitions()) {
+      const StateId ms = static_cast<StateId>(map_ab[t.src]);
+      const StateId md = static_cast<StateId>(map_ab[t.dst]);
+      const auto want = std::make_pair(label_of(a, t.pred), md);
+      const auto& profile = eb[ms];
+      if (!std::binary_search(profile.begin(), profile.end(), want)) return false;
+    }
+    return true;
+  };
+
+  const std::function<bool(std::size_t)> assign = [&](std::size_t idx) -> bool {
+    if (idx == order.size()) return edges_match();
+    const StateId sa = order[idx];
+    for (StateId sb = 0; sb < n; ++sb) {
+      if (map_ba[sb] != -1) continue;
+      if (sa == a.initial() && sb != b.initial()) continue;
+      if (sa != a.initial() && sb == b.initial()) continue;
+      if (!consistent(sa, sb)) continue;
+      map_ab[sa] = static_cast<std::int64_t>(sb);
+      map_ba[sb] = static_cast<std::int64_t>(sa);
+      if (assign(idx + 1)) return true;
+      map_ab[sa] = -1;
+      map_ba[sb] = -1;
+    }
+    return false;
+  };
+  return assign(0);
+}
+
+}  // namespace
+
+bool isomorphic(const Nfa& a, const Nfa& b) {
+  return isomorphic_impl<std::string>(
+      a, b, [](const Nfa& m, PredId p) { return m.pred_name(p); });
+}
+
+bool isomorphic_by_pred_id(const Nfa& a, const Nfa& b) {
+  return isomorphic_impl<PredId>(a, b, [](const Nfa&, PredId p) { return p; });
+}
+
+}  // namespace t2m

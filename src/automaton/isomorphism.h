@@ -1,0 +1,21 @@
+#ifndef T2M_AUTOMATON_ISOMORPHISM_H
+#define T2M_AUTOMATON_ISOMORPHISM_H
+
+#include "src/automaton/nfa.h"
+
+namespace t2m {
+
+/// Tests whether two automata are isomorphic: a bijection between states
+/// mapping initial to initial and preserving the transition relation, with
+/// edges matched BY PREDICATE NAME (so vocabularies with different interning
+/// orders still compare). Backtracking search; intended for the small models
+/// this library learns (N <= ~16).
+bool isomorphic(const Nfa& a, const Nfa& b);
+
+/// Isomorphism matching on raw PredIds instead of names (both automata share
+/// one vocabulary).
+bool isomorphic_by_pred_id(const Nfa& a, const Nfa& b);
+
+}  // namespace t2m
+
+#endif  // T2M_AUTOMATON_ISOMORPHISM_H

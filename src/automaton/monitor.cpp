@@ -1,0 +1,43 @@
+#include "src/automaton/monitor.h"
+
+#include "src/expr/eval.h"
+
+namespace t2m {
+
+Monitor::Monitor(const Nfa& model, const PredicateVocab& vocab)
+    : model_(model), vocab_(vocab) {
+  reset();
+}
+
+void Monitor::reset() {
+  frontier_ = {model_.initial()};
+  have_previous_ = false;
+  violated_ = false;
+  violation_index_ = 0;
+  count_ = 0;
+}
+
+bool Monitor::feed(const Valuation& obs) {
+  ++count_;
+  if (violated_) return false;
+  if (!have_previous_) {
+    previous_ = obs;
+    have_previous_ = true;
+    return true;
+  }
+  std::set<StateId> next;
+  for (const Transition& t : model_.transitions()) {
+    if (frontier_.count(t.src) == 0) continue;
+    if (holds(*vocab_.expr(t.pred), previous_, obs)) next.insert(t.dst);
+  }
+  previous_ = obs;
+  if (next.empty()) {
+    violated_ = true;
+    violation_index_ = count_ - 1;
+    return false;
+  }
+  frontier_ = std::move(next);
+  return true;
+}
+
+}  // namespace t2m

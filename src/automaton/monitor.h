@@ -1,0 +1,51 @@
+#ifndef T2M_AUTOMATON_MONITOR_H
+#define T2M_AUTOMATON_MONITOR_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/abstraction/predicate.h"
+#include "src/automaton/nfa.h"
+#include "src/base/value.h"
+
+namespace t2m {
+
+/// Runtime monitor: feeds live observations through a learned model and
+/// reports the first behaviour the model cannot explain. This is the runtime
+/// verification application from the paper's RT-Linux section ([13], [14]):
+/// the learned automaton plays the role of the hand-drawn kernel model.
+class Monitor {
+public:
+  Monitor(const Nfa& model, const PredicateVocab& vocab);
+
+  /// Resets to the initial state with no pending observation.
+  void reset();
+
+  /// Feeds the next observation. Returns true while the run is alive; after
+  /// the first violation the monitor stays in the violated state until
+  /// reset(). The first call only latches the observation (a step needs two).
+  bool feed(const Valuation& obs);
+
+  bool violated() const { return violated_; }
+  /// Index of the observation that completed the violating step.
+  std::size_t violation_index() const { return violation_index_; }
+  /// Current set of possible model states.
+  const std::set<StateId>& frontier() const { return frontier_; }
+  /// Observations consumed so far.
+  std::size_t observations() const { return count_; }
+
+private:
+  const Nfa& model_;
+  const PredicateVocab& vocab_;
+  std::set<StateId> frontier_;
+  Valuation previous_;
+  bool have_previous_ = false;
+  bool violated_ = false;
+  std::size_t violation_index_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_AUTOMATON_MONITOR_H

@@ -1,0 +1,111 @@
+#include "src/automaton/ops.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/expr/eval.h"
+
+namespace t2m {
+
+namespace {
+
+void extend_paths(const Nfa& m, StateId state, std::size_t remaining,
+                  std::vector<PredId>& prefix, std::set<std::vector<PredId>>& out) {
+  if (remaining == 0) {
+    out.insert(prefix);
+    return;
+  }
+  for (const Transition& t : m.transitions()) {
+    if (t.src != state) continue;
+    prefix.push_back(t.pred);
+    extend_paths(m, t.dst, remaining - 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::set<std::vector<PredId>> transition_sequences(const Nfa& m, std::size_t l) {
+  std::set<std::vector<PredId>> out;
+  std::vector<PredId> prefix;
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    extend_paths(m, s, l, prefix, out);
+  }
+  return out;
+}
+
+std::set<std::vector<PredId>> subsequences(const std::vector<PredId>& seq, std::size_t l) {
+  std::set<std::vector<PredId>> out;
+  if (l == 0 || seq.size() < l) return out;
+  for (std::size_t i = 0; i + l <= seq.size(); ++i) {
+    out.insert(std::vector<PredId>(seq.begin() + static_cast<std::ptrdiff_t>(i),
+                                   seq.begin() + static_cast<std::ptrdiff_t>(i + l)));
+  }
+  return out;
+}
+
+namespace {
+
+ReplayResult replay_from(const Nfa& m, const PredicateVocab& vocab, const Trace& trace,
+                         std::set<StateId> frontier) {
+  ReplayResult result;
+  for (std::size_t step = 0; step < trace.num_steps(); ++step) {
+    const Valuation& cur = trace.step_cur(step);
+    const Valuation& next = trace.step_next(step);
+    std::set<StateId> advanced;
+    for (const Transition& t : m.transitions()) {
+      if (frontier.count(t.src) == 0) continue;
+      if (holds(*vocab.expr(t.pred), cur, next)) advanced.insert(t.dst);
+    }
+    if (advanced.empty()) {
+      result.accepted = false;
+      result.failed_step = step;
+      result.steps = step;
+      return result;
+    }
+    frontier = std::move(advanced);
+    result.steps = step + 1;
+  }
+  result.accepted = true;
+  return result;
+}
+
+}  // namespace
+
+ReplayResult replay_trace(const Nfa& m, const PredicateVocab& vocab, const Trace& trace) {
+  return replay_from(m, vocab, trace, {m.initial()});
+}
+
+ReplayResult replay_trace_anywhere(const Nfa& m, const PredicateVocab& vocab,
+                                   const Trace& trace) {
+  std::set<StateId> all;
+  for (StateId s = 0; s < m.num_states(); ++s) all.insert(s);
+  return replay_from(m, vocab, trace, std::move(all));
+}
+
+Nfa canonicalize(const Nfa& m) {
+  // BFS from the initial state over deterministically ordered edges.
+  std::map<StateId, StateId> renumber;
+  std::vector<StateId> queue = {m.initial()};
+  renumber[m.initial()] = 0;
+  std::vector<Transition> sorted = m.transitions();
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const StateId s = queue[head];
+    for (const Transition& t : sorted) {
+      if (t.src != s) continue;
+      if (renumber.emplace(t.dst, renumber.size()).second) queue.push_back(t.dst);
+    }
+  }
+  Nfa out(renumber.size(), 0);
+  out.set_pred_names(m.pred_names());
+  for (const Transition& t : sorted) {
+    const auto si = renumber.find(t.src);
+    const auto di = renumber.find(t.dst);
+    if (si == renumber.end() || di == renumber.end()) continue;  // unreachable
+    out.add_transition(si->second, t.pred, di->second);
+  }
+  return out;
+}
+
+}  // namespace t2m

@@ -1,0 +1,46 @@
+#ifndef T2M_AUTOMATON_OPS_H
+#define T2M_AUTOMATON_OPS_H
+
+#include <set>
+#include <vector>
+
+#include "src/abstraction/predicate.h"
+#include "src/automaton/nfa.h"
+#include "src/trace/trace.h"
+
+namespace t2m {
+
+/// All predicate words of length `l` realisable as transition paths in `m`
+/// from any state (the paper's S_l, used by the compliance check).
+std::set<std::vector<PredId>> transition_sequences(const Nfa& m, std::size_t l);
+
+/// All contiguous subsequences of `seq` of length `l` (the paper's P_l).
+std::set<std::vector<PredId>> subsequences(const std::vector<PredId>& seq, std::size_t l);
+
+/// Result of replaying a concrete trace against a model whose predicates are
+/// evaluated on each step (NFA semantics: a step may satisfy several
+/// predicates; the run survives while some enabled transition exists).
+struct ReplayResult {
+  bool accepted = false;
+  /// First step index with no enabled transition, when rejected.
+  std::size_t failed_step = 0;
+  /// Number of steps consumed.
+  std::size_t steps = 0;
+};
+
+/// Simulates `trace` on `m` starting from the initial state.
+ReplayResult replay_trace(const Nfa& m, const PredicateVocab& vocab, const Trace& trace);
+
+/// Simulates starting from every state (useful when the trace is a fragment
+/// that need not begin at the model's initial state).
+ReplayResult replay_trace_anywhere(const Nfa& m, const PredicateVocab& vocab,
+                                   const Trace& trace);
+
+/// Renumbers states so the initial state is 0 and the rest follow in BFS
+/// order over (pred, dst)-sorted edges; drops unreachable states. Canonical
+/// form makes models comparable across runs.
+Nfa canonicalize(const Nfa& m);
+
+}  // namespace t2m
+
+#endif  // T2M_AUTOMATON_OPS_H

@@ -1,0 +1,27 @@
+#include "src/base/value.h"
+
+#include <stdexcept>
+
+namespace t2m {
+
+std::int64_t Value::as_int() const {
+  if (!is_int()) throw std::logic_error("Value::as_int on symbol value");
+  return payload_;
+}
+
+bool Value::as_bool() const {
+  if (!is_int()) throw std::logic_error("Value::as_bool on symbol value");
+  return payload_ != 0;
+}
+
+std::int64_t Value::as_sym() const {
+  if (!is_sym()) throw std::logic_error("Value::as_sym on integer value");
+  return payload_;
+}
+
+std::string Value::debug_string() const {
+  if (is_int()) return std::to_string(payload_);
+  return "sym#" + std::to_string(payload_);
+}
+
+}  // namespace t2m

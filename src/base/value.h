@@ -1,0 +1,80 @@
+#ifndef T2M_BASE_VALUE_H
+#define T2M_BASE_VALUE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace t2m {
+
+/// Kind of a trace value. Integers and booleans share the numeric
+/// representation; categorical values are interned symbol ids whose
+/// spelling lives in the variable's schema entry.
+enum class ValueKind : std::uint8_t { Int, Sym };
+
+/// A single observed value: either a (signed) integer / boolean or a
+/// categorical symbol. Values are small and freely copyable.
+class Value {
+public:
+  constexpr Value() noexcept : kind_(ValueKind::Int), payload_(0) {}
+
+  static constexpr Value of_int(std::int64_t v) noexcept {
+    return Value(ValueKind::Int, v);
+  }
+  static constexpr Value of_bool(bool v) noexcept {
+    return Value(ValueKind::Int, v ? 1 : 0);
+  }
+  /// `sym` is an index into the owning variable's symbol table.
+  static constexpr Value of_sym(std::int64_t sym) noexcept {
+    return Value(ValueKind::Sym, sym);
+  }
+
+  constexpr ValueKind kind() const noexcept { return kind_; }
+  constexpr bool is_int() const noexcept { return kind_ == ValueKind::Int; }
+  constexpr bool is_sym() const noexcept { return kind_ == ValueKind::Sym; }
+
+  /// Numeric payload. For symbols this is the symbol id.
+  constexpr std::int64_t raw() const noexcept { return payload_; }
+
+  /// Integer value; requires is_int().
+  std::int64_t as_int() const;
+  /// Boolean view of an integer value; requires is_int().
+  bool as_bool() const;
+  /// Symbol id; requires is_sym().
+  std::int64_t as_sym() const;
+
+  friend constexpr bool operator==(const Value& a, const Value& b) noexcept {
+    return a.kind_ == b.kind_ && a.payload_ == b.payload_;
+  }
+  friend constexpr bool operator!=(const Value& a, const Value& b) noexcept {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const Value& a, const Value& b) noexcept {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.payload_ < b.payload_;
+  }
+
+  /// Debug rendering without schema context ("7" or "sym#3").
+  std::string debug_string() const;
+
+private:
+  constexpr Value(ValueKind k, std::int64_t p) noexcept : kind_(k), payload_(p) {}
+
+  ValueKind kind_;
+  std::int64_t payload_;
+};
+
+/// A valuation maps variable indices (position in the schema) to values.
+using Valuation = std::vector<Value>;
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const noexcept {
+    const auto h = static_cast<std::size_t>(v.raw());
+    return h * 0x9e3779b97f4a7c15ULL + static_cast<std::size_t>(v.kind());
+  }
+};
+
+}  // namespace t2m
+
+#endif  // T2M_BASE_VALUE_H

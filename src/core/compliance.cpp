@@ -1,0 +1,24 @@
+#include "src/core/compliance.h"
+
+#include <algorithm>
+
+#include "src/automaton/ops.h"
+
+namespace t2m {
+
+ComplianceResult check_compliance(const Nfa& model, const std::vector<PredId>& seq,
+                                  std::size_t l) {
+  ComplianceResult result;
+  const auto model_seqs = transition_sequences(model, l);
+  const auto trace_seqs = subsequences(seq, l);
+  result.model_sequences = model_seqs.size();
+  result.trace_sequences = trace_seqs.size();
+  std::set_difference(model_seqs.begin(), model_seqs.end(), trace_seqs.begin(),
+                      trace_seqs.end(),
+                      std::inserter(result.invalid_sequences,
+                                    result.invalid_sequences.begin()));
+  result.compliant = result.invalid_sequences.empty();
+  return result;
+}
+
+}  // namespace t2m

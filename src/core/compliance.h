@@ -1,0 +1,27 @@
+#ifndef T2M_CORE_COMPLIANCE_H
+#define T2M_CORE_COMPLIANCE_H
+
+#include <set>
+#include <vector>
+
+#include "src/automaton/nfa.h"
+
+namespace t2m {
+
+/// Result of the compliance check (Algorithm 1, lines 38-48): the candidate
+/// model's transition sequences of length l must all occur as contiguous
+/// subsequences of the predicate sequence P. Sequences in S_l \ P_l are
+/// invalid and feed the refinement loop as forbidden-sequence constraints.
+struct ComplianceResult {
+  bool compliant = false;
+  std::set<std::vector<PredId>> invalid_sequences;
+  std::size_t model_sequences = 0;
+  std::size_t trace_sequences = 0;
+};
+
+ComplianceResult check_compliance(const Nfa& model, const std::vector<PredId>& seq,
+                                  std::size_t l);
+
+}  // namespace t2m
+
+#endif  // T2M_CORE_COMPLIANCE_H

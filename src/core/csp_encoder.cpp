@@ -1,0 +1,224 @@
+#include "src/core/csp_encoder.h"
+
+#include <functional>
+#include <stdexcept>
+
+#include "src/util/log.h"
+
+namespace t2m {
+
+AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num_preds,
+                           std::size_t num_states, const CspOptions& options)
+    : num_preds_(num_preds), num_states_(num_states), options_(options) {
+  if (num_states_ == 0) throw std::invalid_argument("AutomatonCsp: zero states");
+
+  // Lay out state variables: each segment of length w owns w+1 of them,
+  // chained implicitly by sharing (dst of transition j is src of j+1).
+  for (const Segment& segment : segments) {
+    if (segment.empty()) continue;
+    const std::size_t first_var = num_state_vars_;
+    num_state_vars_ += segment.size() + 1;
+    for (std::size_t j = 0; j < segment.size(); ++j) {
+      preds_of_transition_.push_back(segment[j]);
+      src_var_.push_back(first_var + j);
+      dst_var_.push_back(first_var + j + 1);
+    }
+  }
+
+  // One-hot blocks.
+  block_base_.resize(num_state_vars_);
+  for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
+    block_base_[sv] = static_cast<sat::Var>(solver_.num_vars());
+    for (std::size_t k = 0; k < num_states_; ++k) solver_.new_var();
+  }
+  encode_one_hot();
+
+  transitions_with_pred_.resize(num_preds_);
+  for (std::size_t i = 0; i < preds_of_transition_.size(); ++i) {
+    transitions_with_pred_.at(preds_of_transition_[i]).push_back(i);
+  }
+
+  if (options_.pin_initial && num_state_vars_ > 0) {
+    solver_.add_unit(state_lit(0, 0));
+  }
+
+  switch (options_.encoding) {
+    case DeterminismEncoding::Pairwise:
+      encode_determinism_pairwise();
+      break;
+    case DeterminismEncoding::Successor:
+      encode_determinism_successor();
+      break;
+  }
+}
+
+sat::Lit AutomatonCsp::state_lit(std::size_t sv, std::size_t k) const {
+  return sat::pos(block_base_.at(sv) + static_cast<sat::Var>(k));
+}
+
+void AutomatonCsp::encode_one_hot() {
+  std::vector<sat::Lit> lits(num_states_);
+  for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
+    for (std::size_t k = 0; k < num_states_; ++k) lits[k] = state_lit(sv, k);
+    solver_.add_exactly_one(lits);
+  }
+}
+
+void AutomatonCsp::encode_determinism_pairwise() {
+  // For every pair of transitions sharing a predicate: equal sources force
+  // equal destinations. Clauses (~srcA=k | ~srcB=k | ~dstA=k1 | ~dstB=k2)
+  // for k1 != k2 -- the paper's "wrong transition" condition, line 29.
+  for (const auto& group : transitions_with_pred_) {
+    for (std::size_t a_i = 0; a_i < group.size(); ++a_i) {
+      if (!clause_budget_ok()) {
+        overflowed_ = true;
+        log_warn() << "AutomatonCsp: clause budget exceeded (pairwise encoding of "
+                   << preds_of_transition_.size() << " transitions); giving up";
+        return;
+      }
+      for (std::size_t b_i = a_i + 1; b_i < group.size(); ++b_i) {
+        const std::size_t a = group[a_i];
+        const std::size_t b = group[b_i];
+        if (src_var_[a] == src_var_[b] && dst_var_[a] == dst_var_[b]) continue;
+        for (std::size_t k = 0; k < num_states_; ++k) {
+          for (std::size_t k1 = 0; k1 < num_states_; ++k1) {
+            for (std::size_t k2 = 0; k2 < num_states_; ++k2) {
+              if (k1 == k2) continue;
+              solver_.add_clause({~state_lit(src_var_[a], k), ~state_lit(src_var_[b], k),
+                                  ~state_lit(dst_var_[a], k1),
+                                  ~state_lit(dst_var_[b], k2)});
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void AutomatonCsp::encode_determinism_successor() {
+  // succ(k, p): one-hot successor state of state k under predicate p. Any
+  // transition with predicate p leaving state k must land on succ(k, p);
+  // at-most-one on the block enforces determinism in O(m N^2) clauses.
+  for (std::size_t p = 0; p < num_preds_; ++p) {
+    if (transitions_with_pred_[p].empty()) continue;
+    if (!clause_budget_ok()) {
+      overflowed_ = true;
+      log_warn() << "AutomatonCsp: clause budget exceeded (successor encoding)";
+      return;
+    }
+    std::vector<std::vector<sat::Lit>> succ(num_states_);
+    for (std::size_t k = 0; k < num_states_; ++k) {
+      succ[k].resize(num_states_);
+      for (std::size_t k2 = 0; k2 < num_states_; ++k2) {
+        succ[k][k2] = sat::pos(solver_.new_var());
+      }
+      // at-most-one successor per (k, p)
+      for (std::size_t i = 0; i < num_states_; ++i) {
+        for (std::size_t j = i + 1; j < num_states_; ++j) {
+          solver_.add_binary(~succ[k][i], ~succ[k][j]);
+        }
+      }
+    }
+    for (const std::size_t t : transitions_with_pred_[p]) {
+      for (std::size_t k = 0; k < num_states_; ++k) {
+        for (std::size_t k2 = 0; k2 < num_states_; ++k2) {
+          // (src=k & dst=k2) -> succ[k][k2]
+          solver_.add_ternary(~state_lit(src_var_[t], k), ~state_lit(dst_var_[t], k2),
+                              succ[k][k2]);
+        }
+      }
+    }
+  }
+}
+
+sat::Var AutomatonCsp::equality_var(std::size_t sv_a, std::size_t sv_b) {
+  const sat::Var e = solver_.new_var();
+  for (std::size_t k = 0; k < num_states_; ++k) {
+    // (a=k & b=k) -> e
+    solver_.add_ternary(~state_lit(sv_a, k), ~state_lit(sv_b, k), sat::pos(e));
+    // (e & a=k) -> b=k
+    solver_.add_ternary(~sat::pos(e), ~state_lit(sv_a, k), state_lit(sv_b, k));
+  }
+  return e;
+}
+
+void AutomatonCsp::add_forbidden_sequence(const std::vector<PredId>& word) {
+  if (word.empty()) return;
+  if (word.size() == 1) {
+    // A single forbidden predicate cannot occur at all; with segments fixed
+    // this is only satisfiable if no transition uses it.
+    if (!transitions_with_pred_.at(word[0]).empty()) {
+      // Force root-level conflict: the instance has no such automaton.
+      const sat::Var v = solver_.new_var();
+      solver_.add_unit(sat::pos(v));
+      solver_.add_unit(sat::neg(v));
+    }
+    return;
+  }
+  if (word.size() == 2) {
+    // No transition labelled word[0] may feed one labelled word[1]:
+    // for all pairs (a, b): dst(a) != src(b).
+    for (const std::size_t a : transitions_with_pred_.at(word[0])) {
+      for (const std::size_t b : transitions_with_pred_.at(word[1])) {
+        for (std::size_t k = 0; k < num_states_; ++k) {
+          solver_.add_binary(~state_lit(dst_var_[a], k), ~state_lit(src_var_[b], k));
+        }
+      }
+    }
+    return;
+  }
+  // General case: for every chain of transitions labelled by `word`, at
+  // least one consecutive dst/src pair must differ. Auxiliary equality
+  // variables keep this polynomial per chain.
+  std::vector<std::size_t> chain(word.size());
+  const std::function<void(std::size_t)> recurse = [&](std::size_t depth) {
+    if (depth == word.size()) {
+      std::vector<sat::Lit> clause;
+      clause.reserve(word.size() - 1);
+      for (std::size_t i = 0; i + 1 < word.size(); ++i) {
+        clause.push_back(
+            ~sat::pos(equality_var(dst_var_[chain[i]], src_var_[chain[i + 1]])));
+      }
+      solver_.add_clause(clause);
+      return;
+    }
+    for (const std::size_t t : transitions_with_pred_.at(word[depth])) {
+      chain[depth] = t;
+      recurse(depth + 1);
+    }
+  };
+  recurse(0);
+}
+
+sat::SolveResult AutomatonCsp::solve(const Deadline& deadline) {
+  if (overflowed_) return sat::SolveResult::Unknown;
+  solver_.set_deadline(deadline);
+  return solver_.solve();
+}
+
+void AutomatonCsp::block_current_model() {
+  std::vector<sat::Lit> clause;
+  clause.reserve(num_state_vars_);
+  for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
+    clause.push_back(~state_lit(sv, decode_state(sv)));
+  }
+  solver_.add_clause(clause);
+}
+
+std::size_t AutomatonCsp::decode_state(std::size_t sv) const {
+  for (std::size_t k = 0; k < num_states_; ++k) {
+    if (solver_.model_value(block_base_[sv] + static_cast<sat::Var>(k))) return k;
+  }
+  throw std::logic_error("AutomatonCsp::decode_state: no state set (not SAT?)");
+}
+
+Nfa AutomatonCsp::extract_model() const {
+  Nfa model(num_states_, options_.pin_initial && num_state_vars_ > 0 ? decode_state(0) : 0);
+  for (std::size_t t = 0; t < preds_of_transition_.size(); ++t) {
+    model.add_transition(decode_state(src_var_[t]), preds_of_transition_[t],
+                         decode_state(dst_var_[t]));
+  }
+  return model;
+}
+
+}  // namespace t2m

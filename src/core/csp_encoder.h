@@ -1,0 +1,109 @@
+#ifndef T2M_CORE_CSP_ENCODER_H
+#define T2M_CORE_CSP_ENCODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/automaton/nfa.h"
+#include "src/core/segmentation.h"
+#include "src/sat/solver.h"
+#include "src/util/stopwatch.h"
+
+namespace t2m {
+
+/// How the "at most one transition per (state, predicate)" condition
+/// (Algorithm 1, line 29) is encoded:
+enum class DeterminismEncoding : std::uint8_t {
+  /// Paper-faithful: one constraint per PAIR of transitions with the same
+  /// predicate, O(m^2 N^3) clauses — this is the encoding whose cost the
+  /// segmentation study (Table I, Fig. 7) measures.
+  Pairwise,
+  /// Our improvement: auxiliary one-hot successor functions succ(state,
+  /// pred), O(m N^2) clauses. Ablated in bench_ablation_encoding.
+  Successor,
+};
+
+struct CspOptions {
+  DeterminismEncoding encoding = DeterminismEncoding::Successor;
+  /// Pin the first segment's first state variable to state 0 (= q0). Sound
+  /// symmetry breaking: states are interchangeable under renaming.
+  bool pin_initial = true;
+  /// Abort encoding beyond this many clauses; solve() then reports Unknown.
+  /// The pairwise encoding of an unsegmented long trace is O(m^2 N^3) --
+  /// this cap is what turns the paper's ">16 hours" rows into a clean
+  /// "intractable" verdict instead of memory exhaustion.
+  std::size_t max_clauses = 5000000;
+};
+
+/// The automaton-existence hypothesis of Algorithm 1 (lines 18-33), encoded
+/// directly to CNF over our CDCL solver instead of a C program over CBMC.
+///
+/// Unknowns: one state variable per segment position (w+1 per segment of
+/// length w), each one-hot over {0..N-1}. Constraints: segment chaining (by
+/// variable sharing), per-predicate determinism, and any forbidden
+/// transition sequences added by the compliance refinement loop.
+///
+/// solve() == Sat  <=>  an N-state automaton embedding all segments exists
+/// (the paper's CBMC counterexample case).
+class AutomatonCsp {
+public:
+  AutomatonCsp(const std::vector<Segment>& segments, std::size_t num_preds,
+               std::size_t num_states, const CspOptions& options = {});
+
+  /// Forbids any path labelled `word` (compliance refinement, line 44).
+  /// Length-2 words use direct binary clauses; longer words introduce
+  /// auxiliary state-equality variables.
+  void add_forbidden_sequence(const std::vector<PredId>& word);
+
+  /// Runs the solver; Unknown on deadline expiry.
+  sat::SolveResult solve(const Deadline& deadline = Deadline::never());
+
+  /// Excludes the current satisfying assignment (over the state variables)
+  /// so the next solve() yields a structurally different automaton. Used by
+  /// the trace-acceptance refinement. Requires last solve() == Sat.
+  void block_current_model();
+
+  /// Decodes the model into an automaton (requires last solve() == Sat).
+  /// The NFA has exactly `num_states` states; unreachable ones are kept so
+  /// the state count reports the paper's N.
+  Nfa extract_model() const;
+
+  std::size_t num_states() const { return num_states_; }
+  std::size_t num_transitions() const { return preds_of_transition_.size(); }
+  const sat::SolverStats& solver_stats() const { return solver_.stats(); }
+  std::size_t num_clauses() const { return solver_.num_clauses(); }
+  std::size_t num_vars() const { return solver_.num_vars(); }
+
+private:
+  /// SAT literal for "state variable `sv` equals state `k`".
+  sat::Lit state_lit(std::size_t sv, std::size_t k) const;
+  std::size_t decode_state(std::size_t sv) const;
+  void encode_one_hot();
+  void encode_determinism_pairwise();
+  void encode_determinism_successor();
+  /// Fresh variable forced to track `state_var_a == state_var_b`.
+  sat::Var equality_var(std::size_t sv_a, std::size_t sv_b);
+
+  bool clause_budget_ok() const { return solver_.num_clauses() <= options_.max_clauses; }
+
+  std::size_t num_preds_;
+  std::size_t num_states_;
+  CspOptions options_;
+  bool overflowed_ = false;
+  sat::Solver solver_;
+
+  // Flattened transition table: transition i reads predicate
+  // preds_of_transition_[i] between state variables src_var_[i], dst_var_[i].
+  std::vector<PredId> preds_of_transition_;
+  std::vector<std::size_t> src_var_;
+  std::vector<std::size_t> dst_var_;
+  std::size_t num_state_vars_ = 0;
+  /// First SAT var of each state variable's one-hot block.
+  std::vector<sat::Var> block_base_;
+  /// Transitions grouped by predicate (for determinism and forbidding).
+  std::vector<std::vector<std::size_t>> transitions_with_pred_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_CORE_CSP_ENCODER_H

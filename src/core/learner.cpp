@@ -1,0 +1,129 @@
+#include "src/core/learner.h"
+
+#include <set>
+
+#include "src/core/compliance.h"
+#include "src/core/segmentation.h"
+#include "src/util/log.h"
+#include "src/util/stopwatch.h"
+
+namespace t2m {
+
+ModelLearner::ModelLearner(LearnerConfig config) : config_(std::move(config)) {}
+
+LearnResult ModelLearner::learn(const Trace& trace, AbstractionMode mode) const {
+  const Stopwatch total;
+  AbstractionConfig abs_config = config_.abstraction;
+  abs_config.window = config_.window;
+
+  const Stopwatch abstraction_watch;
+  PredicateSequence preds = abstract_trace(trace, abs_config, mode);
+  const double abstraction_seconds = abstraction_watch.elapsed_seconds();
+
+  LearnResult result = learn_from_sequence(std::move(preds), trace.schema());
+  result.stats.abstraction_seconds = abstraction_seconds;
+  result.stats.total_seconds = total.elapsed_seconds();
+  return result;
+}
+
+LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
+                                              const Schema& schema) const {
+  const Stopwatch total;
+  LearnResult result;
+  result.stats.sequence_length = preds.length();
+  result.stats.vocabulary_size = preds.vocab.size();
+
+  const Deadline deadline = config_.timeout_seconds > 0
+                                ? Deadline::after_seconds(config_.timeout_seconds)
+                                : Deadline::never();
+
+  const std::vector<Segment> segments = config_.segmented
+                                            ? segment_sequence(preds.seq, config_.window)
+                                            : whole_sequence(preds.seq);
+  result.stats.segments = segments.size();
+  result.stats.encoded_transitions = total_transitions(segments);
+
+  // Forbidden sequences accumulate across N: they are facts about P.
+  std::set<std::vector<PredId>> forbidden;
+
+  const Stopwatch construction_watch;
+  for (std::size_t n = config_.initial_states; n <= config_.max_states; ++n) {
+    CspOptions options;
+    options.encoding = config_.encoding;
+    AutomatonCsp csp(segments, preds.vocab.size(), n, options);
+    for (const auto& word : forbidden) csp.add_forbidden_sequence(word);
+
+    bool next_n = false;
+    std::size_t acceptance_blocks = 0;
+    while (!next_n) {
+      if (deadline.expired()) {
+        result.timed_out = true;
+        result.preds = std::move(preds);
+        result.stats.construction_seconds = construction_watch.elapsed_seconds();
+        result.stats.total_seconds = total.elapsed_seconds();
+        return result;
+      }
+      ++result.stats.sat_calls;
+      const sat::SolveResult sat_result = csp.solve(deadline);
+      if (sat_result == sat::SolveResult::Unknown) {
+        result.timed_out = true;
+        result.preds = std::move(preds);
+        result.stats.construction_seconds = construction_watch.elapsed_seconds();
+        result.stats.total_seconds = total.elapsed_seconds();
+        return result;
+      }
+      if (sat_result == sat::SolveResult::Unsat) {
+        // No N-state automaton: grow N (Algorithm 1, lines 34-36).
+        ++result.stats.state_increments;
+        log_debug() << "learner: no " << n << "-state automaton, growing N";
+        next_n = true;
+        continue;
+      }
+      // Candidate model: compliance check (lines 38-48).
+      Nfa candidate = csp.extract_model();
+      const ComplianceResult compliance =
+          check_compliance(candidate, preds.seq, config_.compliance_length);
+      if (compliance.compliant && config_.require_trace_acceptance &&
+          acceptance_blocks < config_.max_acceptance_blocks &&
+          !candidate.accepts(preds.seq)) {
+        // Valid per segments and compliance, but this wiring cannot replay
+        // the trace; exclude it and look for a sibling model.
+        ++result.stats.refinements;
+        ++acceptance_blocks;
+        if (acceptance_blocks == config_.max_acceptance_blocks) {
+          result.stats.acceptance_relaxed = true;
+          log_warn() << "learner: acceptance strengthening abandoned after "
+                     << acceptance_blocks << " sibling models at N = " << n;
+        }
+        csp.block_current_model();
+        continue;
+      }
+      if (compliance.compliant) {
+        candidate.set_pred_names(preds.names_for(schema));
+        result.success = true;
+        result.model = std::move(candidate);
+        result.states = n;
+        result.preds = std::move(preds);
+        result.stats.construction_seconds = construction_watch.elapsed_seconds();
+        result.stats.total_seconds = total.elapsed_seconds();
+        log_info() << "learner: " << n << "-state model found after "
+                   << result.stats.sat_calls << " SAT calls";
+        return result;
+      }
+      ++result.stats.refinements;
+      log_debug() << "learner: compliance failed with "
+                  << compliance.invalid_sequences.size() << " invalid sequences";
+      for (const auto& word : compliance.invalid_sequences) {
+        if (forbidden.insert(word).second) csp.add_forbidden_sequence(word);
+      }
+    }
+  }
+
+  // Exhausted the state budget.
+  result.preds = std::move(preds);
+  result.stats.construction_seconds = construction_watch.elapsed_seconds();
+  result.stats.total_seconds = total.elapsed_seconds();
+  return result;
+}
+
+}  // namespace t2m

@@ -1,0 +1,93 @@
+#ifndef T2M_CORE_LEARNER_H
+#define T2M_CORE_LEARNER_H
+
+#include <string>
+#include <vector>
+
+#include "src/abstraction/abstraction.h"
+#include "src/automaton/nfa.h"
+#include "src/core/csp_encoder.h"
+#include "src/trace/trace.h"
+
+namespace t2m {
+
+/// Configuration of the end-to-end learner (the paper's tunables).
+struct LearnerConfig {
+  /// Segmentation window w over the predicate sequence (paper: w = 3).
+  std::size_t window = 3;
+  /// Compliance-check transition-sequence length l (paper: l = 2).
+  std::size_t compliance_length = 2;
+  /// Starting number of automaton states N (paper: 2; Table I starts at the
+  /// known N for a fair segmented/non-segmented comparison).
+  std::size_t initial_states = 2;
+  /// Give up beyond this many states.
+  std::size_t max_states = 64;
+  /// Unique-window segmentation on/off (off = feed P as one chain; the
+  /// Table I / Fig. 7 baseline).
+  bool segmented = true;
+  /// Determinism encoding (see csp_encoder.h).
+  DeterminismEncoding encoding = DeterminismEncoding::Successor;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double timeout_seconds = 0.0;
+  /// Additionally require the model to accept the whole predicate sequence
+  /// P from its initial state (our strengthening over Algorithm 1: segment
+  /// embedding plus compliance do not by themselves pin down a wiring that
+  /// replays the trace; non-accepting candidates are blocked and re-solved).
+  bool require_trace_acceptance = true;
+  /// Give up on the acceptance strengthening after this many blocked
+  /// candidates per N and return the compliant model instead (the space of
+  /// sibling models grows steeply when N exceeds the compliance minimum).
+  std::size_t max_acceptance_blocks = 256;
+  /// Trace-abstraction settings (window is taken from `window`).
+  AbstractionConfig abstraction;
+};
+
+/// Counters describing one learning run.
+struct LearnStats {
+  std::size_t sequence_length = 0;   ///< |P|
+  std::size_t vocabulary_size = 0;   ///< distinct predicates
+  std::size_t segments = 0;          ///< unique windows encoded
+  std::size_t encoded_transitions = 0;
+  std::size_t sat_calls = 0;
+  std::size_t refinements = 0;       ///< compliance iterations that added constraints
+  std::size_t state_increments = 0;  ///< times N had to grow
+  /// True when the trace-acceptance strengthening was abandoned after
+  /// max_acceptance_blocks sibling models (the result is still compliant).
+  bool acceptance_relaxed = false;
+  double abstraction_seconds = 0.0;
+  double construction_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct LearnResult {
+  bool success = false;
+  bool timed_out = false;
+  Nfa model;                 ///< predicate names attached; valid when success
+  std::size_t states = 0;    ///< the paper's N
+  PredicateSequence preds;   ///< the abstraction output (vocabulary + P)
+  LearnStats stats;
+};
+
+/// The paper's model-learning algorithm end to end: trace abstraction,
+/// segmentation, iterative SAT search for the smallest N-state automaton,
+/// and the compliance-driven refinement loop.
+class ModelLearner {
+public:
+  explicit ModelLearner(LearnerConfig config = {});
+
+  /// Learns from a concrete trace (abstraction mode selected automatically
+  /// unless `mode` says otherwise).
+  LearnResult learn(const Trace& trace, AbstractionMode mode = AbstractionMode::Auto) const;
+
+  /// Learns from a pre-abstracted predicate sequence.
+  LearnResult learn_from_sequence(PredicateSequence preds, const Schema& schema) const;
+
+  const LearnerConfig& config() const { return config_; }
+
+private:
+  LearnerConfig config_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_CORE_LEARNER_H

@@ -1,0 +1,50 @@
+#include "src/core/report.h"
+
+#include <sstream>
+
+#include "src/automaton/dot.h"
+#include "src/util/string_utils.h"
+
+namespace t2m {
+
+std::string format_learn_report(const LearnResult& result, const Schema& schema) {
+  std::ostringstream os;
+  if (!result.success) {
+    os << "learning " << (result.timed_out ? "timed out" : "failed") << " after "
+       << format_double(result.stats.total_seconds) << " s\n";
+    return os.str();
+  }
+  os << "learned model: " << result.states << " states, "
+     << result.model.num_transitions() << " transitions\n";
+  os << "predicate vocabulary (" << result.preds.vocab.size() << "):\n";
+  const auto names = result.preds.names_for(schema);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    os << "  p" << i << ": " << names[i] << "\n";
+  }
+  os << "sequence length |P| = " << result.stats.sequence_length << ", segments = "
+     << result.stats.segments << " (" << result.stats.encoded_transitions
+     << " encoded transitions)\n";
+  os << "SAT calls = " << result.stats.sat_calls << ", refinements = "
+     << result.stats.refinements << ", state increments = "
+     << result.stats.state_increments << "\n";
+  os << "time: abstraction " << format_double(result.stats.abstraction_seconds)
+     << " s, construction " << format_double(result.stats.construction_seconds)
+     << " s, total " << format_double(result.stats.total_seconds) << " s\n";
+  os << to_text(result.model);
+  return os.str();
+}
+
+std::string format_learn_summary(const LearnResult& result) {
+  std::ostringstream os;
+  if (!result.success) {
+    os << (result.timed_out ? "timeout" : "no model") << " ("
+       << format_double(result.stats.total_seconds) << " s)";
+    return os.str();
+  }
+  os << result.states << " states, " << result.model.num_transitions()
+     << " transitions, " << result.preds.vocab.size() << " predicates, "
+     << format_double(result.stats.total_seconds) << " s";
+  return os.str();
+}
+
+}  // namespace t2m

@@ -1,0 +1,20 @@
+#ifndef T2M_CORE_REPORT_H
+#define T2M_CORE_REPORT_H
+
+#include <string>
+
+#include "src/base/schema.h"
+#include "src/core/learner.h"
+
+namespace t2m {
+
+/// Human-readable summary of a learning run: model shape, vocabulary, and
+/// the statistics tracked by LearnStats. Used by the CLI and examples.
+std::string format_learn_report(const LearnResult& result, const Schema& schema);
+
+/// One-line summary ("4 states, 6 transitions, 4 predicates, 0.12 s").
+std::string format_learn_summary(const LearnResult& result);
+
+}  // namespace t2m
+
+#endif  // T2M_CORE_REPORT_H

@@ -1,0 +1,36 @@
+#include "src/core/segmentation.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace t2m {
+
+std::vector<Segment> segment_sequence(const std::vector<PredId>& seq, std::size_t w) {
+  if (w == 0) throw std::invalid_argument("segment_sequence: window must be positive");
+  std::vector<Segment> out;
+  if (seq.empty()) return out;
+  if (seq.size() <= w) {
+    out.push_back(seq);
+    return out;
+  }
+  std::set<Segment> seen;
+  for (std::size_t i = 0; i + w <= seq.size(); ++i) {
+    Segment window(seq.begin() + static_cast<std::ptrdiff_t>(i),
+                   seq.begin() + static_cast<std::ptrdiff_t>(i + w));
+    if (seen.insert(window).second) out.push_back(std::move(window));
+  }
+  return out;
+}
+
+std::vector<Segment> whole_sequence(const std::vector<PredId>& seq) {
+  if (seq.empty()) return {};
+  return {seq};
+}
+
+std::size_t total_transitions(const std::vector<Segment>& segments) {
+  std::size_t total = 0;
+  for (const Segment& s : segments) total += s.size();
+  return total;
+}
+
+}  // namespace t2m

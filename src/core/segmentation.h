@@ -1,0 +1,28 @@
+#ifndef T2M_CORE_SEGMENTATION_H
+#define T2M_CORE_SEGMENTATION_H
+
+#include <vector>
+
+#include "src/automaton/nfa.h"
+
+namespace t2m {
+
+/// A segment: a contiguous window of the predicate sequence that the learned
+/// automaton must realise as a transition path (Algorithm 1, line 16).
+using Segment = std::vector<PredId>;
+
+/// All unique sliding windows of `seq` of length `w` in first-occurrence
+/// order. When seq is shorter than w the whole sequence forms one segment.
+/// Uniqueness is the scalability lever evaluated in Table I / Fig. 7:
+/// repeating trace patterns are processed once.
+std::vector<Segment> segment_sequence(const std::vector<PredId>& seq, std::size_t w);
+
+/// The non-segmented encoding: one segment spanning the entire sequence.
+std::vector<Segment> whole_sequence(const std::vector<PredId>& seq);
+
+/// Total transition count the segments induce (sum of segment lengths).
+std::size_t total_transitions(const std::vector<Segment>& segments);
+
+}  // namespace t2m
+
+#endif  // T2M_CORE_SEGMENTATION_H

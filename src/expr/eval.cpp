@@ -1,0 +1,91 @@
+#include "src/expr/eval.h"
+
+#include <stdexcept>
+
+namespace t2m {
+
+namespace {
+
+std::int64_t int_of(const Value& v, const char* context) {
+  if (!v.is_int()) {
+    throw std::logic_error(std::string("eval: expected integer operand in ") + context);
+  }
+  return v.as_int();
+}
+
+}  // namespace
+
+Value eval_value(const Expr& e, const Valuation& cur, const Valuation& next) {
+  switch (e.op()) {
+    case ExprOp::Const:
+      return e.value();
+    case ExprOp::Var: {
+      const Valuation& v = e.primed() ? next : cur;
+      if (e.var() >= v.size()) throw std::out_of_range("eval: variable index out of range");
+      return v[e.var()];
+    }
+    case ExprOp::Neg:
+      return Value::of_int(-int_of(eval_value(*e.child(0), cur, next), "neg"));
+    case ExprOp::Not:
+      return Value::of_bool(int_of(eval_value(*e.child(0), cur, next), "not") == 0);
+    case ExprOp::Add:
+    case ExprOp::Sub:
+    case ExprOp::Mul: {
+      const std::int64_t a = int_of(eval_value(*e.child(0), cur, next), "arith");
+      const std::int64_t b = int_of(eval_value(*e.child(1), cur, next), "arith");
+      switch (e.op()) {
+        case ExprOp::Add: return Value::of_int(a + b);
+        case ExprOp::Sub: return Value::of_int(a - b);
+        default: return Value::of_int(a * b);
+      }
+    }
+    case ExprOp::Eq:
+    case ExprOp::Ne: {
+      const Value a = eval_value(*e.child(0), cur, next);
+      const Value b = eval_value(*e.child(1), cur, next);
+      // Equality is defined across kinds: a symbol never equals an integer.
+      const bool eq = (a == b);
+      return Value::of_bool(e.op() == ExprOp::Eq ? eq : !eq);
+    }
+    case ExprOp::Lt:
+    case ExprOp::Le:
+    case ExprOp::Gt:
+    case ExprOp::Ge: {
+      const std::int64_t a = int_of(eval_value(*e.child(0), cur, next), "cmp");
+      const std::int64_t b = int_of(eval_value(*e.child(1), cur, next), "cmp");
+      switch (e.op()) {
+        case ExprOp::Lt: return Value::of_bool(a < b);
+        case ExprOp::Le: return Value::of_bool(a <= b);
+        case ExprOp::Gt: return Value::of_bool(a > b);
+        default: return Value::of_bool(a >= b);
+      }
+    }
+    case ExprOp::And: {
+      // Short-circuit to keep partial valuations usable.
+      if (int_of(eval_value(*e.child(0), cur, next), "and") == 0) return Value::of_bool(false);
+      return Value::of_bool(int_of(eval_value(*e.child(1), cur, next), "and") != 0);
+    }
+    case ExprOp::Or: {
+      if (int_of(eval_value(*e.child(0), cur, next), "or") != 0) return Value::of_bool(true);
+      return Value::of_bool(int_of(eval_value(*e.child(1), cur, next), "or") != 0);
+    }
+    case ExprOp::Ite: {
+      const bool c = int_of(eval_value(*e.child(0), cur, next), "ite") != 0;
+      return eval_value(*e.child(c ? 1 : 2), cur, next);
+    }
+  }
+  throw std::logic_error("eval: unreachable operator");
+}
+
+bool eval_bool(const Expr& e, const Valuation& cur, const Valuation& next) {
+  const Value v = eval_value(e, cur, next);
+  if (!v.is_int()) throw std::logic_error("eval_bool: non-boolean result");
+  return v.as_int() != 0;
+}
+
+bool eval_guard(const Expr& e, const Valuation& obs) {
+  if (!e.is_guard()) throw std::logic_error("eval_guard: expression has primed variables");
+  return eval_bool(e, obs, obs);
+}
+
+}  // namespace t2m

@@ -1,0 +1,29 @@
+#ifndef T2M_EXPR_EVAL_H
+#define T2M_EXPR_EVAL_H
+
+#include "src/base/value.h"
+#include "src/expr/expr.h"
+
+namespace t2m {
+
+/// Evaluates `e` over a pair of observations: unprimed variables read from
+/// `cur`, primed variables from `next`. Boolean results are Value ints 0/1.
+/// Throws std::logic_error on type errors (e.g. adding symbols) and
+/// std::out_of_range when a variable index exceeds the valuation.
+Value eval_value(const Expr& e, const Valuation& cur, const Valuation& next);
+
+/// Boolean evaluation; requires a boolean-valued expression.
+bool eval_bool(const Expr& e, const Valuation& cur, const Valuation& next);
+
+/// True when predicate `e` holds on the step (cur -> next). Alias of
+/// eval_bool with a name matching the paper's terminology.
+inline bool holds(const Expr& e, const Valuation& cur, const Valuation& next) {
+  return eval_bool(e, cur, next);
+}
+
+/// Evaluates a guard (no primed variables) on a single observation.
+bool eval_guard(const Expr& e, const Valuation& obs);
+
+}  // namespace t2m
+
+#endif  // T2M_EXPR_EVAL_H

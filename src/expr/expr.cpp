@@ -1,0 +1,168 @@
+#include "src/expr/expr.h"
+
+#include <stdexcept>
+
+namespace t2m {
+
+std::size_t op_arity(ExprOp op) {
+  switch (op) {
+    case ExprOp::Const:
+    case ExprOp::Var:
+      return 0;
+    case ExprOp::Neg:
+    case ExprOp::Not:
+      return 1;
+    case ExprOp::Ite:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+bool op_is_boolean(ExprOp op) {
+  switch (op) {
+    case ExprOp::Not:
+    case ExprOp::Eq:
+    case ExprOp::Ne:
+    case ExprOp::Lt:
+    case ExprOp::Le:
+    case ExprOp::Gt:
+    case ExprOp::Ge:
+    case ExprOp::And:
+    case ExprOp::Or:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* op_symbol(ExprOp op) {
+  switch (op) {
+    case ExprOp::Const: return "<const>";
+    case ExprOp::Var: return "<var>";
+    case ExprOp::Neg: return "-";
+    case ExprOp::Not: return "!";
+    case ExprOp::Add: return "+";
+    case ExprOp::Sub: return "-";
+    case ExprOp::Mul: return "*";
+    case ExprOp::Eq: return "=";
+    case ExprOp::Ne: return "!=";
+    case ExprOp::Lt: return "<";
+    case ExprOp::Le: return "<=";
+    case ExprOp::Gt: return ">";
+    case ExprOp::Ge: return ">=";
+    case ExprOp::And: return "&&";
+    case ExprOp::Or: return "||";
+    case ExprOp::Ite: return "ite";
+  }
+  return "?";
+}
+
+std::size_t Expr::size() const {
+  std::size_t total = 1;
+  for (const auto& c : children_) total += c->size();
+  return total;
+}
+
+bool Expr::is_guard() const {
+  if (op_ == ExprOp::Var && primed_) return false;
+  for (const auto& c : children_) {
+    if (!c->is_guard()) return false;
+  }
+  return true;
+}
+
+bool Expr::is_boolean() const {
+  if (op_ == ExprOp::Const) return false;  // integer literal by convention
+  return op_is_boolean(op_);
+}
+
+void Expr::collect_vars(std::set<std::pair<VarIndex, bool>>& out) const {
+  if (op_ == ExprOp::Var) out.emplace(var_, primed_);
+  for (const auto& c : children_) c->collect_vars(out);
+}
+
+bool Expr::equal(const Expr& a, const Expr& b) {
+  if (a.op_ != b.op_) return false;
+  switch (a.op_) {
+    case ExprOp::Const:
+      return a.value_ == b.value_;
+    case ExprOp::Var:
+      return a.var_ == b.var_ && a.primed_ == b.primed_;
+    default:
+      break;
+  }
+  if (a.children_.size() != b.children_.size()) return false;
+  for (std::size_t i = 0; i < a.children_.size(); ++i) {
+    if (!equal(*a.children_[i], *b.children_[i])) return false;
+  }
+  return true;
+}
+
+std::size_t Expr::hash(const Expr& a) {
+  std::size_t h = static_cast<std::size_t>(a.op_) * 0x9e3779b97f4a7c15ULL + 1;
+  switch (a.op_) {
+    case ExprOp::Const:
+      h ^= ValueHash{}(a.value_);
+      break;
+    case ExprOp::Var:
+      h ^= a.var_ * 0x100000001b3ULL + (a.primed_ ? 0x8000 : 0);
+      break;
+    default:
+      for (const auto& c : a.children_) {
+        h = h * 0x100000001b3ULL ^ hash(*c);
+      }
+      break;
+  }
+  return h;
+}
+
+ExprPtr Expr::constant(Value v) {
+  return ExprPtr(new Expr(ExprOp::Const, v, 0, false, {}));
+}
+
+ExprPtr Expr::int_const(std::int64_t v) { return constant(Value::of_int(v)); }
+ExprPtr Expr::bool_const(bool v) { return constant(Value::of_bool(v)); }
+
+ExprPtr Expr::var_ref(VarIndex v, bool primed) {
+  return ExprPtr(new Expr(ExprOp::Var, Value(), v, primed, {}));
+}
+
+ExprPtr Expr::unary(ExprOp op, ExprPtr a) {
+  if (op_arity(op) != 1) throw std::invalid_argument("Expr::unary: bad arity");
+  return ExprPtr(new Expr(op, Value(), 0, false, {std::move(a)}));
+}
+
+ExprPtr Expr::binary(ExprOp op, ExprPtr a, ExprPtr b) {
+  if (op_arity(op) != 2) throw std::invalid_argument("Expr::binary: bad arity");
+  return ExprPtr(new Expr(op, Value(), 0, false, {std::move(a), std::move(b)}));
+}
+
+ExprPtr Expr::ite(ExprPtr c, ExprPtr t, ExprPtr e) {
+  return ExprPtr(new Expr(ExprOp::Ite, Value(), 0, false,
+                          {std::move(c), std::move(t), std::move(e)}));
+}
+
+ExprPtr Expr::conj(std::vector<ExprPtr> parts) {
+  if (parts.empty()) return bool_const(true);
+  ExprPtr acc = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    acc = land(std::move(acc), parts[i]);
+  }
+  return acc;
+}
+
+ExprPtr Expr::disj(std::vector<ExprPtr> parts) {
+  if (parts.empty()) return bool_const(false);
+  ExprPtr acc = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    acc = lor(std::move(acc), parts[i]);
+  }
+  return acc;
+}
+
+ExprPtr Expr::update_of(VarIndex v, ExprPtr rhs) {
+  return eq(var_ref(v, /*primed=*/true), std::move(rhs));
+}
+
+}  // namespace t2m

@@ -1,0 +1,120 @@
+#ifndef T2M_EXPR_EXPR_H
+#define T2M_EXPR_EXPR_H
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/schema.h"
+#include "src/base/value.h"
+
+namespace t2m {
+
+/// AST node kinds for transition predicates and update expressions.
+/// Variables come in unprimed (current observation, x) and primed (next
+/// observation, x') flavours, matching the paper's X and X' sets.
+enum class ExprOp : std::uint8_t {
+  Const,  // literal Value
+  Var,    // variable reference (possibly primed)
+  Neg,    // integer negation
+  Not,    // boolean negation
+  Add, Sub, Mul,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+  Ite,    // if-then-else
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression tree. Nodes are shared freely; all mutation happens
+/// by building new trees. Structural equality and hashing support the
+/// observational-equivalence tables in the synthesiser and the predicate
+/// vocabulary in the abstraction layer.
+class Expr {
+public:
+  ExprOp op() const { return op_; }
+  const Value& value() const { return value_; }        // Const
+  VarIndex var() const { return var_; }                // Var
+  bool primed() const { return primed_; }              // Var
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(std::size_t i) const { return children_.at(i); }
+
+  /// Number of AST nodes; the synthesiser's cost function.
+  std::size_t size() const;
+  /// True when no primed variable occurs (a guard over the current state).
+  bool is_guard() const;
+  /// True when the top-level op yields a boolean.
+  bool is_boolean() const;
+  /// Collects all (var, primed) references.
+  void collect_vars(std::set<std::pair<VarIndex, bool>>& out) const;
+
+  /// Structural equality.
+  static bool equal(const Expr& a, const Expr& b);
+  /// Structural hash, consistent with equal().
+  static std::size_t hash(const Expr& a);
+
+  // --- factories ---------------------------------------------------------
+  static ExprPtr constant(Value v);
+  static ExprPtr int_const(std::int64_t v);
+  static ExprPtr bool_const(bool v);
+  static ExprPtr var_ref(VarIndex v, bool primed);
+  static ExprPtr unary(ExprOp op, ExprPtr a);
+  static ExprPtr binary(ExprOp op, ExprPtr a, ExprPtr b);
+  static ExprPtr ite(ExprPtr c, ExprPtr t, ExprPtr e);
+
+  // Convenience combinators.
+  static ExprPtr add(ExprPtr a, ExprPtr b) { return binary(ExprOp::Add, std::move(a), std::move(b)); }
+  static ExprPtr sub(ExprPtr a, ExprPtr b) { return binary(ExprOp::Sub, std::move(a), std::move(b)); }
+  static ExprPtr mul(ExprPtr a, ExprPtr b) { return binary(ExprOp::Mul, std::move(a), std::move(b)); }
+  static ExprPtr eq(ExprPtr a, ExprPtr b) { return binary(ExprOp::Eq, std::move(a), std::move(b)); }
+  static ExprPtr ne(ExprPtr a, ExprPtr b) { return binary(ExprOp::Ne, std::move(a), std::move(b)); }
+  static ExprPtr lt(ExprPtr a, ExprPtr b) { return binary(ExprOp::Lt, std::move(a), std::move(b)); }
+  static ExprPtr le(ExprPtr a, ExprPtr b) { return binary(ExprOp::Le, std::move(a), std::move(b)); }
+  static ExprPtr gt(ExprPtr a, ExprPtr b) { return binary(ExprOp::Gt, std::move(a), std::move(b)); }
+  static ExprPtr ge(ExprPtr a, ExprPtr b) { return binary(ExprOp::Ge, std::move(a), std::move(b)); }
+  static ExprPtr land(ExprPtr a, ExprPtr b) { return binary(ExprOp::And, std::move(a), std::move(b)); }
+  static ExprPtr lor(ExprPtr a, ExprPtr b) { return binary(ExprOp::Or, std::move(a), std::move(b)); }
+  static ExprPtr lnot(ExprPtr a) { return unary(ExprOp::Not, std::move(a)); }
+
+  /// Conjunction of `parts` (true for empty, the sole element for one part).
+  static ExprPtr conj(std::vector<ExprPtr> parts);
+  /// Disjunction of `parts` (false for empty).
+  static ExprPtr disj(std::vector<ExprPtr> parts);
+
+  /// The predicate `x' = rhs` for the given variable.
+  static ExprPtr update_of(VarIndex v, ExprPtr rhs);
+
+private:
+  Expr(ExprOp op, Value value, VarIndex var, bool primed, std::vector<ExprPtr> children)
+      : op_(op), value_(value), var_(var), primed_(primed),
+        children_(std::move(children)) {}
+
+  ExprOp op_;
+  Value value_;
+  VarIndex var_ = 0;
+  bool primed_ = false;
+  std::vector<ExprPtr> children_;
+};
+
+/// Arity of an operator (Const/Var: 0, Ite: 3).
+std::size_t op_arity(ExprOp op);
+/// True for operators producing booleans.
+bool op_is_boolean(ExprOp op);
+/// Operator spelling used by the printer and parser ("+", ">=", "&&", ...).
+const char* op_symbol(ExprOp op);
+
+struct ExprPtrEqual {
+  bool operator()(const ExprPtr& a, const ExprPtr& b) const {
+    return Expr::equal(*a, *b);
+  }
+};
+struct ExprPtrHash {
+  std::size_t operator()(const ExprPtr& a) const { return Expr::hash(*a); }
+};
+
+}  // namespace t2m
+
+#endif  // T2M_EXPR_EXPR_H

@@ -1,0 +1,227 @@
+#include "src/expr/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace t2m {
+
+namespace {
+
+enum class TokKind { Int, Ident, Punct, End };
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  std::int64_t int_value = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  bool accept_punct(std::string_view p) {
+    if (current_.kind == TokKind::Punct && current_.text == p) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_punct(std::string_view p) {
+    if (!accept_punct(p)) {
+      throw std::invalid_argument("parse error: expected '" + std::string(p) +
+                                  "' near '" + current_.text + "'");
+    }
+  }
+
+private:
+  void advance() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      current_ = Token{TokKind::End, "<end>", 0};
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = pos_;
+      while (j < text_.size() && std::isdigit(static_cast<unsigned char>(text_[j]))) ++j;
+      const std::string digits(text_.substr(pos_, j - pos_));
+      current_ = Token{TokKind::Int, digits, std::stoll(digits)};
+      pos_ = j;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = pos_;
+      while (j < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[j])) || text_[j] == '_')) {
+        ++j;
+      }
+      current_ = Token{TokKind::Ident, std::string(text_.substr(pos_, j - pos_)), 0};
+      pos_ = j;
+      return;
+    }
+    // Multi-character punctuation first.
+    static const char* kTwo[] = {"&&", "||", "!=", "<=", ">=", "=="};
+    for (const char* two : kTwo) {
+      if (text_.substr(pos_, 2) == two) {
+        current_ = Token{TokKind::Punct, two, 0};
+        pos_ += 2;
+        return;
+      }
+    }
+    current_ = Token{TokKind::Punct, std::string(1, c), 0};
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+class Parser {
+public:
+  Parser(std::string_view text, const Schema& schema) : lex_(text), schema_(schema) {}
+
+  ExprPtr parse() {
+    ExprPtr e = parse_or();
+    if (lex_.peek().kind != TokKind::End) {
+      throw std::invalid_argument("parse error: trailing input near '" +
+                                  lex_.peek().text + "'");
+    }
+    return e;
+  }
+
+private:
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (lex_.accept_punct("||")) e = Expr::lor(e, parse_and());
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_cmp();
+    while (lex_.accept_punct("&&")) e = Expr::land(e, parse_cmp());
+    return e;
+  }
+
+  std::optional<ExprOp> peek_cmp_op() {
+    const Token& t = lex_.peek();
+    if (t.kind != TokKind::Punct) return std::nullopt;
+    if (t.text == "=" || t.text == "==") return ExprOp::Eq;
+    if (t.text == "!=") return ExprOp::Ne;
+    if (t.text == "<") return ExprOp::Lt;
+    if (t.text == "<=") return ExprOp::Le;
+    if (t.text == ">") return ExprOp::Gt;
+    if (t.text == ">=") return ExprOp::Ge;
+    return std::nullopt;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_sum();
+    const auto op = peek_cmp_op();
+    if (!op) return lhs;
+    lex_.take();
+    ExprPtr rhs = parse_sum_with_context(lhs);
+    return Expr::binary(*op, std::move(lhs), std::move(rhs));
+  }
+
+  /// Parses the comparand; if it is a bare identifier that is not a variable
+  /// and `lhs` references a categorical variable, resolve it as a symbol.
+  ExprPtr parse_sum_with_context(const ExprPtr& lhs) {
+    const Token& t = lex_.peek();
+    if (t.kind == TokKind::Ident && !schema_.find(t.text) && t.text != "ite" &&
+        t.text != "true" && t.text != "false" && lhs->op() == ExprOp::Var &&
+        lhs->var() < schema_.size() && schema_.var(lhs->var()).type == VarType::Cat) {
+      const Token ident = lex_.take();
+      return Expr::constant(Value::of_sym(schema_.sym_id(lhs->var(), ident.text)));
+    }
+    return parse_sum();
+  }
+
+  ExprPtr parse_sum() {
+    ExprPtr e = parse_term();
+    while (true) {
+      if (lex_.accept_punct("+")) {
+        e = Expr::add(e, parse_term());
+      } else if (lex_.accept_punct("-")) {
+        e = Expr::sub(e, parse_term());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr e = parse_factor();
+    while (lex_.accept_punct("*")) e = Expr::mul(e, parse_factor());
+    return e;
+  }
+
+  ExprPtr parse_factor() {
+    if (lex_.accept_punct("-")) return Expr::unary(ExprOp::Neg, parse_factor());
+    if (lex_.accept_punct("!")) return Expr::lnot(parse_factor());
+    return parse_atom();
+  }
+
+  ExprPtr parse_atom() {
+    const Token t = lex_.take();
+    switch (t.kind) {
+      case TokKind::Int:
+        return Expr::int_const(t.int_value);
+      case TokKind::Ident: {
+        if (t.text == "true") return Expr::bool_const(true);
+        if (t.text == "false") return Expr::bool_const(false);
+        if (t.text == "ite") {
+          lex_.expect_punct("(");
+          ExprPtr c = parse_or();
+          lex_.expect_punct(",");
+          ExprPtr then = parse_or();
+          lex_.expect_punct(",");
+          ExprPtr otherwise = parse_or();
+          lex_.expect_punct(")");
+          return Expr::ite(std::move(c), std::move(then), std::move(otherwise));
+        }
+        const auto var = schema_.find(t.text);
+        if (!var) {
+          throw std::invalid_argument("parse error: unknown identifier '" + t.text + "'");
+        }
+        const bool primed = lex_.accept_punct("'");
+        return Expr::var_ref(*var, primed);
+      }
+      case TokKind::Punct:
+        if (t.text == "(") {
+          ExprPtr e = parse_or();
+          lex_.expect_punct(")");
+          return e;
+        }
+        break;
+      case TokKind::End:
+        break;
+    }
+    throw std::invalid_argument("parse error: unexpected token '" + t.text + "'");
+  }
+
+  Lexer lex_;
+  const Schema& schema_;
+};
+
+}  // namespace
+
+ExprPtr parse_expr(std::string_view text, const Schema& schema) {
+  return Parser(text, schema).parse();
+}
+
+}  // namespace t2m

@@ -1,0 +1,25 @@
+#ifndef T2M_EXPR_PARSER_H
+#define T2M_EXPR_PARSER_H
+
+#include <string_view>
+
+#include "src/base/schema.h"
+#include "src/expr/expr.h"
+
+namespace t2m {
+
+/// Parses the textual predicate grammar produced by the printer:
+///
+///   expr  := or | or ('||' or)*
+///   cmp   := sum (('='|'!='|'<'|'<='|'>'|'>=') sum)?
+///   atom  := INT | 'true' | 'false' | var | var "'" | '(' expr ')'
+///          | 'ite' '(' expr ',' expr ',' expr ')'
+///
+/// Variable names resolve against `schema`; an identifier that is not a
+/// variable but appears as the comparand of a categorical variable resolves
+/// to that variable's symbol. Throws std::invalid_argument on syntax errors.
+ExprPtr parse_expr(std::string_view text, const Schema& schema);
+
+}  // namespace t2m
+
+#endif  // T2M_EXPR_PARSER_H

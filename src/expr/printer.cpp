@@ -1,0 +1,107 @@
+#include "src/expr/printer.h"
+
+namespace t2m {
+
+namespace {
+
+int precedence(ExprOp op) {
+  switch (op) {
+    case ExprOp::Or: return 1;
+    case ExprOp::And: return 2;
+    case ExprOp::Eq:
+    case ExprOp::Ne:
+    case ExprOp::Lt:
+    case ExprOp::Le:
+    case ExprOp::Gt:
+    case ExprOp::Ge: return 3;
+    case ExprOp::Add:
+    case ExprOp::Sub: return 4;
+    case ExprOp::Mul: return 5;
+    case ExprOp::Neg:
+    case ExprOp::Not: return 6;
+    default: return 7;
+  }
+}
+
+class Printer {
+public:
+  explicit Printer(const Schema* schema) : schema_(schema) {}
+
+  std::string render(const Expr& e) { return visit(e, 0); }
+
+private:
+  std::string var_name(const Expr& e) const {
+    std::string name;
+    if (schema_ != nullptr && e.var() < schema_->size()) {
+      name = schema_->var(e.var()).name;
+    } else {
+      name = "v" + std::to_string(e.var());
+    }
+    if (e.primed()) name += "'";
+    return name;
+  }
+
+  /// Renders a Const whose value may be a symbol of categorical variable `v`.
+  std::string const_for_var(const Expr& cst, VarIndex v) const {
+    if (cst.value().is_sym() && schema_ != nullptr && v < schema_->size() &&
+        schema_->var(v).type == VarType::Cat) {
+      return schema_->sym_name(v, cst.value().as_sym());
+    }
+    return cst.value().debug_string();
+  }
+
+  std::string visit(const Expr& e, int parent_prec) {
+    const int prec = precedence(e.op());
+    std::string out;
+    switch (e.op()) {
+      case ExprOp::Const:
+        return e.value().debug_string();
+      case ExprOp::Var:
+        return var_name(e);
+      case ExprOp::Neg:
+        out = "-" + visit(*e.child(0), prec);
+        break;
+      case ExprOp::Not:
+        out = "!" + visit(*e.child(0), prec);
+        break;
+      case ExprOp::Ite:
+        out = "ite(" + visit(*e.child(0), 0) + ", " + visit(*e.child(1), 0) + ", " +
+              visit(*e.child(2), 0) + ")";
+        return out;
+      default: {
+        // Symbol-aware rendering for `var = CONST` / `CONST = var` shapes.
+        const Expr& lhs = *e.child(0);
+        const Expr& rhs = *e.child(1);
+        std::string ls, rs;
+        if ((e.op() == ExprOp::Eq || e.op() == ExprOp::Ne) && lhs.op() == ExprOp::Var &&
+            rhs.op() == ExprOp::Const) {
+          ls = var_name(lhs);
+          rs = const_for_var(rhs, lhs.var());
+        } else if ((e.op() == ExprOp::Eq || e.op() == ExprOp::Ne) &&
+                   rhs.op() == ExprOp::Var && lhs.op() == ExprOp::Const) {
+          ls = const_for_var(lhs, rhs.var());
+          rs = var_name(rhs);
+        } else {
+          ls = visit(lhs, prec);
+          rs = visit(rhs, prec + 1);  // left-associative
+        }
+        out = ls + " " + op_symbol(e.op()) + " " + rs;
+        break;
+      }
+    }
+    if (prec < parent_prec) out = "(" + out + ")";
+    return out;
+  }
+
+  const Schema* schema_;
+};
+
+}  // namespace
+
+std::string to_string(const Expr& e, const Schema& schema) {
+  return Printer(&schema).render(e);
+}
+
+std::string to_string(const Expr& e) { return Printer(nullptr).render(e); }
+
+}  // namespace t2m

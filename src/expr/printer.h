@@ -1,0 +1,21 @@
+#ifndef T2M_EXPR_PRINTER_H
+#define T2M_EXPR_PRINTER_H
+
+#include <string>
+
+#include "src/base/schema.h"
+#include "src/expr/expr.h"
+
+namespace t2m {
+
+/// Renders `e` using variable names from `schema`; primed variables print
+/// with a trailing apostrophe (x'), matching the paper's notation.
+/// Categorical comparisons print symbol spellings: `ev' = READ`.
+std::string to_string(const Expr& e, const Schema& schema);
+
+/// Schema-less rendering with positional names v0, v1, ... (debugging).
+std::string to_string(const Expr& e);
+
+}  // namespace t2m
+
+#endif  // T2M_EXPR_PRINTER_H

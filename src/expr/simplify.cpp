@@ -1,0 +1,121 @@
+#include "src/expr/simplify.h"
+
+#include <vector>
+
+namespace t2m {
+
+namespace {
+
+bool is_int_const(const Expr& e, std::int64_t v) {
+  return e.op() == ExprOp::Const && e.value().is_int() && e.value().as_int() == v;
+}
+
+bool is_const(const Expr& e) { return e.op() == ExprOp::Const; }
+
+ExprPtr fold_binary(ExprOp op, const ExprPtr& a, const ExprPtr& b) {
+  const Value va = a->value();
+  const Value vb = b->value();
+  if (op == ExprOp::Eq) return Expr::bool_const(va == vb);
+  if (op == ExprOp::Ne) return Expr::bool_const(va != vb);
+  if (!va.is_int() || !vb.is_int()) return nullptr;
+  const std::int64_t x = va.as_int();
+  const std::int64_t y = vb.as_int();
+  switch (op) {
+    case ExprOp::Add: return Expr::int_const(x + y);
+    case ExprOp::Sub: return Expr::int_const(x - y);
+    case ExprOp::Mul: return Expr::int_const(x * y);
+    case ExprOp::Lt: return Expr::bool_const(x < y);
+    case ExprOp::Le: return Expr::bool_const(x <= y);
+    case ExprOp::Gt: return Expr::bool_const(x > y);
+    case ExprOp::Ge: return Expr::bool_const(x >= y);
+    case ExprOp::And: return Expr::bool_const(x != 0 && y != 0);
+    case ExprOp::Or: return Expr::bool_const(x != 0 || y != 0);
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+ExprPtr simplify(const ExprPtr& e) {
+  switch (e->op()) {
+    case ExprOp::Const:
+    case ExprOp::Var:
+      return e;
+    default:
+      break;
+  }
+
+  std::vector<ExprPtr> kids;
+  kids.reserve(e->children().size());
+  for (const auto& c : e->children()) kids.push_back(simplify(c));
+
+  switch (e->op()) {
+    case ExprOp::Neg:
+      if (is_const(*kids[0]) && kids[0]->value().is_int()) {
+        return Expr::int_const(-kids[0]->value().as_int());
+      }
+      if (kids[0]->op() == ExprOp::Neg) return kids[0]->child(0);
+      break;
+    case ExprOp::Not:
+      if (is_const(*kids[0]) && kids[0]->value().is_int()) {
+        return Expr::bool_const(kids[0]->value().as_int() == 0);
+      }
+      if (kids[0]->op() == ExprOp::Not) return kids[0]->child(0);
+      break;
+    case ExprOp::Add:
+      if (is_int_const(*kids[0], 0)) return kids[1];
+      if (is_int_const(*kids[1], 0)) return kids[0];
+      // Canonical spelling: x + (-c) reads as x - c.
+      if (kids[1]->op() == ExprOp::Const && kids[1]->value().is_int() &&
+          kids[1]->value().as_int() < 0) {
+        return Expr::sub(kids[0], Expr::int_const(-kids[1]->value().as_int()));
+      }
+      break;
+    case ExprOp::Sub:
+      if (is_int_const(*kids[1], 0)) return kids[0];
+      if (Expr::equal(*kids[0], *kids[1])) return Expr::int_const(0);
+      break;
+    case ExprOp::Mul:
+      if (is_int_const(*kids[0], 0) || is_int_const(*kids[1], 0)) return Expr::int_const(0);
+      if (is_int_const(*kids[0], 1)) return kids[1];
+      if (is_int_const(*kids[1], 1)) return kids[0];
+      break;
+    case ExprOp::And:
+      if (is_int_const(*kids[0], 0) || is_int_const(*kids[1], 0)) return Expr::bool_const(false);
+      if (is_int_const(*kids[0], 1)) return kids[1];
+      if (is_int_const(*kids[1], 1)) return kids[0];
+      if (Expr::equal(*kids[0], *kids[1])) return kids[0];
+      break;
+    case ExprOp::Or:
+      if (is_int_const(*kids[0], 1) || is_int_const(*kids[1], 1)) return Expr::bool_const(true);
+      if (is_int_const(*kids[0], 0)) return kids[1];
+      if (is_int_const(*kids[1], 0)) return kids[0];
+      if (Expr::equal(*kids[0], *kids[1])) return kids[0];
+      break;
+    case ExprOp::Ite:
+      if (is_const(*kids[0]) && kids[0]->value().is_int()) {
+        return kids[0]->value().as_int() != 0 ? kids[1] : kids[2];
+      }
+      if (Expr::equal(*kids[1], *kids[2])) return kids[1];
+      break;
+    default:
+      break;
+  }
+
+  if (op_arity(e->op()) == 2 && is_const(*kids[0]) && is_const(*kids[1])) {
+    if (ExprPtr folded = fold_binary(e->op(), kids[0], kids[1])) return folded;
+  }
+
+  switch (op_arity(e->op())) {
+    case 1:
+      return Expr::unary(e->op(), kids[0]);
+    case 2:
+      return Expr::binary(e->op(), kids[0], kids[1]);
+    case 3:
+      return Expr::ite(kids[0], kids[1], kids[2]);
+    default:
+      return e;
+  }
+}
+
+}  // namespace t2m

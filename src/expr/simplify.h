@@ -1,0 +1,16 @@
+#ifndef T2M_EXPR_SIMPLIFY_H
+#define T2M_EXPR_SIMPLIFY_H
+
+#include "src/expr/expr.h"
+
+namespace t2m {
+
+/// Bottom-up algebraic simplification: constant folding, additive/multiplicative
+/// identities (x+0, x*1, x*0), double negation, boolean absorption with
+/// constants, and `x - x -> 0`. The result is semantically equivalent on all
+/// valuations where the input is defined.
+ExprPtr simplify(const ExprPtr& e);
+
+}  // namespace t2m
+
+#endif  // T2M_EXPR_SIMPLIFY_H

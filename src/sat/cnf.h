@@ -1,0 +1,67 @@
+#ifndef T2M_SAT_CNF_H
+#define T2M_SAT_CNF_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace t2m::sat {
+
+/// A boolean variable index (0-based).
+using Var = std::int32_t;
+
+/// A literal: variable with polarity, encoded as 2*var + (negated ? 1 : 0).
+/// The encoding makes literals usable directly as array indices for the
+/// watch lists.
+class Lit {
+public:
+  constexpr Lit() noexcept : code_(-2) {}
+  constexpr Lit(Var v, bool negated) noexcept : code_(2 * v + (negated ? 1 : 0)) {}
+
+  static constexpr Lit from_code(std::int32_t code) noexcept {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+  static constexpr Lit undef() noexcept { return Lit(); }
+
+  constexpr Var var() const noexcept { return code_ >> 1; }
+  constexpr bool negated() const noexcept { return (code_ & 1) != 0; }
+  constexpr std::int32_t code() const noexcept { return code_; }
+  constexpr bool is_undef() const noexcept { return code_ < 0; }
+
+  constexpr Lit operator~() const noexcept { return from_code(code_ ^ 1); }
+
+  friend constexpr bool operator==(Lit a, Lit b) noexcept { return a.code_ == b.code_; }
+  friend constexpr bool operator!=(Lit a, Lit b) noexcept { return a.code_ != b.code_; }
+  friend constexpr bool operator<(Lit a, Lit b) noexcept { return a.code_ < b.code_; }
+
+  std::string debug_string() const {
+    if (is_undef()) return "lit?";
+    return (negated() ? "-" : "") + std::to_string(var() + 1);
+  }
+
+private:
+  std::int32_t code_;
+};
+
+/// Positive literal of `v`.
+constexpr Lit pos(Var v) noexcept { return Lit(v, false); }
+/// Negative literal of `v`.
+constexpr Lit neg(Var v) noexcept { return Lit(v, true); }
+
+/// A disjunction of literals.
+using Clause = std::vector<Lit>;
+
+/// Ternary assignment value.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lbool_of(bool b) { return b ? LBool::True : LBool::False; }
+inline LBool lbool_not(LBool v) {
+  if (v == LBool::Undef) return v;
+  return v == LBool::True ? LBool::False : LBool::True;
+}
+
+}  // namespace t2m::sat
+
+#endif  // T2M_SAT_CNF_H

@@ -1,0 +1,78 @@
+#include "src/sat/dimacs.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace t2m::sat {
+
+CnfFormula read_dimacs(std::istream& is) {
+  CnfFormula formula;
+  std::size_t declared_clauses = 0;
+  bool have_header = false;
+  std::string line;
+  Clause current;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, fmt;
+      long long vars = 0, clauses = 0;
+      header >> p >> fmt >> vars >> clauses;
+      if (fmt != "cnf" || vars < 0 || clauses < 0) {
+        throw std::invalid_argument("read_dimacs: malformed header: " + line);
+      }
+      formula.num_vars = static_cast<std::size_t>(vars);
+      declared_clauses = static_cast<std::size_t>(clauses);
+      have_header = true;
+      continue;
+    }
+    std::istringstream body(line);
+    long long lit = 0;
+    while (body >> lit) {
+      if (lit == 0) {
+        formula.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      const auto v = static_cast<Var>(std::llabs(lit) - 1);
+      if (static_cast<std::size_t>(v) >= formula.num_vars) {
+        formula.num_vars = static_cast<std::size_t>(v) + 1;
+      }
+      current.push_back(Lit(v, lit < 0));
+    }
+  }
+  if (!current.empty()) formula.clauses.push_back(current);
+  if (!have_header) throw std::invalid_argument("read_dimacs: missing 'p cnf' header");
+  (void)declared_clauses;  // tolerated mismatch, as most tools do
+  return formula;
+}
+
+void write_dimacs(std::ostream& os, const CnfFormula& formula) {
+  os << "p cnf " << formula.num_vars << ' ' << formula.clauses.size() << '\n';
+  for (const Clause& clause : formula.clauses) {
+    for (const Lit lit : clause) {
+      os << (lit.negated() ? -(lit.var() + 1) : (lit.var() + 1)) << ' ';
+    }
+    os << "0\n";
+  }
+}
+
+bool load_into_solver(const CnfFormula& formula, Solver& solver) {
+  const std::size_t base = solver.num_vars();
+  for (std::size_t i = 0; i < formula.num_vars; ++i) solver.new_var();
+  bool ok = true;
+  Clause shifted;
+  for (const Clause& clause : formula.clauses) {
+    shifted.clear();
+    for (const Lit lit : clause) {
+      shifted.push_back(Lit(static_cast<Var>(base) + lit.var(), lit.negated()));
+    }
+    ok = solver.add_clause(shifted) && ok;
+  }
+  return ok;
+}
+
+}  // namespace t2m::sat

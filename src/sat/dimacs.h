@@ -1,0 +1,32 @@
+#ifndef T2M_SAT_DIMACS_H
+#define T2M_SAT_DIMACS_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/sat/cnf.h"
+#include "src/sat/solver.h"
+
+namespace t2m::sat {
+
+/// A plain CNF formula for interchange with DIMACS files and brute-force
+/// checking in tests.
+struct CnfFormula {
+  std::size_t num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Reads a DIMACS CNF document ("p cnf V C" header, clauses terminated by 0).
+/// Throws std::invalid_argument on malformed input.
+CnfFormula read_dimacs(std::istream& is);
+
+/// Writes `formula` in DIMACS format.
+void write_dimacs(std::ostream& os, const CnfFormula& formula);
+
+/// Loads a formula into a fresh region of `solver` (creating variables) and
+/// returns false if the formula is root-level unsatisfiable.
+bool load_into_solver(const CnfFormula& formula, Solver& solver);
+
+}  // namespace t2m::sat
+
+#endif  // T2M_SAT_DIMACS_H

@@ -1,0 +1,527 @@
+#include "src/sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace t2m::sat {
+
+namespace {
+
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+constexpr std::uint64_t kRestartBase = 100;
+
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(LBool::Undef);
+  saved_phase_.push_back(LBool::False);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  heap_index_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();  // positive literal
+  watches_.emplace_back();  // negative literal
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+  if (!ok_) return false;
+  // Incremental use: always add at the root level.
+  if (decision_level() > 0) backtrack(0);
+
+  // Normalise: sort, drop duplicates and root-false literals, detect
+  // tautologies and root-satisfied clauses.
+  Clause c(lits.begin(), lits.end());
+  std::sort(c.begin(), c.end());
+  Clause norm;
+  norm.reserve(c.size());
+  Lit prev = Lit::undef();
+  for (const Lit l : c) {
+    if (l.is_undef() || static_cast<std::size_t>(l.var()) >= assign_.size()) {
+      throw std::invalid_argument("Solver::add_clause: literal over unknown variable");
+    }
+    if (l == prev) continue;
+    if (!prev.is_undef() && l == ~prev) return true;  // tautology
+    const LBool v = value(l);
+    if (v == LBool::True) return true;  // already satisfied at root
+    if (v == LBool::False) {
+      prev = l;
+      continue;  // root-false literal dropped
+    }
+    norm.push_back(l);
+    prev = l;
+  }
+
+  if (norm.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (norm.size() == 1) {
+    enqueue(norm[0], kNoReason);
+    ok_ = (propagate() == kNoReason);
+    return ok_;
+  }
+
+  clauses_.push_back(ClauseData{std::move(norm), 0.0, false, false});
+  ++num_problem_clauses_;
+  attach_clause(static_cast<ClauseRef>(clauses_.size()) - 1);
+  return true;
+}
+
+bool Solver::add_exactly_one(std::span<const Lit> lits) {
+  if (lits.empty()) {
+    ok_ = false;
+    return false;
+  }
+  bool ok = add_clause(lits);
+  for (std::size_t i = 0; i < lits.size() && ok; ++i) {
+    for (std::size_t j = i + 1; j < lits.size() && ok; ++j) {
+      ok = add_binary(~lits[i], ~lits[j]);
+    }
+  }
+  return ok;
+}
+
+void Solver::attach_clause(ClauseRef cref) {
+  const ClauseData& c = clauses_[static_cast<std::size_t>(cref)];
+  assert(c.lits.size() >= 2);
+  watches_[static_cast<std::size_t>((~c.lits[0]).code())].push_back(
+      Watcher{cref, c.lits[1]});
+  watches_[static_cast<std::size_t>((~c.lits[1]).code())].push_back(
+      Watcher{cref, c.lits[0]});
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  assert(value(l) == LBool::Undef);
+  const auto v = static_cast<std::size_t>(l.var());
+  assign_[v] = lbool_of(!l.negated());
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& ws = watches_[static_cast<std::size_t>(p.code())];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      // Blocker check avoids touching the clause when already satisfied.
+      if (value(w.blocker) == LBool::True) {
+        ws[keep++] = w;
+        continue;
+      }
+      ClauseData& c = clauses_[static_cast<std::size_t>(w.clause)];
+      if (c.deleted) continue;  // lazily drop watchers of deleted clauses
+      // Ensure the false literal (~p) sits at position 1.
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      // First literal satisfied?
+      if (value(c.lits[0]) == LBool::True) {
+        ws[keep++] = Watcher{w.clause, c.lits[0]};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<std::size_t>((~c.lits[1]).code())].push_back(
+              Watcher{w.clause, c.lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      if (value(c.lits[0]) == LBool::False) {
+        // Conflict: restore remaining watchers and report.
+        for (std::size_t j = i; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        propagate_head_ = trail_.size();
+        return w.clause;
+      }
+      ws[keep++] = w;
+      enqueue(c.lits[0], w.clause);
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::bump_var(Var v) {
+  auto& a = activity_[static_cast<std::size_t>(v)];
+  a += var_inc_;
+  if (a > kRescaleLimit) {
+    for (auto& act : activity_) act *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_contains(v)) heap_update(v);
+}
+
+void Solver::bump_clause(ClauseData& c) {
+  c.activity += clause_inc_;
+  if (c.activity > kRescaleLimit) {
+    for (auto& cl : clauses_) {
+      if (cl.learned) cl.activity *= 1e-100;
+    }
+    clause_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_activities() {
+  var_inc_ /= kVarDecay;
+  clause_inc_ /= kClauseDecay;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(Lit::undef());  // slot for the asserting literal
+
+  int counter = 0;
+  Lit p = Lit::undef();
+  std::size_t trail_index = trail_.size();
+  ClauseRef reason = conflict;
+
+  do {
+    assert(reason != kNoReason);
+    ClauseData& c = clauses_[static_cast<std::size_t>(reason)];
+    if (c.learned) bump_clause(c);
+    const std::size_t start = p.is_undef() ? 0 : 1;
+    for (std::size_t i = start; i < c.lits.size(); ++i) {
+      const Lit q = c.lits[i];
+      const auto qv = static_cast<std::size_t>(q.var());
+      if (seen_[qv] || level_of(q.var()) == 0) continue;
+      seen_[qv] = 1;
+      bump_var(q.var());
+      if (level_of(q.var()) >= decision_level()) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    while (!seen_[static_cast<std::size_t>(trail_[trail_index - 1].var())]) {
+      --trail_index;
+    }
+    --trail_index;
+    p = trail_[trail_index];
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+    reason = reason_[static_cast<std::size_t>(p.var())];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Conflict-clause minimisation: drop literals implied by the rest.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    abstract_levels |= 1u << (static_cast<std::uint32_t>(level_of(learnt[i].var())) & 31u);
+  }
+  std::vector<Lit> all_marked(learnt.begin(), learnt.end());
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const Lit l = learnt[i];
+    if (reason_[static_cast<std::size_t>(l.var())] == kNoReason ||
+        !literal_redundant(l, abstract_levels)) {
+      learnt[keep++] = l;
+    }
+  }
+  learnt.resize(keep);
+
+  // Clear seen flags for every literal marked above, dropped ones included.
+  for (const Lit l : all_marked) {
+    if (!l.is_undef()) seen_[static_cast<std::size_t>(l.var())] = 0;
+  }
+
+  // Compute the backtrack level: highest level below the current one.
+  if (learnt.size() == 1) {
+    backtrack_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_of(learnt[i].var()) > level_of(learnt[max_i].var())) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_of(learnt[1].var());
+  }
+}
+
+bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  std::vector<Var> cleared;
+  while (!analyze_stack_.empty()) {
+    const Lit cur = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const ClauseRef r = reason_[static_cast<std::size_t>(cur.var())];
+    if (r == kNoReason) {
+      for (const Var v : cleared) seen_[static_cast<std::size_t>(v)] = 0;
+      return false;
+    }
+    const ClauseData& c = clauses_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 1; i < c.lits.size(); ++i) {
+      const Lit q = c.lits[i];
+      const auto qv = static_cast<std::size_t>(q.var());
+      if (seen_[qv] || level_of(q.var()) == 0) continue;
+      const bool level_plausible =
+          (abstract_levels & (1u << (static_cast<std::uint32_t>(level_of(q.var())) & 31u))) != 0;
+      if (reason_[qv] != kNoReason && level_plausible) {
+        seen_[qv] = 1;
+        cleared.push_back(q.var());
+        analyze_stack_.push_back(q);
+      } else {
+        for (const Var v : cleared) seen_[static_cast<std::size_t>(v)] = 0;
+        return false;
+      }
+    }
+  }
+  // Keep the transient marks: they are cleared by the caller's loop only for
+  // kept literals, so clear them here for safety.
+  for (const Var v : cleared) seen_[static_cast<std::size_t>(v)] = 0;
+  return true;
+}
+
+void Solver::backtrack(int target_level) {
+  if (decision_level() <= target_level) return;
+  const std::size_t lim = trail_lim_[static_cast<std::size_t>(target_level)];
+  for (std::size_t i = trail_.size(); i > lim; --i) {
+    const Lit l = trail_[i - 1];
+    const auto v = static_cast<std::size_t>(l.var());
+    saved_phase_[v] = assign_[v];
+    assign_[v] = LBool::Undef;
+    reason_[v] = kNoReason;
+    if (!heap_contains(l.var())) heap_insert(l.var());
+  }
+  trail_.resize(lim);
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch_literal() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (value(v) == LBool::Undef) {
+      const bool negate = saved_phase_[static_cast<std::size_t>(v)] != LBool::True;
+      return Lit(v, negate);
+    }
+  }
+  return Lit::undef();
+}
+
+void Solver::reduce_learned() {
+  // Collect learned, non-reason clauses and delete the low-activity half.
+  std::vector<ClauseRef> learned;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    const ClauseData& c = clauses_[i];
+    if (!c.learned || c.deleted || c.lits.size() <= 2) continue;
+    learned.push_back(static_cast<ClauseRef>(i));
+  }
+  std::sort(learned.begin(), learned.end(), [this](ClauseRef a, ClauseRef b) {
+    return clauses_[static_cast<std::size_t>(a)].activity <
+           clauses_[static_cast<std::size_t>(b)].activity;
+  });
+  std::vector<char> is_reason(clauses_.size(), 0);
+  for (const Lit l : trail_) {
+    const ClauseRef r = reason_[static_cast<std::size_t>(l.var())];
+    if (r != kNoReason) is_reason[static_cast<std::size_t>(r)] = 1;
+  }
+  for (std::size_t i = 0; i < learned.size() / 2; ++i) {
+    const ClauseRef cref = learned[i];
+    if (is_reason[static_cast<std::size_t>(cref)]) continue;
+    clauses_[static_cast<std::size_t>(cref)].deleted = true;
+    clauses_[static_cast<std::size_t>(cref)].lits.clear();
+    clauses_[static_cast<std::size_t>(cref)].lits.shrink_to_fit();
+  }
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) {
+  // Knuth's formulation of the Luby sequence.
+  std::uint64_t k = 1;
+  while ((1ULL << (k + 1)) <= i + 1) ++k;
+  while ((1ULL << k) - 1 != i + 1) {
+    i -= (1ULL << k) - 1;
+    k = 1;
+    while ((1ULL << (k + 1)) <= i + 1) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+SolveResult Solver::solve(std::span<const Lit> assumptions) {
+  if (!ok_) return SolveResult::Unsat;
+  backtrack(0);
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return SolveResult::Unsat;
+  }
+  rebuild_order_heap();
+
+  std::uint64_t conflicts_total = 0;
+  std::uint64_t restart_number = 0;
+  std::uint64_t restart_limit = kRestartBase * luby(restart_number);
+  std::uint64_t conflicts_since_restart = 0;
+  std::size_t max_learned = 4000 + num_problem_clauses_ / 2;
+  std::vector<Lit> learnt;
+
+  while (true) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_total;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return SolveResult::Unsat;
+      }
+      int backtrack_level = 0;
+      analyze(conflict, learnt, backtrack_level);
+      backtrack(backtrack_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        clauses_.push_back(ClauseData{learnt, clause_inc_, true, false});
+        const auto cref = static_cast<ClauseRef>(clauses_.size()) - 1;
+        attach_clause(cref);
+        enqueue(learnt[0], cref);
+        ++stats_.learned_clauses;
+        stats_.learned_literals += learnt.size();
+      }
+      decay_activities();
+
+      if ((conflicts_total & 255) == 0 && deadline_.expired()) return SolveResult::Unknown;
+      if (conflict_budget_ != 0 && conflicts_total >= conflict_budget_) {
+        return SolveResult::Unknown;
+      }
+      ++live_learned_;
+      if (live_learned_ > max_learned) {
+        reduce_learned();
+        live_learned_ /= 2;
+        max_learned += max_learned / 10;
+      }
+      continue;
+    }
+
+    if (conflicts_since_restart >= restart_limit) {
+      ++stats_.restarts;
+      ++restart_number;
+      restart_limit = kRestartBase * luby(restart_number);
+      conflicts_since_restart = 0;
+      backtrack(0);
+      continue;
+    }
+
+    // Assumption handling: honour pending assumptions as forced decisions.
+    Lit next = Lit::undef();
+    while (static_cast<std::size_t>(decision_level()) < assumptions.size()) {
+      const Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+      if (value(a) == LBool::True) {
+        trail_lim_.push_back(trail_.size());  // dummy level, already satisfied
+        continue;
+      }
+      if (value(a) == LBool::False) return SolveResult::Unsat;
+      next = a;
+      break;
+    }
+
+    if (next.is_undef()) {
+      ++stats_.decisions;
+      next = pick_branch_literal();
+      if (next.is_undef()) return SolveResult::Sat;  // all variables assigned
+    }
+
+    trail_lim_.push_back(trail_.size());
+    enqueue(next, kNoReason);
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  const LBool val = assign_.at(static_cast<std::size_t>(v));
+  if (val == LBool::Undef) throw std::logic_error("Solver::model_value: unassigned var");
+  return val == LBool::True;
+}
+
+// --- activity-ordered max-heap ------------------------------------------
+
+void Solver::rebuild_order_heap() {
+  heap_.clear();
+  std::fill(heap_index_.begin(), heap_index_.end(), -1);
+  for (Var v = 0; v < static_cast<Var>(assign_.size()); ++v) {
+    if (value(v) == LBool::Undef) heap_insert(v);
+  }
+}
+
+void Solver::heap_insert(Var v) {
+  if (heap_contains(v)) return;
+  heap_index_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_update(Var v) {
+  const std::int32_t i = heap_index_[static_cast<std::size_t>(v)];
+  if (i < 0) return;
+  heap_sift_up(static_cast<std::size_t>(i));
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_.front();
+  heap_index_[static_cast<std::size_t>(top)] = -1;
+  if (heap_.size() > 1) {
+    heap_.front() = heap_.back();
+    heap_index_[static_cast<std::size_t>(heap_.front())] = 0;
+    heap_.pop_back();
+    heap_sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  const double act = activity_[static_cast<std::size_t>(v)];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[static_cast<std::size_t>(heap_[parent])] >= act) break;
+    heap_[i] = heap_[parent];
+    heap_index_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_index_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  const double act = activity_[static_cast<std::size_t>(v)];
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= heap_.size()) break;
+    std::size_t best = left;
+    const std::size_t right = left + 1;
+    if (right < heap_.size() &&
+        activity_[static_cast<std::size_t>(heap_[right])] >
+            activity_[static_cast<std::size_t>(heap_[left])]) {
+      best = right;
+    }
+    if (activity_[static_cast<std::size_t>(heap_[best])] <= act) break;
+    heap_[i] = heap_[best];
+    heap_index_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    i = best;
+  }
+  heap_[i] = v;
+  heap_index_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+}  // namespace t2m::sat

@@ -1,0 +1,155 @@
+#ifndef T2M_SAT_SOLVER_H
+#define T2M_SAT_SOLVER_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sat/cnf.h"
+#include "src/util/stopwatch.h"
+
+namespace t2m::sat {
+
+/// Outcome of a solve() call. Unknown is returned when the deadline or
+/// conflict budget ran out before a decision was reached.
+enum class SolveResult : std::uint8_t { Sat, Unsat, Unknown };
+
+/// Runtime statistics, exposed for the bench harnesses.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+};
+
+/// Conflict-driven clause-learning SAT solver in the MiniSat lineage:
+/// two-watched-literal propagation, first-UIP conflict analysis with
+/// recursive clause minimisation, VSIDS branching with phase saving, Luby
+/// restarts and activity-based learned-clause deletion.
+///
+/// The solver is incremental: clauses may be added between solve() calls
+/// (the learner's refinement loop adds forbidden-sequence constraints this
+/// way) and solve() accepts assumption literals.
+class Solver {
+public:
+  Solver();
+
+  /// Creates a fresh variable and returns it.
+  Var new_var();
+  std::size_t num_vars() const { return assign_.size(); }
+  std::size_t num_clauses() const { return num_problem_clauses_; }
+
+  /// Adds a clause; returns false if the instance is already unsatisfiable
+  /// at the root level (e.g. conflicting unit clauses).
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  /// Convenience helpers for the encoders.
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// `exactly one of lits` via pairwise at-most-one plus at-least-one.
+  bool add_exactly_one(std::span<const Lit> lits);
+
+  /// Solves under the given assumptions.
+  SolveResult solve(std::span<const Lit> assumptions = {});
+
+  /// Cooperative limits; checked between conflicts.
+  void set_deadline(Deadline deadline) { deadline_ = deadline; }
+  void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+  /// Model access after SolveResult::Sat.
+  bool model_value(Var v) const;
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// True if the solver is known unsatisfiable regardless of assumptions.
+  bool in_unsat_state() const { return !ok_; }
+
+private:
+  struct ClauseData {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learned = false;
+    bool deleted = false;
+  };
+  using ClauseRef = std::int32_t;
+  static constexpr ClauseRef kNoReason = -1;
+
+  struct Watcher {
+    ClauseRef clause = kNoReason;
+    Lit blocker = Lit::undef();
+  };
+
+  // --- core operations ---
+  LBool value(Lit l) const {
+    const LBool v = assign_[static_cast<std::size_t>(l.var())];
+    return l.negated() ? lbool_not(v) : v;
+  }
+  LBool value(Var v) const { return assign_[static_cast<std::size_t>(v)]; }
+
+  void attach_clause(ClauseRef cref);
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level);
+  bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+  void backtrack(int level);
+  Lit pick_branch_literal();
+  void reduce_learned();
+  void bump_var(Var v);
+  void bump_clause(ClauseData& c);
+  void decay_activities();
+  void rebuild_order_heap();
+
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  int level_of(Var v) const { return level_[static_cast<std::size_t>(v)]; }
+
+  // Heap helpers (max-heap on activity).
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  bool heap_contains(Var v) const {
+    return heap_index_[static_cast<std::size_t>(v)] >= 0;
+  }
+
+  static std::uint64_t luby(std::uint64_t i);
+
+  // --- state ---
+  bool ok_ = true;
+  std::vector<ClauseData> clauses_;
+  std::size_t num_problem_clauses_ = 0;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
+  std::vector<LBool> assign_;                  // indexed by var
+  std::vector<LBool> saved_phase_;             // phase saving
+  std::vector<int> level_;                     // decision level per var
+  std::vector<ClauseRef> reason_;              // antecedent per var
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<Var> heap_;
+  std::vector<std::int32_t> heap_index_;
+
+  // scratch buffers for analyze()
+  std::vector<char> seen_;
+  std::vector<Lit> analyze_stack_;
+
+  Deadline deadline_;
+  std::uint64_t conflict_budget_ = 0;  // 0 = unlimited
+  std::size_t live_learned_ = 0;
+  SolverStats stats_;
+};
+
+}  // namespace t2m::sat
+
+#endif  // T2M_SAT_SOLVER_H

@@ -1,0 +1,28 @@
+#include "src/sim/basic/counter.h"
+
+#include <stdexcept>
+
+#include "src/trace/recorder.h"
+
+namespace t2m::sim {
+
+Trace generate_counter_trace(const CounterConfig& config) {
+  if (config.threshold <= config.start) {
+    throw std::invalid_argument("counter: threshold must exceed start");
+  }
+  TraceRecorder rec;
+  const VarIndex x = rec.declare_int("x", config.start);
+
+  std::int64_t value = config.start;
+  std::int64_t direction = 1;
+  for (std::size_t i = 0; i < config.length; ++i) {
+    rec.set_int(x, value);
+    rec.commit();
+    if (value >= config.threshold) direction = -1;
+    if (value <= config.start) direction = 1;
+    value += direction;
+  }
+  return rec.take();
+}
+
+}  // namespace t2m::sim

@@ -1,0 +1,25 @@
+#ifndef T2M_SIM_BASIC_COUNTER_H
+#define T2M_SIM_BASIC_COUNTER_H
+
+#include <cstdint>
+
+#include "src/trace/trace.h"
+
+namespace t2m::sim {
+
+/// The paper's counter benchmark: a program counting 1 up to a threshold T
+/// and back down to 1, repeated; the trace observes the counter value. With
+/// T = 128 and length 447 this is the Table I/II "Counter" row, and the
+/// expected learned model is Fig. 5 (4 states, predicates x' = x+1,
+/// x >= 128, x' = x-1, x <= 1).
+struct CounterConfig {
+  std::int64_t threshold = 128;
+  std::size_t length = 447;  ///< number of observations to record
+  std::int64_t start = 1;
+};
+
+Trace generate_counter_trace(const CounterConfig& config = {});
+
+}  // namespace t2m::sim
+
+#endif  // T2M_SIM_BASIC_COUNTER_H

@@ -1,0 +1,37 @@
+#include "src/sim/basic/integrator.h"
+
+#include <algorithm>
+
+#include "src/trace/recorder.h"
+#include "src/util/rng.h"
+
+namespace t2m::sim {
+
+Trace generate_integrator_trace(const IntegratorConfig& config) {
+  TraceRecorder rec;
+  const VarIndex ip_var = rec.declare_int("ip", 0);
+  const VarIndex op_var = rec.declare_int("op", 0);
+
+  Rng rng(config.seed);
+  std::int64_t ip = 0;
+  std::int64_t op = 0;
+  for (std::size_t i = 0; i < config.length; ++i) {
+    rec.set_int(ip_var, ip);
+    rec.set_int(op_var, op);
+    rec.commit();
+    // Anti-windup integration: saturate the accumulator.
+    op = std::clamp(op + ip, -config.saturation, config.saturation);
+    // Lazy random walk of the input over {-1, 0, 1}, stepping through 0:
+    // jumps of 2 never occur, like a bandwidth-limited physical signal.
+    if (!rng.chance(config.persistence)) {
+      if (ip == 0) {
+        ip = rng.chance(0.5) ? 1 : -1;
+      } else {
+        ip = 0;
+      }
+    }
+  }
+  return rec.take();
+}
+
+}  // namespace t2m::sim

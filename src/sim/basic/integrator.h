@@ -1,0 +1,31 @@
+#ifndef T2M_SIM_BASIC_INTEGRATOR_H
+#define T2M_SIM_BASIC_INTEGRATOR_H
+
+#include <cstdint>
+
+#include "src/trace/trace.h"
+
+namespace t2m::sim {
+
+/// The paper's anti-windup integrator: output op accumulates the input ip,
+/// saturating at +/-saturation. The input is restricted to {-1, 0, 1} and
+/// follows a lazy random walk that moves through 0 (so mode switches always
+/// enter or leave saturation cleanly, as a physical signal would). The trace
+/// observes (ip, op) pairs; Fig. 4 expects a 3-state model with predicates
+/// op' = op + ip, op' = op, and the merged saturation guard.
+struct IntegratorConfig {
+  std::int64_t saturation = 5;
+  std::size_t length = 32768;  ///< number of observations
+  std::uint64_t seed = 7;
+  /// Probability the input keeps its value at each step.
+  double persistence = 0.85;
+};
+
+Trace generate_integrator_trace(const IntegratorConfig& config = {});
+
+/// Variable name of the input (marked as an input in AbstractionConfig).
+inline const char* integrator_input_var() { return "ip"; }
+
+}  // namespace t2m::sim
+
+#endif  // T2M_SIM_BASIC_INTEGRATOR_H

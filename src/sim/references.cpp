@@ -1,0 +1,101 @@
+#include "src/sim/references.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace t2m::sim {
+
+namespace {
+
+/// Small builder: transitions named by label; PredIds interned on the fly.
+class RefBuilder {
+public:
+  RefBuilder& edge(StateId src, const std::string& label, StateId dst) {
+    const auto [it, inserted] = ids_.emplace(label, names_.size());
+    if (inserted) names_.push_back(label);
+    edges_.push_back(Transition{src, it->second, dst});
+    return *this;
+  }
+
+  Nfa build(std::size_t states, StateId initial = 0) {
+    Nfa out(states, initial);
+    for (const Transition& t : edges_) out.add_transition(t.src, t.pred, t.dst);
+    out.set_pred_names(names_);
+    return out;
+  }
+
+private:
+  std::map<std::string, PredId> ids_;
+  std::vector<std::string> names_;
+  std::vector<Transition> edges_;
+};
+
+}  // namespace
+
+Nfa reference_usb_slot_datasheet() {
+  // States: 0 Disabled, 1 Enabled, 2 Default, 3 Addressed, 4 Configured.
+  RefBuilder b;
+  b.edge(0, "CR_ENABLE_SLOT", 1);
+  b.edge(1, "CR_ADDR_DEV_BSR0", 3);
+  b.edge(1, "CR_ADDR_DEV_BSR1", 2);
+  b.edge(2, "CR_ADDR_DEV_BSR0", 3);
+  b.edge(3, "CR_CONFIG_END", 4);
+  b.edge(4, "CR_DECONFIG_END", 3);
+  b.edge(4, "CR_STOP_END", 3);
+  b.edge(3, "CR_RESET_DEVICE", 2);
+  b.edge(4, "CR_RESET_DEVICE", 2);
+  b.edge(1, "CR_DISABLE_SLOT", 0);
+  b.edge(2, "CR_DISABLE_SLOT", 0);
+  b.edge(3, "CR_DISABLE_SLOT", 0);
+  b.edge(4, "CR_DISABLE_SLOT", 0);
+  return b.build(5, 0);
+}
+
+Nfa reference_usb_slot_expected() {
+  // Fig. 1b: the behaviours the driver load actually exercises.
+  RefBuilder b;
+  b.edge(0, "CR_ENABLE_SLOT", 1);
+  b.edge(1, "CR_ADDR_DEV_BSR0", 2);
+  b.edge(2, "CR_CONFIG_END", 3);
+  b.edge(3, "CR_STOP_END", 2);
+  b.edge(3, "CR_RESET_DEVICE", 1);
+  b.edge(3, "CR_DISABLE_SLOT", 0);
+  return b.build(4, 0);
+}
+
+Nfa reference_counter_model(std::int64_t threshold) {
+  // Fig. 5: 0 ascending, 1 at peak, 2 descending, 3 at trough.
+  RefBuilder b;
+  const std::string up = "x' = x + 1";
+  const std::string down = "x' = x - 1";
+  const std::string peak = "x >= " + std::to_string(threshold);
+  const std::string trough = "x <= 1";
+  b.edge(0, up, 0);
+  b.edge(0, peak, 1);
+  b.edge(1, down, 2);
+  b.edge(2, down, 2);
+  b.edge(2, trough, 3);
+  b.edge(3, up, 0);
+  return b.build(4, 0);
+}
+
+Nfa reference_sched_thread_model() {
+  // Fig. 6 / the simulator's ground truth:
+  // 0 WaitingCpu, 1 Running, 2 Sleepable, 3 NeedResched, 4 WokenOnCpu,
+  // 5 SchedOutSleep, 6 Suspended, 7 SchedOutPreempt.
+  RefBuilder b;
+  b.edge(0, "sched_switch_in", 1);
+  b.edge(1, "set_state_sleepable", 2);
+  b.edge(1, "set_need_resched", 3);
+  b.edge(2, "sched_waking", 4);
+  b.edge(4, "set_state_runnable", 1);
+  b.edge(2, "sched_entry", 5);
+  b.edge(5, "sched_switch_suspend", 6);
+  b.edge(6, "sched_waking", 0);
+  b.edge(3, "sched_entry", 7);
+  b.edge(7, "sched_switch_preempt", 0);
+  return b.build(8, 0);
+}
+
+}  // namespace t2m::sim

@@ -1,0 +1,30 @@
+#ifndef T2M_SIM_REFERENCES_H
+#define T2M_SIM_REFERENCES_H
+
+#include "src/automaton/nfa.h"
+
+namespace t2m::sim {
+
+/// Hand-coded reference automata, playing the role of the paper's published
+/// diagrams: the Intel datasheet slot machine (Fig. 1a), the models the
+/// framework is expected to learn (Figs. 1b, 4, 5), and the PREEMPT_RT
+/// thread model of [14] (Fig. 6). Edge labels are predicate names, so these
+/// compare against learned models via isomorphism (by name) or coverage.
+
+/// Full xHCI slot state machine from the datasheet, including transitions
+/// no application load exercises (BSR=1 addressing, deconfiguration).
+Nfa reference_usb_slot_datasheet();
+
+/// The 4-state slot model the paper's framework learns (Fig. 1b).
+Nfa reference_usb_slot_expected();
+
+/// The 4-state counter model (Fig. 5) for a threshold T.
+Nfa reference_counter_model(std::int64_t threshold = 128);
+
+/// The 8-state PREEMPT_RT thread scheduling model (Fig. 6 / ground truth of
+/// the scheduler simulator).
+Nfa reference_sched_thread_model();
+
+}  // namespace t2m::sim
+
+#endif  // T2M_SIM_REFERENCES_H

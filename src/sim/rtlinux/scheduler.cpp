@@ -1,0 +1,86 @@
+#include "src/sim/rtlinux/scheduler.h"
+
+#include "src/trace/recorder.h"
+#include "src/util/rng.h"
+
+namespace t2m::sim {
+
+namespace {
+
+/// Thread states of the monitored task, as the kernel model distinguishes
+/// them. The simulator enforces legal event orderings by construction.
+enum class TaskState {
+  WaitingCpu,  // runnable, off CPU
+  Running,     // on CPU
+  Sleepable,   // on CPU, marked about-to-block
+  Suspended,   // off CPU, sleeping
+};
+
+}  // namespace
+
+Trace SchedulerSim::run() {
+  TraceRecorder rec;
+  std::vector<std::string> symbols = sched_event_names();
+  symbols.insert(symbols.begin(), "__start");
+  const VarIndex ev = rec.declare_cat("event", std::move(symbols), "__start");
+  rec.commit();  // thread exists but has not been scheduled yet
+  Rng rng(config_.seed);
+
+  const auto emit = [&](const char* name) {
+    rec.set_sym(ev, name);
+    rec.commit();
+  };
+
+  TaskState state = TaskState::WaitingCpu;
+  while (rec.committed() < config_.min_events) {
+    switch (state) {
+      case TaskState::WaitingCpu:
+        // The scheduler picks the monitored thread.
+        emit("sched_switch_in");
+        state = TaskState::Running;
+        break;
+
+      case TaskState::Running:
+        if (rng.chance(config_.p_preempt)) {
+          // A higher-priority task becomes runnable: the tick handler flags
+          // the thread, the scheduler runs and switches it out preempted.
+          emit("set_need_resched");
+          emit("sched_entry");
+          emit("sched_switch_preempt");
+          state = TaskState::WaitingCpu;
+        } else {
+          // The thread finishes its burst and prepares to block.
+          emit("set_state_sleepable");
+          state = TaskState::Sleepable;
+        }
+        break;
+
+      case TaskState::Sleepable:
+        if (rng.chance(config_.p_early_wake)) {
+          // Corner case: the wakeup races in before the thread suspends, so
+          // it flips itself back to runnable and keeps the CPU.
+          emit("sched_waking");
+          emit("set_state_runnable");
+          state = TaskState::Running;
+        } else {
+          emit("sched_entry");
+          emit("sched_switch_suspend");
+          state = TaskState::Suspended;
+        }
+        break;
+
+      case TaskState::Suspended:
+        // Timer/IRQ context delivers the wakeup; the thread queues for CPU.
+        emit("sched_waking");
+        state = TaskState::WaitingCpu;
+        break;
+    }
+  }
+  return rec.take();
+}
+
+Trace generate_sched_trace(const SchedulerSimConfig& config) {
+  return SchedulerSim(config).run();
+}
+
+}  // namespace t2m::sim

@@ -1,0 +1,60 @@
+#ifndef T2M_SIM_RTLINUX_SCHEDULER_H
+#define T2M_SIM_RTLINUX_SCHEDULER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace t2m::sim {
+
+/// Event vocabulary of the PREEMPT_RT thread model (de Oliveira et al.,
+/// EWiLi'18), as traced by ftrace for the thread under analysis.
+inline const std::vector<std::string>& sched_event_names() {
+  static const std::vector<std::string> names = {
+      "sched_switch_in",       // thread scheduled onto the CPU
+      "sched_switch_suspend",  // context switch out, thread going to sleep
+      "sched_switch_preempt",  // context switch out, thread still runnable
+      "sched_waking",          // another context wakes the thread
+      "sched_entry",           // scheduler invoked while thread owns the CPU
+      "set_state_sleepable",   // thread marks itself about-to-block
+      "set_state_runnable",    // thread reverts to runnable (wake raced in)
+      "set_need_resched",      // preemption flag raised against the thread
+  };
+  return names;
+}
+
+/// Single-core preemptive scheduler simulation. One monitored RT thread
+/// executes blocking cycles; a higher-priority thread preempts it; a waker
+/// (timer/IRQ context) delivers wakeups, occasionally racing the thread's
+/// own suspension (the corner case the paper needed an extra kernel module
+/// to exercise). Events are emitted for the monitored thread only, matching
+/// the paper's per-thread ftrace setup.
+struct SchedulerSimConfig {
+  std::size_t min_events = 20165;  ///< stop at the end of the cycle reaching this
+  std::uint64_t seed = 42;
+  /// Probability a running burst ends in preemption rather than blocking.
+  double p_preempt = 0.35;
+  /// Probability a wakeup races the thread between set_state_sleepable and
+  /// the suspending context switch (0 = never; the pi_stress-only load).
+  double p_early_wake = 0.0;
+};
+
+class SchedulerSim {
+public:
+  explicit SchedulerSim(const SchedulerSimConfig& config) : config_(config) {}
+
+  /// Runs the simulation and returns the monitored thread's event trace
+  /// (single categorical variable "event").
+  Trace run();
+
+private:
+  SchedulerSimConfig config_;
+};
+
+Trace generate_sched_trace(const SchedulerSimConfig& config = {});
+
+}  // namespace t2m::sim
+
+#endif  // T2M_SIM_RTLINUX_SCHEDULER_H

@@ -1,0 +1,29 @@
+#include "src/sim/rtlinux/workloads.h"
+
+namespace t2m::sim {
+
+SchedulerSimConfig pi_stress_load(std::size_t events) {
+  SchedulerSimConfig config;
+  config.min_events = events;
+  config.seed = 42;
+  config.p_preempt = 0.35;
+  config.p_early_wake = 0.0;
+  return config;
+}
+
+SchedulerSimConfig pi_stress_with_corner_module(std::size_t events) {
+  SchedulerSimConfig config = pi_stress_load(events);
+  config.seed = 43;
+  config.p_early_wake = 0.08;
+  return config;
+}
+
+Trace generate_pi_stress_trace(std::size_t events) {
+  return generate_sched_trace(pi_stress_load(events));
+}
+
+Trace generate_full_coverage_sched_trace(std::size_t events) {
+  return generate_sched_trace(pi_stress_with_corner_module(events));
+}
+
+}  // namespace t2m::sim

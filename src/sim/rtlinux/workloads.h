@@ -1,0 +1,25 @@
+#ifndef T2M_SIM_RTLINUX_WORKLOADS_H
+#define T2M_SIM_RTLINUX_WORKLOADS_H
+
+#include "src/sim/rtlinux/scheduler.h"
+
+namespace t2m::sim {
+
+/// The paper's two system loads for the PREEMPT_RT experiment:
+///
+/// * pi_stress from rt-tests: heavy priority-inversion stressing, plenty of
+///   preemption and blocking, but wakeups never race the suspension path —
+///   some reference-model states stay uncovered.
+/// * the additional corner-case kernel module: injects wakeups between
+///   set_state_sleepable and the suspending switch, covering the
+///   set_state_runnable path and completing the 8-state model of Fig. 6.
+SchedulerSimConfig pi_stress_load(std::size_t events = 20165);
+SchedulerSimConfig pi_stress_with_corner_module(std::size_t events = 20165);
+
+/// Traces for both loads.
+Trace generate_pi_stress_trace(std::size_t events = 20165);
+Trace generate_full_coverage_sched_trace(std::size_t events = 20165);
+
+}  // namespace t2m::sim
+
+#endif  // T2M_SIM_RTLINUX_WORKLOADS_H

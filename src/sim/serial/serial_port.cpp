@@ -1,0 +1,63 @@
+#include "src/sim/serial/serial_port.h"
+
+#include "src/trace/recorder.h"
+#include "src/util/rng.h"
+
+namespace t2m::sim {
+
+bool SerialPort::read() {
+  if (!can_read()) return false;
+  --length_;
+  return true;
+}
+
+bool SerialPort::write() {
+  if (!can_write()) return false;
+  ++length_;
+  return true;
+}
+
+bool SerialPort::reset() {
+  if (length_ == 0) return false;  // reset of an empty queue is a no-op
+  length_ = 0;
+  return true;
+}
+
+Trace generate_serial_trace(const SerialPortConfig& config) {
+  TraceRecorder rec;
+  const VarIndex ev = rec.declare_cat("ev", {"idle", "read", "write", "reset"}, "idle");
+  const VarIndex x = rec.declare_int("x", 0);
+
+  SerialPort port(config.capacity);
+  Rng rng(config.seed);
+  rec.commit();  // initial idle observation (empty queue)
+  std::size_t emitted = 0;
+  while (emitted < config.operations) {
+    const double roll = rng.unit();
+    const char* op;
+    bool applied;
+    const std::int64_t before = port.length();
+    if (roll < config.p_write) {
+      op = "write";
+      applied = port.write();
+    } else if (roll < config.p_write + config.p_read) {
+      op = "read";
+      applied = port.read();
+    } else {
+      op = "reset";
+      applied = port.reset();
+    }
+    if (!applied) continue;  // rejected ops leave no trace rows
+
+    rec.set_sym(ev, op);
+    rec.set_int(x, before);
+    rec.commit();
+    rec.set_sym(ev, "idle");
+    rec.set_int(x, port.length());
+    rec.commit();
+    ++emitted;
+  }
+  return rec.take();
+}
+
+}  // namespace t2m::sim

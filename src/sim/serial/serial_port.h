@@ -1,0 +1,50 @@
+#ifndef T2M_SIM_SERIAL_SERIAL_PORT_H
+#define T2M_SIM_SERIAL_SERIAL_PORT_H
+
+#include <cstdint>
+
+#include "src/automaton/nfa.h"
+#include "src/trace/trace.h"
+
+namespace t2m::sim {
+
+/// QEMU serial I/O port substitute: a bounded FIFO with read, write and
+/// reset operations. The trace records the Boolean-style operation events
+/// alongside the numeric queue length, two rows per operation (the operation
+/// row, then the effect row with the updated length), which is what makes
+/// event edges (`read`) and data edges (`x' = x - 1`) alternate in the
+/// learned model (Fig. 2b).
+struct SerialPortConfig {
+  std::int64_t capacity = 16;
+  std::size_t operations = 1038;  ///< two trace rows each => 2076 observations
+  std::uint64_t seed = 11;
+  double p_write = 0.46;
+  double p_read = 0.44;  ///< remainder resets (paper: "frequent resets")
+};
+
+/// The FIFO device model itself, usable directly by library clients.
+class SerialPort {
+public:
+  explicit SerialPort(std::int64_t capacity) : capacity_(capacity) {}
+
+  std::int64_t length() const { return length_; }
+  std::int64_t capacity() const { return capacity_; }
+  bool can_read() const { return length_ > 0; }
+  bool can_write() const { return length_ < capacity_; }
+
+  /// Each returns true when the operation applied (reads on an empty queue
+  /// and writes on a full one are rejected, mirroring the device).
+  bool read();
+  bool write();
+  bool reset();
+
+private:
+  std::int64_t capacity_;
+  std::int64_t length_ = 0;
+};
+
+Trace generate_serial_trace(const SerialPortConfig& config = {});
+
+}  // namespace t2m::sim
+
+#endif  // T2M_SIM_SERIAL_SERIAL_PORT_H

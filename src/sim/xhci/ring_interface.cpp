@@ -1,0 +1,118 @@
+#include "src/sim/xhci/ring_interface.h"
+
+#include "src/trace/recorder.h"
+#include "src/util/rng.h"
+
+namespace t2m::sim {
+
+namespace {
+
+/// Internal transaction engine: emits one event per ring operation.
+class RingSession {
+public:
+  explicit RingSession(TraceRecorder& rec, VarIndex op) : rec_(rec), op_(op) {}
+
+  void emit(const char* event) {
+    rec_.set_sym(op_, event);
+    rec_.commit();
+  }
+
+  /// Host controller writes a port-status-change event on the event ring.
+  void port_status_change() {
+    emit("xhci_write");
+    emit("ErPSC");
+    emit("CCSuccess");
+  }
+
+  /// Driver queues a command TRB; controller fetches it, executes and posts
+  /// a command-completion event.
+  void command(const char* command_trb) {
+    emit("xhci_ring_fetch");
+    emit(command_trb);
+    emit("xhci_write");
+    emit("ErCC");
+    emit("CCSuccess");
+  }
+
+  /// Control transfer: setup/data/status stages on the control endpoint.
+  void control_transfer() {
+    emit("xhci_ring_fetch");
+    emit("TRSetup");
+    emit("TRData");
+    emit("TRStatus");
+    emit("xhci_write");
+    emit("ErTransfer");
+    emit("CCSuccess");
+  }
+
+  /// Bulk transfer: a normal TRB followed by the status stage.
+  void bulk_transfer() {
+    emit("xhci_ring_fetch");
+    emit("TRNormal");
+    emit("TRStatus");
+    emit("xhci_write");
+    emit("ErTransfer");
+    emit("CCSuccess");
+  }
+
+  /// Ring wrap: the controller fetches the link TRB at the segment end.
+  void ring_wrap() {
+    emit("xhci_ring_fetch");
+    emit("TRBReserved");
+  }
+
+private:
+  TraceRecorder& rec_;
+  VarIndex op_;
+};
+
+}  // namespace
+
+Trace generate_usb_attach_trace(const RingInterfaceConfig& config) {
+  TraceRecorder rec;
+  const VarIndex op = rec.declare_cat(
+      "op",
+      {"__start", "xhci_ring_fetch", "xhci_write", "CrES", "CrAD", "CrCE", "TRSetup",
+       "TRData", "TRStatus", "TRNormal", "TRBReserved", "ErCC", "ErPSC", "ErTransfer",
+       "CCSuccess"},
+      "__start");
+  rec.commit();  // idle interface before the attach, see slot_fsm.cpp
+  RingSession session(rec, op);
+  Rng rng(config.seed);
+
+  // Attach: the hub reports the new device, then enumeration commands run.
+  session.port_status_change();
+  session.command("CrES");  // Enable Slot
+  session.command("CrAD");  // Address Device
+  session.command("CrCE");  // Configure Endpoint
+
+  // Storage session: interleave control and bulk transfers. Control
+  // transfers (descriptor reads) front-load the session, as a real
+  // enumeration would.
+  std::size_t controls_left = config.control_transfers;
+  std::size_t bulks_left = config.bulk_transfers;
+  std::size_t since_wrap = 0;
+  while (controls_left + bulks_left > 0) {
+    const bool do_control =
+        controls_left > 0 && (bulks_left == 0 || controls_left * 6 >= bulks_left);
+    if (do_control) {
+      session.control_transfer();
+      --controls_left;
+    } else {
+      session.bulk_transfer();
+      --bulks_left;
+    }
+    ++since_wrap;
+    if (config.ring_wrap_every != 0 && since_wrap >= config.ring_wrap_every) {
+      session.ring_wrap();
+      since_wrap = 0;
+    }
+  }
+
+  // Detach: port change plus the slot teardown command.
+  session.port_status_change();
+  session.command("CrES");
+  return rec.take();
+}
+
+}  // namespace t2m::sim

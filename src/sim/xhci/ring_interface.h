@@ -1,0 +1,41 @@
+#ifndef T2M_SIM_XHCI_RING_INTERFACE_H
+#define T2M_SIM_XHCI_RING_INTERFACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace t2m::sim {
+
+/// Command-ring / event-ring transaction engine: the QEMU USB interface
+/// substitute for the paper's "USB Attach" benchmark. The driver attaches a
+/// virtual storage device and runs a session; every ring fetch and ring
+/// write is recorded together with the TRB (Transfer Request Block) type it
+/// carries, using the vocabulary of Fig. 3:
+///
+///   xhci_ring_fetch, xhci_write        ring operations
+///   CrES, CrAD, CrCE                   command TRBs (enable slot, address
+///                                      device, configure endpoint)
+///   TRSetup, TRData, TRStatus, TRNormal transfer TRBs
+///   TRBReserved                        link TRB at ring wrap
+///   ErCC, ErPSC, ErTransfer            event TRBs (command completion,
+///                                      port status change, transfer)
+///   CCSuccess                          completion code
+struct RingInterfaceConfig {
+  std::size_t control_transfers = 5;
+  std::size_t bulk_transfers = 32;
+  /// Insert a link TRB (TRBReserved) after this many transfers (ring wrap);
+  /// 0 disables.
+  std::size_t ring_wrap_every = 12;
+  std::uint64_t seed = 3;
+};
+
+/// Runs the attach session and returns the event trace (single categorical
+/// variable "op"); default configuration yields the paper's 259 events.
+Trace generate_usb_attach_trace(const RingInterfaceConfig& config = {});
+
+}  // namespace t2m::sim
+
+#endif  // T2M_SIM_XHCI_RING_INTERFACE_H

@@ -1,0 +1,115 @@
+#include "src/sim/xhci/slot_fsm.h"
+
+#include <stdexcept>
+
+#include "src/trace/recorder.h"
+
+namespace t2m::sim {
+
+const char* slot_command_name(SlotCommand cmd) {
+  switch (cmd) {
+    case SlotCommand::EnableSlot: return "CR_ENABLE_SLOT";
+    case SlotCommand::DisableSlot: return "CR_DISABLE_SLOT";
+    case SlotCommand::AddrDevBsr0: return "CR_ADDR_DEV_BSR0";
+    case SlotCommand::AddrDevBsr1: return "CR_ADDR_DEV_BSR1";
+    case SlotCommand::ConfigureEnd: return "CR_CONFIG_END";
+    case SlotCommand::DeconfigureEnd: return "CR_DECONFIG_END";
+    case SlotCommand::StopEnd: return "CR_STOP_END";
+    case SlotCommand::ResetDevice: return "CR_RESET_DEVICE";
+  }
+  return "?";
+}
+
+const char* slot_state_name(SlotState state) {
+  switch (state) {
+    case SlotState::Disabled: return "Disabled";
+    case SlotState::Enabled: return "Enabled";
+    case SlotState::Default: return "Default";
+    case SlotState::Addressed: return "Addressed";
+    case SlotState::Configured: return "Configured";
+  }
+  return "?";
+}
+
+bool SlotFsm::apply(SlotCommand cmd) {
+  switch (cmd) {
+    case SlotCommand::EnableSlot:
+      if (state_ != SlotState::Disabled) return false;
+      state_ = SlotState::Enabled;
+      return true;
+    case SlotCommand::DisableSlot:
+      if (state_ == SlotState::Disabled) return false;
+      state_ = SlotState::Disabled;
+      return true;
+    case SlotCommand::AddrDevBsr0:
+      if (state_ != SlotState::Enabled && state_ != SlotState::Default) return false;
+      state_ = SlotState::Addressed;
+      return true;
+    case SlotCommand::AddrDevBsr1:
+      if (state_ != SlotState::Enabled) return false;
+      state_ = SlotState::Default;
+      return true;
+    case SlotCommand::ConfigureEnd:
+      if (state_ != SlotState::Addressed) return false;
+      state_ = SlotState::Configured;
+      return true;
+    case SlotCommand::DeconfigureEnd:
+      if (state_ != SlotState::Configured) return false;
+      state_ = SlotState::Addressed;
+      return true;
+    case SlotCommand::StopEnd:
+      // Endpoint stopped: QEMU's storage device needs reconfiguration
+      // before further endpoint commands, so the slot drops to Addressed.
+      if (state_ != SlotState::Configured) return false;
+      state_ = SlotState::Addressed;
+      return true;
+    case SlotCommand::ResetDevice:
+      if (state_ != SlotState::Addressed && state_ != SlotState::Configured) return false;
+      state_ = SlotState::Default;
+      return true;
+  }
+  return false;
+}
+
+Trace generate_slot_trace(const SlotDriverConfig& config) {
+  TraceRecorder rec;
+  const VarIndex cmd = rec.declare_cat(
+      "cmd",
+      {"__start", "CR_ENABLE_SLOT", "CR_DISABLE_SLOT", "CR_ADDR_DEV_BSR0",
+       "CR_ADDR_DEV_BSR1", "CR_CONFIG_END", "CR_DECONFIG_END", "CR_STOP_END",
+       "CR_RESET_DEVICE"},
+      "__start");
+  // Initial observation: the slot before any command, so the first command
+  // becomes a proper transition of the learned model.
+  rec.commit();
+
+  SlotFsm fsm;
+  const auto issue = [&](SlotCommand c) {
+    if (!fsm.apply(c)) {
+      throw std::logic_error(std::string("slot driver issued invalid command ") +
+                             slot_command_name(c) + " in state " +
+                             slot_state_name(fsm.state()));
+    }
+    rec.set_sym(cmd, slot_command_name(c));
+    rec.commit();
+  };
+
+  for (std::size_t session = 0; session < config.sessions; ++session) {
+    issue(SlotCommand::EnableSlot);
+    issue(SlotCommand::AddrDevBsr0);
+    for (std::size_t i = 0; i < config.stop_cycles; ++i) {
+      issue(SlotCommand::ConfigureEnd);
+      issue(SlotCommand::StopEnd);
+    }
+    issue(SlotCommand::ConfigureEnd);
+    if (config.exercise_reset) {
+      issue(SlotCommand::ResetDevice);
+      issue(SlotCommand::AddrDevBsr0);
+      issue(SlotCommand::ConfigureEnd);
+    }
+    issue(SlotCommand::DisableSlot);
+  }
+  return rec.take();
+}
+
+}  // namespace t2m::sim

@@ -1,0 +1,66 @@
+#ifndef T2M_SIM_XHCI_SLOT_FSM_H
+#define T2M_SIM_XHCI_SLOT_FSM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace t2m::sim {
+
+/// xHCI device-slot states (Intel xHCI spec, section 4.5.3).
+enum class SlotState : std::uint8_t {
+  Disabled,
+  Enabled,
+  Default,
+  Addressed,
+  Configured,
+};
+
+/// Slot-level commands observed at the command ring. Names follow the
+/// paper's Fig. 1 labels.
+enum class SlotCommand : std::uint8_t {
+  EnableSlot,     // CR_ENABLE_SLOT
+  DisableSlot,    // CR_DISABLE_SLOT
+  AddrDevBsr0,    // CR_ADDR_DEV with BSR=0 (Enabled -> Addressed)
+  AddrDevBsr1,    // CR_ADDR_DEV with BSR=1 (Enabled -> Default)
+  ConfigureEnd,   // CR_CONFIG_END (Configure Endpoint)
+  DeconfigureEnd, // CR_CONFIG_END with DC=1 (back to Addressed)
+  StopEnd,        // CR_STOP_END (Stop Endpoint; slot stays Configured)
+  ResetDevice,    // CR_RESET_DEVICE (Addressed/Configured -> Default)
+};
+
+const char* slot_command_name(SlotCommand cmd);
+const char* slot_state_name(SlotState state);
+
+/// The slot state machine as QEMU implements it: commands either advance the
+/// state per the datasheet diagram or are rejected (returning false) when
+/// issued from the wrong state.
+class SlotFsm {
+public:
+  SlotState state() const { return state_; }
+  bool apply(SlotCommand cmd);
+  void hard_reset() { state_ = SlotState::Disabled; }
+
+private:
+  SlotState state_ = SlotState::Disabled;
+};
+
+/// The "application load": a driver session against a virtual USB storage
+/// device. Attach, address, configure, run transfers with periodic endpoint
+/// stops, occasionally reset the device and re-configure, finally disable.
+/// Produces the paper's 39-command slot trace by default.
+struct SlotDriverConfig {
+  std::size_t sessions = 3;           ///< attach/detach cycles
+  std::size_t stop_cycles = 3;        ///< CONFIG_END / STOP_END repetitions
+  bool exercise_reset = true;
+};
+
+/// Executes the driver script against a SlotFsm and records the accepted
+/// commands as a single categorical-variable trace ("cmd").
+Trace generate_slot_trace(const SlotDriverConfig& config = {});
+
+}  // namespace t2m::sim
+
+#endif  // T2M_SIM_XHCI_SLOT_FSM_H

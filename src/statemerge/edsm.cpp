@@ -1,0 +1,183 @@
+#include "src/statemerge/edsm.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace t2m {
+
+namespace {
+
+/// Mutable merge hypothesis: the PTA folded under a union-find, with a
+/// deterministic transition map per representative and an undo journal so
+/// candidate merges can be scored and rolled back cheaply.
+class Hypothesis {
+public:
+  explicit Hypothesis(const Pta& pta) : rep_(pta.num_states()), delta_(pta.num_states()) {
+    for (std::size_t s = 0; s < pta.num_states(); ++s) {
+      rep_[s] = s;
+      for (const auto& [symbol, child] : pta.children(s)) delta_[s].emplace(symbol, child);
+    }
+  }
+
+  std::size_t find(std::size_t s) const {
+    while (rep_[s] != s) s = rep_[s];
+    return s;
+  }
+
+  struct Journal {
+    std::vector<std::pair<std::size_t, std::size_t>> rep_changes;  // (state, old rep)
+    // (state, symbol, had_entry, old child)
+    std::vector<std::tuple<std::size_t, std::size_t, bool, std::size_t>> delta_changes;
+  };
+
+  /// Folds `source` into `target`, determinising recursively; returns the
+  /// evidence score (number of overlapping transitions folded).
+  std::int64_t merge(std::size_t target, std::size_t source, Journal& journal) {
+    std::int64_t score = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> stack = {{target, source}};
+    while (!stack.empty()) {
+      auto [a, b] = stack.back();
+      stack.pop_back();
+      a = find(a);
+      b = find(b);
+      if (a == b) continue;
+      journal.rep_changes.emplace_back(b, rep_[b]);
+      rep_[b] = a;
+      for (const auto& [symbol, cb] : delta_[b]) {
+        const auto it = delta_[a].find(symbol);
+        if (it != delta_[a].end()) {
+          ++score;
+          stack.emplace_back(it->second, cb);
+        } else {
+          journal.delta_changes.emplace_back(a, symbol, false, 0);
+          delta_[a].emplace(symbol, cb);
+        }
+      }
+    }
+    return score;
+  }
+
+  void rollback(const Journal& journal) {
+    for (auto it = journal.delta_changes.rbegin(); it != journal.delta_changes.rend(); ++it) {
+      const auto& [state, symbol, had, old_child] = *it;
+      if (had) {
+        delta_[state][symbol] = old_child;
+      } else {
+        delta_[state].erase(symbol);
+      }
+    }
+    for (auto it = journal.rep_changes.rbegin(); it != journal.rep_changes.rend(); ++it) {
+      rep_[it->first] = it->second;
+    }
+  }
+
+  const std::map<std::size_t, std::size_t>& children(std::size_t rep_state) const {
+    return delta_[rep_state];
+  }
+
+  /// Quotient automaton over representatives reachable from the root.
+  Nfa quotient() const {
+    std::map<std::size_t, std::size_t> renumber;
+    std::vector<std::size_t> queue = {find(0)};
+    renumber[queue[0]] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const auto& [symbol, child] : delta_[queue[head]]) {
+        const std::size_t c = find(child);
+        if (renumber.emplace(c, renumber.size()).second) queue.push_back(c);
+      }
+    }
+    Nfa out(renumber.size(), 0);
+    for (const auto& [state, id] : renumber) {
+      for (const auto& [symbol, child] : delta_[state]) {
+        out.add_transition(id, symbol, renumber.at(find(child)));
+      }
+    }
+    return out;
+  }
+
+private:
+  std::vector<std::size_t> rep_;
+  std::vector<std::map<std::size_t, std::size_t>> delta_;
+};
+
+}  // namespace
+
+EdsmResult edsm_blue_fringe(const std::vector<std::vector<std::size_t>>& sequences,
+                            std::size_t alphabet_size, const EdsmConfig& config) {
+  const Stopwatch watch;
+  const Deadline deadline = config.timeout_seconds > 0
+                                ? Deadline::after_seconds(config.timeout_seconds)
+                                : Deadline::never();
+  const Pta pta(sequences, alphabet_size);
+  Hypothesis hyp(pta);
+  EdsmResult result;
+
+  std::set<std::size_t> red = {hyp.find(0)};
+  const auto compute_blue = [&]() {
+    std::set<std::size_t> blue;
+    for (const std::size_t r : red) {
+      for (const auto& [symbol, child] : hyp.children(r)) {
+        const std::size_t c = hyp.find(child);
+        if (red.count(c) == 0) blue.insert(c);
+      }
+    }
+    return blue;
+  };
+
+  std::set<std::size_t> blue = compute_blue();
+  while (!blue.empty()) {
+    if (deadline.expired()) {
+      result.timed_out = true;
+      break;
+    }
+    // Score every (red, blue) pair; promote any blue that merges nowhere.
+    bool promoted = false;
+    std::int64_t best_score = -1;
+    std::size_t best_red = 0, best_blue = 0;
+    for (const std::size_t b : blue) {
+      std::int64_t b_best = -1;
+      for (const std::size_t r : red) {
+        Hypothesis::Journal journal;
+        const std::int64_t score = hyp.merge(r, b, journal);
+        hyp.rollback(journal);
+        b_best = std::max(b_best, score);
+        if (score > best_score) {
+          best_score = score;
+          best_red = r;
+          best_blue = b;
+        }
+        if (deadline.expired()) break;
+      }
+      if (b_best < config.merge_threshold) {
+        red.insert(b);
+        ++result.promotions;
+        promoted = true;
+        break;
+      }
+      if (deadline.expired()) break;
+    }
+    if (deadline.expired() && !promoted && best_score < config.merge_threshold) {
+      result.timed_out = true;
+      break;
+    }
+    if (promoted) {
+      blue = compute_blue();
+      continue;
+    }
+    Hypothesis::Journal journal;
+    hyp.merge(best_red, best_blue, journal);
+    ++result.merges;
+    // Red representatives may have been folded; refresh the red set.
+    std::set<std::size_t> new_red;
+    for (const std::size_t r : red) new_red.insert(hyp.find(r));
+    red = std::move(new_red);
+    blue = compute_blue();
+  }
+
+  result.model = hyp.quotient();
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace t2m

@@ -1,0 +1,42 @@
+#ifndef T2M_STATEMERGE_EDSM_H
+#define T2M_STATEMERGE_EDSM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/automaton/nfa.h"
+#include "src/statemerge/pta.h"
+#include "src/util/stopwatch.h"
+
+namespace t2m {
+
+/// Blue-fringe Evidence-Driven State Merging (Lang/Pearlmutter/Price 1998),
+/// the inference engine behind MINT. Working on positive data only, evidence
+/// is the number of state pairs folded together by a merge; merges below
+/// `merge_threshold` promote the blue state instead, limiting
+/// over-generalisation in the absence of negative samples.
+struct EdsmConfig {
+  /// Minimum fold evidence for a merge; below it the blue state is promoted.
+  /// 3 calibrates our implementation against MINT's published state counts
+  /// on the paper's benchmarks (see EXPERIMENTS.md).
+  std::int64_t merge_threshold = 3;
+  /// Wall-clock budget; expired searches return partial results flagged
+  /// timed_out (MINT shows the same behaviour on the paper's two long
+  /// traces: no model within the time budget).
+  double timeout_seconds = 0.0;
+};
+
+struct EdsmResult {
+  bool timed_out = false;
+  Nfa model;
+  std::size_t merges = 0;
+  std::size_t promotions = 0;
+  double seconds = 0.0;
+};
+
+EdsmResult edsm_blue_fringe(const std::vector<std::vector<std::size_t>>& sequences,
+                            std::size_t alphabet_size, const EdsmConfig& config = {});
+
+}  // namespace t2m
+
+#endif  // T2M_STATEMERGE_EDSM_H

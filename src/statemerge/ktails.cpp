@@ -1,0 +1,65 @@
+#include "src/statemerge/ktails.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace t2m {
+
+namespace {
+
+/// Collects the k-tail of `state`: all symbol strings of length <= k
+/// following it, shorter strings marked terminal so a leaf differs from an
+/// inner state sharing the same prefixes.
+void collect_tails(const Pta& pta, std::size_t state, std::size_t k,
+                   std::vector<std::size_t>& prefix, std::set<std::vector<std::size_t>>& out) {
+  if (k == 0) {
+    // Horizon reached: termination beyond k is unobservable, no marker.
+    out.insert(prefix);
+    return;
+  }
+  if (pta.children(state).empty()) {
+    // Leaf within the horizon: mark termination (alphabet_size() is never a
+    // real symbol) so leaves differ from inner states sharing the prefixes.
+    std::vector<std::size_t> tail = prefix;
+    tail.push_back(pta.alphabet_size());
+    out.insert(std::move(tail));
+    return;
+  }
+  for (const auto& [symbol, child] : pta.children(state)) {
+    prefix.push_back(symbol);
+    collect_tails(pta, child, k - 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+Nfa ktails(const Pta& pta, std::size_t k) {
+  // Partition states by k-tail.
+  std::map<std::set<std::vector<std::size_t>>, std::size_t> classes;
+  std::vector<std::size_t> class_of(pta.num_states());
+  for (std::size_t s = 0; s < pta.num_states(); ++s) {
+    std::set<std::vector<std::size_t>> tails;
+    std::vector<std::size_t> prefix;
+    collect_tails(pta, s, k, prefix, tails);
+    const auto [it, inserted] = classes.emplace(std::move(tails), classes.size());
+    class_of[s] = it->second;
+  }
+
+  Nfa out(classes.size(), class_of[0]);
+  for (std::size_t s = 0; s < pta.num_states(); ++s) {
+    for (const auto& [symbol, child] : pta.children(s)) {
+      out.add_transition(class_of[s], symbol, class_of[child]);
+    }
+  }
+  return out;
+}
+
+Nfa ktails(const std::vector<std::vector<std::size_t>>& sequences,
+           std::size_t alphabet_size, std::size_t k) {
+  const Pta pta(sequences, alphabet_size);
+  return ktails(pta, k);
+}
+
+}  // namespace t2m

@@ -1,0 +1,24 @@
+#ifndef T2M_STATEMERGE_KTAILS_H
+#define T2M_STATEMERGE_KTAILS_H
+
+#include <vector>
+
+#include "src/automaton/nfa.h"
+#include "src/statemerge/pta.h"
+
+namespace t2m {
+
+/// Classic kTails state merging (Biermann & Feldman 1972): build the PTA,
+/// compute every state's k-tail (the set of symbol strings of length <= k
+/// leaving it, with explicit termination markers), and merge states whose
+/// k-tails coincide. The quotient automaton may be nondeterministic. The
+/// parameter k controls generalisation: small k merges aggressively.
+Nfa ktails(const std::vector<std::vector<std::size_t>>& sequences,
+           std::size_t alphabet_size, std::size_t k);
+
+/// Convenience overload over an existing PTA.
+Nfa ktails(const Pta& pta, std::size_t k);
+
+}  // namespace t2m
+
+#endif  // T2M_STATEMERGE_KTAILS_H

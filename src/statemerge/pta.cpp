@@ -1,0 +1,65 @@
+#include "src/statemerge/pta.h"
+
+#include <stdexcept>
+
+namespace t2m {
+
+SymbolSequence symbols_of_trace(const Trace& trace) {
+  SymbolSequence out;
+  std::map<std::string, std::size_t> interned;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const std::string name = trace.format_obs(t);
+    const auto [it, inserted] = interned.emplace(name, out.alphabet.size());
+    if (inserted) out.alphabet.push_back(name);
+    out.seq.push_back(it->second);
+  }
+  return out;
+}
+
+SymbolSequence symbols_of_preds(const PredicateSequence& preds, const Schema& schema) {
+  SymbolSequence out;
+  out.alphabet = preds.names_for(schema);
+  out.seq = preds.seq;
+  return out;
+}
+
+Pta::Pta(const std::vector<std::vector<std::size_t>>& sequences, std::size_t alphabet_size)
+    : alphabet_size_(alphabet_size) {
+  children_.emplace_back();  // root
+  for (const auto& sequence : sequences) {
+    std::size_t state = 0;
+    for (const std::size_t symbol : sequence) {
+      if (symbol >= alphabet_size_) {
+        throw std::invalid_argument("Pta: symbol out of alphabet range");
+      }
+      const auto it = children_[state].find(symbol);
+      if (it != children_[state].end()) {
+        state = it->second;
+      } else {
+        const std::size_t fresh = children_.size();
+        children_[state].emplace(symbol, fresh);
+        children_.emplace_back();
+        state = fresh;
+      }
+    }
+  }
+}
+
+std::optional<std::size_t> Pta::child(std::size_t state, std::size_t symbol) const {
+  const auto& kids = children_.at(state);
+  const auto it = kids.find(symbol);
+  if (it == kids.end()) return std::nullopt;
+  return it->second;
+}
+
+Nfa Pta::to_nfa() const {
+  Nfa out(std::max<std::size_t>(1, children_.size()), 0);
+  for (std::size_t s = 0; s < children_.size(); ++s) {
+    for (const auto& [symbol, dst] : children_[s]) {
+      out.add_transition(s, symbol, dst);
+    }
+  }
+  return out;
+}
+
+}  // namespace t2m

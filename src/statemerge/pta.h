@@ -1,0 +1,56 @@
+#ifndef T2M_STATEMERGE_PTA_H
+#define T2M_STATEMERGE_PTA_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/abstraction/predicate.h"
+#include "src/automaton/nfa.h"
+#include "src/trace/trace.h"
+
+namespace t2m {
+
+/// A symbol sequence over a named alphabet: the input representation of the
+/// state-merge baseline. Unlike our learner, state merging consumes the
+/// events EXPLICIT in the trace, so each distinct observation becomes its
+/// own symbol (this is why the counter baseline explodes to hundreds of
+/// states: every counter value is a separate event).
+struct SymbolSequence {
+  std::vector<std::string> alphabet;
+  std::vector<std::size_t> seq;
+};
+
+/// One symbol per distinct observation, named by its rendered valuation.
+SymbolSequence symbols_of_trace(const Trace& trace);
+
+/// Symbols from an abstracted predicate sequence (for like-for-like
+/// comparisons on the same alphabet as our learner).
+SymbolSequence symbols_of_preds(const PredicateSequence& preds, const Schema& schema);
+
+/// Prefix Tree Acceptor over a symbol alphabet. A single long trace yields a
+/// chain; multiple samples share prefixes. State 0 is the root.
+class Pta {
+public:
+  Pta(const std::vector<std::vector<std::size_t>>& sequences, std::size_t alphabet_size);
+
+  std::size_t num_states() const { return children_.size(); }
+  std::size_t alphabet_size() const { return alphabet_size_; }
+
+  std::optional<std::size_t> child(std::size_t state, std::size_t symbol) const;
+  const std::map<std::size_t, std::size_t>& children(std::size_t state) const {
+    return children_.at(state);
+  }
+
+  /// The PTA as an automaton (symbols as predicate ids).
+  Nfa to_nfa() const;
+
+private:
+  std::size_t alphabet_size_;
+  std::vector<std::map<std::size_t, std::size_t>> children_;  // state -> sym -> state
+};
+
+}  // namespace t2m
+
+#endif  // T2M_STATEMERGE_PTA_H

@@ -1,0 +1,54 @@
+#include "src/synth/cegis.h"
+
+#include <optional>
+
+#include "src/expr/eval.h"
+
+namespace t2m {
+
+namespace {
+
+/// Index of the first example the candidate mispredicts, if any.
+std::optional<std::size_t> find_counterexample(const Expr& candidate,
+                                               const std::vector<UpdateExample>& examples) {
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    const Value got = eval_value(candidate, examples[i].input, examples[i].input);
+    if (got != examples[i].output) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ExprPtr CegisSynth::synthesize(const std::vector<UpdateExample>& examples,
+                               CegisStats* stats) const {
+  CegisStats local;
+  CegisStats& st = stats ? *stats : local;
+  st = CegisStats{};
+
+  if (examples.empty()) return nullptr;
+
+  // Seed the working set with a spread of examples rather than a prefix, so
+  // constant-valued prefixes do not mislead the first round.
+  std::vector<UpdateExample> working;
+  const std::size_t stride =
+      examples.size() <= kInitialExamples ? 1 : examples.size() / kInitialExamples;
+  for (std::size_t i = 0; i < examples.size() && working.size() < kInitialExamples;
+       i += stride) {
+    working.push_back(examples[i]);
+  }
+
+  const EnumerativeSynth engine(schema_, grammar_);
+  for (std::size_t round = 0; round < kMaxIterations; ++round) {
+    ++st.iterations;
+    st.working_set = working.size();
+    const ExprPtr candidate = engine.synthesize(working, &st.inner);
+    if (!candidate) return nullptr;  // no term in the grammar fits
+    const auto cex = find_counterexample(*candidate, examples);
+    if (!cex) return candidate;
+    working.push_back(examples[*cex]);
+  }
+  return nullptr;
+}
+
+}  // namespace t2m

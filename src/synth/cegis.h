@@ -1,0 +1,43 @@
+#ifndef T2M_SYNTH_CEGIS_H
+#define T2M_SYNTH_CEGIS_H
+
+#include <vector>
+
+#include "src/synth/enumerative.h"
+
+namespace t2m {
+
+/// Counter-Example Guided Inductive Synthesis driver. Large example pools
+/// (thousands of pooled steps in mixed-trace abstraction) make direct
+/// enumeration signatures expensive, so we synthesise against a small working
+/// set and verify candidates against the full pool; a failing example joins
+/// the working set and the loop repeats. This is the classic CEGIS structure
+/// of fastsynth with example-checking as the verification oracle.
+struct CegisStats {
+  std::size_t iterations = 0;
+  std::size_t working_set = 0;
+  SynthStats inner;
+};
+
+class CegisSynth {
+public:
+  CegisSynth(const Schema& schema, Grammar grammar)
+      : schema_(schema), grammar_(std::move(grammar)) {}
+
+  /// Smallest expression consistent with every example, or nullptr.
+  ExprPtr synthesize(const std::vector<UpdateExample>& examples,
+                     CegisStats* stats = nullptr) const;
+
+  /// Initial working-set size.
+  static constexpr std::size_t kInitialExamples = 4;
+  /// Abort threshold: CEGIS rounds (each adds one counterexample).
+  static constexpr std::size_t kMaxIterations = 64;
+
+private:
+  const Schema& schema_;
+  Grammar grammar_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_SYNTH_CEGIS_H

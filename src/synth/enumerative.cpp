@@ -1,0 +1,189 @@
+#include "src/synth/enumerative.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace t2m {
+
+namespace {
+
+using Signature = std::vector<std::int64_t>;
+
+struct SigHash {
+  std::size_t operator()(const Signature& s) const noexcept {
+    std::size_t h = 0x811c9dc5u;
+    for (const std::int64_t v : s) {
+      h = (h ^ static_cast<std::size_t>(v)) * 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+struct Term {
+  ExprPtr expr;
+  Signature sig;
+};
+
+std::int64_t apply_arith(ExprOp op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case ExprOp::Add: return a + b;
+    case ExprOp::Sub: return a - b;
+    case ExprOp::Mul: return a * b;
+    default: throw std::logic_error("enumerative: unsupported arith op");
+  }
+}
+
+bool apply_cmp(ExprOp op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case ExprOp::Eq: return a == b;
+    case ExprOp::Ne: return a != b;
+    case ExprOp::Lt: return a < b;
+    case ExprOp::Le: return a <= b;
+    case ExprOp::Gt: return a > b;
+    case ExprOp::Ge: return a >= b;
+    default: throw std::logic_error("enumerative: unsupported cmp op");
+  }
+}
+
+}  // namespace
+
+EnumerativeSynth::EnumerativeSynth(const Schema& schema, Grammar grammar)
+    : schema_(schema), grammar_(std::move(grammar)) {}
+
+std::vector<ExprPtr> EnumerativeSynth::synthesize_all(
+    const std::vector<UpdateExample>& examples, SynthStats* stats) const {
+  SynthStats local;
+  SynthStats& st = stats ? *stats : local;
+  st = SynthStats{};
+
+  if (examples.empty()) return {};
+  for (const UpdateExample& ex : examples) {
+    if (!ex.output.is_int()) return {};  // numeric synthesis only
+  }
+
+  const std::size_t n = examples.size();
+  Signature target(n);
+  for (std::size_t i = 0; i < n; ++i) target[i] = examples[i].output.as_int();
+
+  // terms[s] holds representative integer terms of size s (post-pruning);
+  // bools[s] likewise for boolean terms (ite conditions).
+  std::vector<std::vector<Term>> terms(grammar_.max_size + 1);
+  std::vector<std::vector<Term>> bools(grammar_.max_size + 1);
+  std::unordered_set<Signature, SigHash> seen_int;
+  std::unordered_set<Signature, SigHash> seen_bool;
+
+  std::vector<ExprPtr> solutions;
+
+  const auto admissible_solution = [&](const Expr& e) {
+    if (!grammar_.solution_must_reference) return true;
+    std::set<std::pair<VarIndex, bool>> vars;
+    e.collect_vars(vars);
+    return vars.count({*grammar_.solution_must_reference, false}) > 0;
+  };
+  const auto consider_int = [&](std::size_t size, ExprPtr expr, Signature sig) {
+    ++st.terms_enumerated;
+    if (sig == target && solutions.size() < kMaxSolutions && admissible_solution(*expr)) {
+      solutions.push_back(expr);
+    }
+    if (terms[size].size() >= kMaxTermsPerSize) return;
+    if (seen_int.insert(sig).second) {
+      terms[size].push_back(Term{std::move(expr), std::move(sig)});
+      ++st.terms_kept;
+    }
+  };
+  const auto consider_bool = [&](std::size_t size, ExprPtr expr, Signature sig) {
+    ++st.terms_enumerated;
+    if (bools[size].size() >= kMaxTermsPerSize) return;
+    if (seen_bool.insert(sig).second) {
+      bools[size].push_back(Term{std::move(expr), std::move(sig)});
+      ++st.terms_kept;
+    }
+  };
+
+  for (std::size_t size = 1; size <= grammar_.max_size; ++size) {
+    if (size == 1) {
+      // Leaves: variables by index first (so `x + 1` is found before
+      // `1 + x`), then constants from the sorted pool.
+      for (const VarIndex v : grammar_.leaf_vars) {
+        Signature sig(n);
+        bool ok = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (v >= examples[i].input.size() || !examples[i].input[v].is_int()) {
+            ok = false;
+            break;
+          }
+          sig[i] = examples[i].input[v].as_int();
+        }
+        if (ok) consider_int(1, Expr::var_ref(v, /*primed=*/false), std::move(sig));
+      }
+      for (const std::int64_t c : grammar_.constants) {
+        consider_int(1, Expr::int_const(c), Signature(n, c));
+      }
+    } else {
+      // Binary arithmetic combinations: |lhs| + |rhs| = size - 1.
+      for (const ExprOp op : grammar_.arith_ops) {
+        for (std::size_t ls = 1; ls + 1 < size; ++ls) {
+          const std::size_t rs = size - 1 - ls;
+          for (const Term& lhs : terms[ls]) {
+            for (const Term& rhs : terms[rs]) {
+              Signature sig(n);
+              for (std::size_t i = 0; i < n; ++i) {
+                sig[i] = apply_arith(op, lhs.sig[i], rhs.sig[i]);
+              }
+              consider_int(size, Expr::binary(op, lhs.expr, rhs.expr), std::move(sig));
+            }
+          }
+        }
+      }
+      if (grammar_.allow_ite) {
+        // Comparisons become boolean terms.
+        for (const ExprOp op : grammar_.cmp_ops) {
+          for (std::size_t ls = 1; ls + 1 < size; ++ls) {
+            const std::size_t rs = size - 1 - ls;
+            for (const Term& lhs : terms[ls]) {
+              for (const Term& rhs : terms[rs]) {
+                Signature sig(n);
+                for (std::size_t i = 0; i < n; ++i) {
+                  sig[i] = apply_cmp(op, lhs.sig[i], rhs.sig[i]) ? 1 : 0;
+                }
+                consider_bool(size, Expr::binary(op, lhs.expr, rhs.expr), std::move(sig));
+              }
+            }
+          }
+        }
+        // ite(c, t, e) with |c| + |t| + |e| = size - 1.
+        for (std::size_t cs = 1; cs + 2 < size; ++cs) {
+          for (std::size_t ts = 1; cs + ts + 1 < size; ++ts) {
+            const std::size_t es = size - 1 - cs - ts;
+            for (const Term& cond : bools[cs]) {
+              for (const Term& then_t : terms[ts]) {
+                for (const Term& else_t : terms[es]) {
+                  Signature sig(n);
+                  for (std::size_t i = 0; i < n; ++i) {
+                    sig[i] = cond.sig[i] != 0 ? then_t.sig[i] : else_t.sig[i];
+                  }
+                  consider_int(size, Expr::ite(cond.expr, then_t.expr, else_t.expr),
+                               std::move(sig));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!solutions.empty()) {
+      st.solution_size = size;
+      return solutions;
+    }
+  }
+  return {};
+}
+
+ExprPtr EnumerativeSynth::synthesize(const std::vector<UpdateExample>& examples,
+                                     SynthStats* stats) const {
+  auto all = synthesize_all(examples, stats);
+  return all.empty() ? nullptr : all.front();
+}
+
+}  // namespace t2m

@@ -1,0 +1,52 @@
+#ifndef T2M_SYNTH_ENUMERATIVE_H
+#define T2M_SYNTH_ENUMERATIVE_H
+
+#include <vector>
+
+#include "src/base/schema.h"
+#include "src/expr/expr.h"
+#include "src/synth/examples.h"
+#include "src/synth/grammar.h"
+
+namespace t2m {
+
+/// Statistics from one synthesis run.
+struct SynthStats {
+  std::size_t terms_enumerated = 0;
+  std::size_t terms_kept = 0;  // after observational-equivalence pruning
+  std::size_t solution_size = 0;
+};
+
+/// Bottom-up enumerative synthesis from examples, in the style of fastsynth:
+/// terms are generated smallest-first, pruned by observational equivalence on
+/// the example inputs, and the search stops at the first size where a
+/// consistent term exists. All minimal-size solutions (up to a cap) are
+/// returned so callers can re-rank by global criteria such as trace-wide fit.
+class EnumerativeSynth {
+public:
+  EnumerativeSynth(const Schema& schema, Grammar grammar);
+
+  /// All expressions of minimal size consistent with `examples` (empty if no
+  /// term within grammar.max_size fits). Deterministic order.
+  std::vector<ExprPtr> synthesize_all(const std::vector<UpdateExample>& examples,
+                                      SynthStats* stats = nullptr) const;
+
+  /// First minimal solution or nullptr.
+  ExprPtr synthesize(const std::vector<UpdateExample>& examples,
+                     SynthStats* stats = nullptr) const;
+
+  const Grammar& grammar() const { return grammar_; }
+
+  /// Cap on distinct solutions returned by synthesize_all.
+  static constexpr std::size_t kMaxSolutions = 64;
+  /// Cap on equivalence classes kept per size (guards against blow-up).
+  static constexpr std::size_t kMaxTermsPerSize = 20000;
+
+private:
+  const Schema& schema_;
+  Grammar grammar_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_SYNTH_ENUMERATIVE_H

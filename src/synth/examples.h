@@ -1,0 +1,27 @@
+#ifndef T2M_SYNTH_EXAMPLES_H
+#define T2M_SYNTH_EXAMPLES_H
+
+#include <vector>
+
+#include "src/base/value.h"
+
+namespace t2m {
+
+/// A synthesis-from-examples constraint for an update function next(X):
+/// on `input` (a full observation) the function must produce `output`.
+/// This mirrors the paper's "next(1) = 2, next(2) = 3, next(3) = 4" samples.
+struct UpdateExample {
+  Valuation input;
+  Value output;
+};
+
+/// A labelled observation for guard synthesis: the guard must be true on
+/// every positive observation and false on every negative one.
+struct GuardExample {
+  Valuation obs;
+  bool positive = true;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_SYNTH_EXAMPLES_H

@@ -1,0 +1,38 @@
+#include "src/synth/grammar.h"
+
+#include <algorithm>
+#include <set>
+
+namespace t2m {
+
+Grammar Grammar::for_updates(const Schema& schema, VarIndex target,
+                             const std::vector<UpdateExample>& examples) {
+  Grammar g;
+  // Target variable first so updates read `op + ip`, not `ip + op`.
+  if (target < schema.size() && schema.var(target).is_numeric()) {
+    g.leaf_vars.push_back(target);
+  }
+  for (VarIndex v = 0; v < schema.size(); ++v) {
+    if (v != target && schema.var(v).is_numeric()) g.leaf_vars.push_back(v);
+  }
+
+  std::set<std::int64_t> pool = {0, 1};
+  for (const UpdateExample& ex : examples) {
+    if (ex.output.is_int()) {
+      pool.insert(ex.output.as_int());
+      if (target < ex.input.size() && ex.input[target].is_int()) {
+        // Output-input delta: yields the `c` of `x + c` update shapes.
+        pool.insert(ex.output.as_int() - ex.input[target].as_int());
+      }
+    }
+    for (VarIndex v = 0; v < ex.input.size(); ++v) {
+      if (ex.input[v].is_int()) pool.insert(ex.input[v].as_int());
+    }
+  }
+  // Negative constants are reachable through Sub/Neg; keep the pool small by
+  // storing magnitudes of small deltas and the raw values otherwise.
+  g.constants.assign(pool.begin(), pool.end());
+  return g;
+}
+
+}  // namespace t2m

@@ -1,0 +1,48 @@
+#ifndef T2M_SYNTH_GRAMMAR_H
+#define T2M_SYNTH_GRAMMAR_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/schema.h"
+#include "src/expr/expr.h"
+#include "src/synth/examples.h"
+
+namespace t2m {
+
+/// Search-space description for the enumerative synthesiser. This plays the
+/// role of a SyGuS grammar: callers may hand-craft one (syntax-guided mode)
+/// or derive one from the examples (fastsynth-like mode, where constants are
+/// discovered automatically from the data).
+struct Grammar {
+  /// Variables usable as leaves (read from the current observation).
+  std::vector<VarIndex> leaf_vars;
+  /// Integer constant pool.
+  std::vector<std::int64_t> constants;
+  /// Binary arithmetic operators to combine integer terms with.
+  std::vector<ExprOp> arith_ops = {ExprOp::Add, ExprOp::Sub};
+  /// Comparison operators for boolean terms (used when allow_ite is set).
+  std::vector<ExprOp> cmp_ops = {ExprOp::Ge, ExprOp::Le, ExprOp::Eq};
+  /// Whether if-then-else terms may be built.
+  bool allow_ite = false;
+  /// Maximum AST size to enumerate.
+  std::size_t max_size = 5;
+  /// When set, a term only counts as a SOLUTION if it references this
+  /// variable (it remains available as a subterm regardless). Numeric trace
+  /// abstraction sets it to the update target: `op' = 5` or `op' = ip + 4`
+  /// describe a saturation mode, not an update law, and must lose to guard
+  /// synthesis even when they are the smallest fit.
+  std::optional<VarIndex> solution_must_reference;
+
+  /// Derives a grammar from update examples: leaves are the numeric
+  /// variables of `schema`, constants are the distinct example values and
+  /// output-input deltas for `target` plus {0, 1}. This is the automatic
+  /// constant discovery the paper attributes to fastsynth (Section VII).
+  static Grammar for_updates(const Schema& schema, VarIndex target,
+                             const std::vector<UpdateExample>& examples);
+};
+
+}  // namespace t2m
+
+#endif  // T2M_SYNTH_GRAMMAR_H

@@ -1,0 +1,135 @@
+#include "src/synth/guard_synth.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/expr/eval.h"
+
+namespace t2m {
+
+namespace {
+
+/// An atom with its exclusion mask: bit i set when the atom is false on
+/// negative i (i.e. the atom "covers" that negative).
+struct AtomInfo {
+  ExprPtr expr;
+  std::vector<bool> excludes;
+  std::size_t exclude_count = 0;
+};
+
+std::vector<AtomInfo> atoms_for(const Schema& schema, const Valuation& positive,
+                                const std::vector<Valuation>& negatives) {
+  std::vector<AtomInfo> atoms;
+  const auto push = [&](ExprPtr e) {
+    AtomInfo info;
+    info.excludes.resize(negatives.size());
+    for (std::size_t i = 0; i < negatives.size(); ++i) {
+      const bool true_on_neg = eval_guard(*e, negatives[i]);
+      info.excludes[i] = !true_on_neg;
+      if (!true_on_neg) ++info.exclude_count;
+    }
+    info.expr = std::move(e);
+    if (info.exclude_count > 0) atoms.push_back(std::move(info));
+  };
+
+  for (VarIndex v = 0; v < schema.size(); ++v) {
+    const Value& val = positive.at(v);
+    const ExprPtr var = Expr::var_ref(v, /*primed=*/false);
+    if (schema.var(v).is_numeric()) {
+      const ExprPtr c = Expr::constant(val);
+      push(Expr::ge(var, c));
+      push(Expr::le(var, c));
+      push(Expr::eq(var, c));
+    } else {
+      push(Expr::eq(var, Expr::constant(val)));
+    }
+  }
+  return atoms;
+}
+
+/// True when the OR of the atoms' exclusion masks covers every negative.
+bool covers_all(const std::vector<const AtomInfo*>& subset, std::size_t neg_count) {
+  for (std::size_t i = 0; i < neg_count; ++i) {
+    bool covered = false;
+    for (const AtomInfo* a : subset) {
+      if (a->excludes[i]) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+ExprPtr conj_of(const std::vector<const AtomInfo*>& subset) {
+  std::vector<ExprPtr> parts;
+  parts.reserve(subset.size());
+  for (const AtomInfo* a : subset) parts.push_back(a->expr);
+  return Expr::conj(std::move(parts));
+}
+
+/// Smallest conjunction (by atom count, then generation order) excluding all
+/// negatives; nullptr when impossible within kMaxConjunction atoms.
+ExprPtr cluster_guard(const Schema& schema, const Valuation& positive,
+                      const std::vector<Valuation>& negatives) {
+  if (negatives.empty()) return Expr::bool_const(true);
+  std::vector<AtomInfo> atoms = atoms_for(schema, positive, negatives);
+  const std::size_t n = negatives.size();
+
+  for (const AtomInfo& a : atoms) {
+    if (a.exclude_count == n) return a.expr;
+  }
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+      const std::vector<const AtomInfo*> pair = {&atoms[i], &atoms[j]};
+      if (covers_all(pair, n)) return conj_of(pair);
+    }
+  }
+  if (GuardSynth::kMaxConjunction >= 3) {
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+        for (std::size_t k = j + 1; k < atoms.size(); ++k) {
+          const std::vector<const AtomInfo*> triple = {&atoms[i], &atoms[j], &atoms[k]};
+          if (covers_all(triple, n)) return conj_of(triple);
+        }
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ExprPtr GuardSynth::synthesize(const std::vector<GuardExample>& examples) const {
+  std::set<Valuation> positives;
+  std::set<Valuation> negatives_set;
+  for (const GuardExample& ex : examples) {
+    (ex.positive ? positives : negatives_set).insert(ex.obs);
+  }
+  if (positives.empty()) return nullptr;
+  // A negative identical to a positive is unsatisfiable; treat as conflict.
+  for (const Valuation& p : positives) {
+    if (negatives_set.count(p) > 0) return nullptr;
+  }
+  const std::vector<Valuation> negatives(negatives_set.begin(), negatives_set.end());
+
+  std::vector<ExprPtr> clauses;
+  for (const Valuation& p : positives) {
+    // Skip positives already captured by an earlier cluster's conjunction.
+    bool captured = false;
+    for (const ExprPtr& c : clauses) {
+      if (eval_guard(*c, p)) {
+        captured = true;
+        break;
+      }
+    }
+    if (captured) continue;
+    ExprPtr guard = cluster_guard(schema_, p, negatives);
+    if (!guard) return nullptr;
+    clauses.push_back(std::move(guard));
+  }
+  return Expr::disj(std::move(clauses));
+}
+
+}  // namespace t2m

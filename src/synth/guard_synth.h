@@ -1,0 +1,41 @@
+#ifndef T2M_SYNTH_GUARD_SYNTH_H
+#define T2M_SYNTH_GUARD_SYNTH_H
+
+#include <vector>
+
+#include "src/base/schema.h"
+#include "src/expr/expr.h"
+#include "src/synth/examples.h"
+
+namespace t2m {
+
+/// Synthesises boolean guards over unprimed variables from labelled
+/// observations: the result holds on every positive observation and on no
+/// negative one. Guards explain the mode-switch windows of numeric traces
+/// (the paper's `x >= 128`, `x <= 1`, `(op = 5 && ip = 1) || ...`).
+///
+/// Method: positives are clustered by distinct valuation; for each cluster
+/// the smallest conjunction of comparison atoms (v >= c, v <= c, v = c over
+/// numeric variables; v = sym over categorical ones) that excludes all
+/// negatives is found by exhaustive subset search of bounded width; the
+/// cluster conjunctions are disjoined. Atom generation order (>=, <=, =)
+/// makes results deterministic and favours interval guards, matching the
+/// paper's published predicates.
+class GuardSynth {
+public:
+  explicit GuardSynth(const Schema& schema) : schema_(schema) {}
+
+  /// Smallest separating guard or nullptr when none exists within bounds
+  /// (in particular when a negative equals a positive valuation).
+  ExprPtr synthesize(const std::vector<GuardExample>& examples) const;
+
+  /// Maximum atoms per cluster conjunction.
+  static constexpr std::size_t kMaxConjunction = 3;
+
+private:
+  const Schema& schema_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_SYNTH_GUARD_SYNTH_H

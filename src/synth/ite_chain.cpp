@@ -1,0 +1,40 @@
+#include "src/synth/ite_chain.h"
+
+#include <map>
+
+namespace t2m {
+
+ExprPtr IteChainSynth::synthesize(const std::vector<UpdateExample>& examples) const {
+  if (examples.empty()) return nullptr;
+
+  // Deduplicate by input valuation; reject functional inconsistency.
+  std::map<Valuation, Value> table;
+  for (const UpdateExample& ex : examples) {
+    const auto [it, inserted] = table.emplace(ex.input, ex.output);
+    if (!inserted && it->second != ex.output) return nullptr;
+  }
+
+  std::vector<VarIndex> numeric;
+  for (VarIndex v = 0; v < schema_.size(); ++v) {
+    if (schema_.var(v).is_numeric()) numeric.push_back(v);
+  }
+  if (numeric.empty()) return nullptr;
+
+  const auto match_of = [&](const Valuation& input) {
+    std::vector<ExprPtr> atoms;
+    for (const VarIndex v : numeric) {
+      atoms.push_back(Expr::eq(Expr::var_ref(v, false), Expr::constant(input.at(v))));
+    }
+    return Expr::conj(std::move(atoms));
+  };
+
+  // Last row becomes the else branch; the rest nest outward.
+  auto it = table.rbegin();
+  ExprPtr chain = Expr::constant(it->second);
+  for (++it; it != table.rend(); ++it) {
+    chain = Expr::ite(match_of(it->first), Expr::constant(it->second), std::move(chain));
+  }
+  return chain;
+}
+
+}  // namespace t2m

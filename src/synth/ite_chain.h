@@ -1,0 +1,32 @@
+#ifndef T2M_SYNTH_ITE_CHAIN_H
+#define T2M_SYNTH_ITE_CHAIN_H
+
+#include <vector>
+
+#include "src/base/schema.h"
+#include "src/expr/expr.h"
+#include "src/synth/examples.h"
+
+namespace t2m {
+
+/// The trivial "point solution" engine the paper observes in CVC4's
+/// grammar-free mode (Section VII): given the trace 1, 2, 4, 8 it produces a
+/// nested ite over input equalities instead of a generalising expression.
+/// We keep it as a comparison engine for the synthesis-engine bench and as a
+/// total fallback (it always succeeds on functionally consistent examples).
+class IteChainSynth {
+public:
+  explicit IteChainSynth(const Schema& schema) : schema_(schema) {}
+
+  /// Builds ite(in = i1, o1, ite(in = i2, o2, ... o_last)). Distinguishes
+  /// inputs on all numeric variables. Returns nullptr when two examples have
+  /// identical inputs but different outputs (not a function).
+  ExprPtr synthesize(const std::vector<UpdateExample>& examples) const;
+
+private:
+  const Schema& schema_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_SYNTH_ITE_CHAIN_H

@@ -1,0 +1,85 @@
+#include "src/trace/ftrace_io.h"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/util/string_utils.h"
+
+namespace t2m {
+
+namespace {
+
+/// Extracts (task, event) from a full ftrace line, or (empty, event) from the
+/// simplified two-column shape. Returns false if neither shape matches.
+bool parse_line(std::string_view line, std::string& task, std::string& event) {
+  const std::string_view trimmed = trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') return false;
+
+  // Full shape: "task-123 [000] d..2 12.345678: event_name: details"
+  const auto first_colon = trimmed.find(": ");
+  if (first_colon != std::string_view::npos && trimmed.find('[') != std::string_view::npos) {
+    const auto fields = split_ws(trimmed.substr(0, first_colon));
+    if (!fields.empty()) {
+      const std::string& head = fields.front();
+      const auto dash = head.rfind('-');
+      task = dash == std::string::npos ? head : head.substr(0, dash);
+      std::string_view rest = trimmed.substr(first_colon + 2);
+      const auto second_colon = rest.find(':');
+      event = std::string(second_colon == std::string_view::npos
+                              ? trim(rest)
+                              : trim(rest.substr(0, second_colon)));
+      return !event.empty();
+    }
+  }
+
+  // Simplified shape: "<timestamp> <event> [details]"
+  const auto fields = split_ws(trimmed);
+  if (fields.size() >= 2) {
+    // The first field must look like a number to avoid misreading data rows.
+    const std::string& ts = fields[0];
+    bool numeric = !ts.empty();
+    for (const char c : ts) {
+      if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.') {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) {
+      task.clear();
+      event = fields[1];
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Trace read_ftrace(std::istream& is, const std::string& task_filter) {
+  Schema schema;
+  const VarIndex ev = schema.add_cat("event", {}, std::nullopt);
+  Trace trace(std::move(schema));
+
+  std::string line, task, event;
+  while (std::getline(is, line)) {
+    if (!parse_line(line, task, event)) continue;
+    if (!task_filter.empty() && task != task_filter) continue;
+    const auto sym = trace.mutable_schema().sym_id_intern(ev, event);
+    trace.append({Value::of_sym(sym)});
+  }
+  return trace;
+}
+
+void write_ftrace(std::ostream& os, const Trace& trace) {
+  const Schema& schema = trace.schema();
+  if (schema.size() != 1 || schema.var(0).type != VarType::Cat) {
+    throw std::invalid_argument("write_ftrace: trace must have one categorical variable");
+  }
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    os << t << ".000000 " << schema.format_value(0, trace.obs(t)[0]) << '\n';
+  }
+}
+
+}  // namespace t2m

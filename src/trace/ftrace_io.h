@@ -1,0 +1,29 @@
+#ifndef T2M_TRACE_FTRACE_IO_H
+#define T2M_TRACE_FTRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace t2m {
+
+/// Parses a simplified ftrace-style event log into a single-variable
+/// categorical trace. Accepted line shapes (mirroring `trace-cmd report`
+/// output for sched events):
+///
+///   <task>-<pid> [<cpu>] <flags> <timestamp>: <event>: <details>
+///   <timestamp> <event> [details]
+///
+/// Only the event name is retained; task filtering selects lines whose task
+/// field matches `task_filter` (empty = keep all). Lines that do not match
+/// either shape are skipped.
+Trace read_ftrace(std::istream& is, const std::string& task_filter = "");
+
+/// Writes the trace in the simplified `<timestamp> <event>` shape. The trace
+/// must have a single categorical variable.
+void write_ftrace(std::ostream& os, const Trace& trace);
+
+}  // namespace t2m
+
+#endif  // T2M_TRACE_FTRACE_IO_H

@@ -1,0 +1,57 @@
+#include "src/trace/recorder.h"
+
+#include <stdexcept>
+
+namespace t2m {
+
+VarIndex TraceRecorder::declare_int(std::string name, std::int64_t initial) {
+  if (!trace_.empty()) {
+    throw std::logic_error("TraceRecorder: declare after first commit");
+  }
+  const VarIndex v = trace_.mutable_schema().add_int(std::move(name));
+  current_.push_back(Value::of_int(initial));
+  return v;
+}
+
+VarIndex TraceRecorder::declare_bool(std::string name, bool initial) {
+  if (!trace_.empty()) {
+    throw std::logic_error("TraceRecorder: declare after first commit");
+  }
+  const VarIndex v = trace_.mutable_schema().add_bool(std::move(name));
+  current_.push_back(Value::of_bool(initial));
+  return v;
+}
+
+VarIndex TraceRecorder::declare_cat(std::string name, std::vector<std::string> symbols,
+                                    const std::string& initial) {
+  if (!trace_.empty()) {
+    throw std::logic_error("TraceRecorder: declare after first commit");
+  }
+  const VarIndex v =
+      trace_.mutable_schema().add_cat(std::move(name), std::move(symbols), initial);
+  current_.push_back(Value::of_sym(trace_.schema().sym_id(v, initial)));
+  return v;
+}
+
+void TraceRecorder::set_int(VarIndex v, std::int64_t value) {
+  current_.at(v) = Value::of_int(value);
+}
+
+void TraceRecorder::set_bool(VarIndex v, bool value) {
+  current_.at(v) = Value::of_bool(value);
+}
+
+void TraceRecorder::set_sym(VarIndex v, const std::string& symbol) {
+  current_.at(v) = Value::of_sym(trace_.schema().sym_id(v, symbol));
+}
+
+void TraceRecorder::commit() { trace_.append(current_); }
+
+Trace TraceRecorder::take() {
+  Trace out = std::move(trace_);
+  trace_ = Trace();
+  current_.clear();
+  return out;
+}
+
+}  // namespace t2m

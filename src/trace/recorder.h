@@ -1,0 +1,53 @@
+#ifndef T2M_TRACE_RECORDER_H
+#define T2M_TRACE_RECORDER_H
+
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace t2m {
+
+/// Instrumentation facade mirroring the paper's "print statements in source
+/// code" tracing setup. A simulator declares variables once, then calls
+/// set()/commit() at each discrete step; the recorder materialises the
+/// observation sequence.
+///
+///   TraceRecorder rec;
+///   auto x = rec.declare_int("x");
+///   auto ev = rec.declare_cat("ev", {"IDLE", "READ"}, "IDLE");
+///   rec.set_int(x, 1); rec.set_sym(ev, "READ"); rec.commit();
+///
+/// Variables keep their previous value across commits unless re-set, so
+/// sparse instrumentation points need only touch what changed.
+class TraceRecorder {
+public:
+  TraceRecorder() = default;
+
+  VarIndex declare_int(std::string name, std::int64_t initial = 0);
+  VarIndex declare_bool(std::string name, bool initial = false);
+  VarIndex declare_cat(std::string name, std::vector<std::string> symbols,
+                       const std::string& initial);
+
+  void set_int(VarIndex v, std::int64_t value);
+  void set_bool(VarIndex v, bool value);
+  void set_sym(VarIndex v, const std::string& symbol);
+
+  /// Records the current valuation as the next observation.
+  void commit();
+
+  /// Number of committed observations so far.
+  std::size_t committed() const { return trace_.size(); }
+
+  /// Finishes recording and returns the trace (recorder resets to empty).
+  Trace take();
+
+  const Trace& trace() const { return trace_; }
+
+private:
+  Trace trace_;
+  Valuation current_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_TRACE_RECORDER_H

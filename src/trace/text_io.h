@@ -1,0 +1,30 @@
+#ifndef T2M_TRACE_TEXT_IO_H
+#define T2M_TRACE_TEXT_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace t2m {
+
+/// Self-describing text trace format:
+///
+///   # t2m-trace v1
+///   # var x int
+///   # var ev cat IDLE READ WRITE default=IDLE
+///   1 IDLE
+///   2 READ
+///
+/// Variable order in rows matches declaration order. Blank lines and other
+/// `#` comments are ignored. Categorical symbols not pre-declared are
+/// interned on first use.
+Trace read_trace_text(std::istream& is);
+Trace read_trace_file(const std::string& path);
+
+void write_trace_text(std::ostream& os, const Trace& trace);
+void write_trace_file(const std::string& path, const Trace& trace);
+
+}  // namespace t2m
+
+#endif  // T2M_TRACE_TEXT_IO_H

@@ -1,0 +1,36 @@
+#include "src/trace/trace.h"
+
+#include <stdexcept>
+
+namespace t2m {
+
+void Trace::append(Valuation observation) {
+  if (observation.size() != schema_.size()) {
+    throw std::invalid_argument("Trace::append: observation width " +
+                                std::to_string(observation.size()) +
+                                " does not match schema width " +
+                                std::to_string(schema_.size()));
+  }
+  observations_.push_back(std::move(observation));
+}
+
+Trace Trace::prefix(std::size_t n) const {
+  Trace out(schema_);
+  const std::size_t count = std::min(n, observations_.size());
+  for (std::size_t i = 0; i < count; ++i) out.append(observations_[i]);
+  return out;
+}
+
+std::string Trace::format_obs(std::size_t i) const {
+  const Valuation& v = obs(i);
+  std::string out;
+  for (VarIndex k = 0; k < schema_.size(); ++k) {
+    if (k > 0) out += ' ';
+    out += schema_.var(k).name;
+    out += '=';
+    out += schema_.format_value(k, v[k]);
+  }
+  return out;
+}
+
+}  // namespace t2m

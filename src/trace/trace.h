@@ -1,0 +1,51 @@
+#ifndef T2M_TRACE_TRACE_H
+#define T2M_TRACE_TRACE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/base/schema.h"
+#include "src/base/value.h"
+
+namespace t2m {
+
+/// An execution trace: a schema plus a sequence of observations (valuations
+/// of the schema's variables over time), sigma = v1, v2, ..., vn.
+class Trace {
+public:
+  Trace() = default;
+  explicit Trace(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+
+  /// Appends an observation; must have one value per schema variable.
+  void append(Valuation observation);
+
+  std::size_t size() const { return observations_.size(); }
+  bool empty() const { return observations_.empty(); }
+  /// Number of steps (adjacent observation pairs): size()-1, or 0.
+  std::size_t num_steps() const { return observations_.empty() ? 0 : observations_.size() - 1; }
+
+  const Valuation& obs(std::size_t i) const { return observations_.at(i); }
+  const std::vector<Valuation>& observations() const { return observations_; }
+
+  /// Source / destination observation of step `i` (0-based, i < num_steps()).
+  const Valuation& step_cur(std::size_t i) const { return observations_.at(i); }
+  const Valuation& step_next(std::size_t i) const { return observations_.at(i + 1); }
+
+  /// Keeps only the first `n` observations (used by the scalability sweep).
+  Trace prefix(std::size_t n) const;
+
+  /// One-line textual rendering of observation `i` ("x=3 ev=READ").
+  std::string format_obs(std::size_t i) const;
+
+private:
+  Schema schema_;
+  std::vector<Valuation> observations_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_TRACE_TRACE_H

@@ -1,0 +1,56 @@
+#include "src/util/cli.h"
+
+#include <stdexcept>
+
+#include "src/util/string_utils.h"
+
+namespace t2m {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--flag value` when the next token is not itself a flag; else a switch.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& flag) const { return flags_.count(flag) > 0; }
+
+std::optional<std::string> CliArgs::get(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& flag, const std::string& fallback) const {
+  return get(flag).value_or(fallback);
+}
+
+std::int64_t CliArgs::get_int_or(const std::string& flag, std::int64_t fallback) const {
+  const auto v = get(flag);
+  if (!v || v->empty()) return fallback;
+  return std::stoll(*v);
+}
+
+double CliArgs::get_double_or(const std::string& flag, double fallback) const {
+  const auto v = get(flag);
+  if (!v || v->empty()) return fallback;
+  return std::stod(*v);
+}
+
+}  // namespace t2m

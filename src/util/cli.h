@@ -1,0 +1,35 @@
+#ifndef T2M_UTIL_CLI_H
+#define T2M_UTIL_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace t2m {
+
+/// Tiny `--flag value` / `--flag=value` / `--switch` command-line parser used
+/// by the example programs, benches, and the t2m tool.
+class CliArgs {
+public:
+  CliArgs(int argc, const char* const* argv);
+
+  const std::string& program() const { return program_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& flag) const;
+  std::optional<std::string> get(const std::string& flag) const;
+  std::string get_or(const std::string& flag, const std::string& fallback) const;
+  std::int64_t get_int_or(const std::string& flag, std::int64_t fallback) const;
+  double get_double_or(const std::string& flag, double fallback) const;
+
+private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_UTIL_CLI_H

@@ -1,0 +1,55 @@
+#include "src/util/csv.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace t2m {
+
+TableWriter::TableWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TableWriter: empty header");
+}
+
+void TableWriter::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TableWriter: row width " + std::to_string(row.size()) +
+                                " does not match header width " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::write_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void TableWriter::write_ascii(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << row[i] << std::string(widths[i] - row[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  os << '|';
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace t2m

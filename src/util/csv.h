@@ -1,0 +1,32 @@
+#ifndef T2M_UTIL_CSV_H
+#define T2M_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace t2m {
+
+/// Accumulates rows and renders either CSV (for downstream plotting) or an
+/// aligned ASCII table (for terminal output). Bench harnesses use this to
+/// print the paper's tables.
+class TableWriter {
+public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders as comma-separated values, one line per row, header first.
+  void write_csv(std::ostream& os) const;
+  /// Renders as a column-aligned ASCII table with a rule under the header.
+  void write_ascii(std::ostream& os) const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_UTIL_CSV_H

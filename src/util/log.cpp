@@ -1,0 +1,32 @@
+#include "src/util/log.h"
+
+#include <iostream>
+
+namespace t2m {
+
+namespace {
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO ";
+    case LogLevel::Warn:  return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  std::cerr << "[t2m " << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace t2m

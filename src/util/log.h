@@ -1,0 +1,69 @@
+#ifndef T2M_UTIL_LOG_H
+#define T2M_UTIL_LOG_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace t2m {
+
+/// Severity levels for the library logger, ordered by verbosity.
+enum class LogLevel : std::uint8_t { Trace, Debug, Info, Warn, Error, Off };
+
+/// Minimal thread-unsafe logger writing to stderr. The learner emits
+/// progress at Debug and per-iteration statistics at Trace; benches usually
+/// run with Warn to keep tables clean.
+class Logger {
+public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::Off; }
+
+  void write(LogLevel level, const std::string& message);
+
+private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+};
+
+namespace detail {
+
+/// RAII line builder: streams parts, emits one log line on destruction.
+class LogLine {
+public:
+  LogLine(LogLevel level, bool enabled) : level_(level), enabled_(enabled) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (enabled_) Logger::instance().write(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_line(LogLevel level) {
+  return detail::LogLine(level, Logger::instance().enabled(level));
+}
+
+inline detail::LogLine log_trace() { return log_line(LogLevel::Trace); }
+inline detail::LogLine log_debug() { return log_line(LogLevel::Debug); }
+inline detail::LogLine log_info() { return log_line(LogLevel::Info); }
+inline detail::LogLine log_warn() { return log_line(LogLevel::Warn); }
+inline detail::LogLine log_error() { return log_line(LogLevel::Error); }
+
+}  // namespace t2m
+
+#endif  // T2M_UTIL_LOG_H

@@ -1,0 +1,60 @@
+#ifndef T2M_UTIL_RNG_H
+#define T2M_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace t2m {
+
+/// Deterministic xoshiro256** PRNG. Simulators and property tests need
+/// reproducible streams independent of the standard library implementation.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) { return unit() < p; }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace t2m
+
+#endif  // T2M_UTIL_RNG_H

@@ -1,0 +1,4 @@
+#include "src/util/stopwatch.h"
+
+// Header-only component; this translation unit exists so the build exposes a
+// stable object for the module and catches header self-containment issues.

@@ -1,0 +1,64 @@
+#ifndef T2M_UTIL_STOPWATCH_H
+#define T2M_UTIL_STOPWATCH_H
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+namespace t2m {
+
+/// Wall-clock stopwatch used by the learner and the bench harnesses.
+class Stopwatch {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  std::int64_t elapsed_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start_)
+        .count();
+  }
+
+private:
+  Clock::time_point start_;
+};
+
+/// A soft deadline checked cooperatively by long-running algorithms (SAT
+/// search, learner refinement). A default-constructed deadline never expires.
+class Deadline {
+public:
+  Deadline() = default;
+
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.expiry_ = Stopwatch::Clock::now() +
+                std::chrono::duration_cast<Stopwatch::Clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    return d;
+  }
+  static Deadline never() { return Deadline(); }
+
+  bool expired() const {
+    return expiry_.has_value() && Stopwatch::Clock::now() >= *expiry_;
+  }
+  bool is_finite() const { return expiry_.has_value(); }
+
+  /// Seconds remaining; +inf for the never-expiring deadline.
+  double remaining_seconds() const {
+    if (!expiry_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(*expiry_ - Stopwatch::Clock::now()).count();
+  }
+
+private:
+  std::optional<Stopwatch::Clock::time_point> expiry_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_UTIL_STOPWATCH_H

@@ -1,0 +1,30 @@
+#ifndef T2M_UTIL_STRING_UTILS_H
+#define T2M_UTIL_STRING_UTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace t2m {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on any run of whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string format_double(double value, int digits = 3);
+
+}  // namespace t2m
+
+#endif  // T2M_UTIL_STRING_UTILS_H

@@ -1,0 +1,196 @@
+// End-to-end reproduction checks: every paper benchmark learns a model of
+// the published shape (state count, vocabulary, structure). These are the
+// executable versions of Figs. 1b, 2b, 3, 4, 5, 6.
+
+#include <gtest/gtest.h>
+
+#include "src/automaton/isomorphism.h"
+#include "src/automaton/ops.h"
+#include "src/core/compliance.h"
+#include "src/core/learner.h"
+#include "src/sim/basic/counter.h"
+#include "src/sim/basic/integrator.h"
+#include "src/sim/references.h"
+#include "src/sim/rtlinux/workloads.h"
+#include "src/sim/serial/serial_port.h"
+#include "src/sim/xhci/ring_interface.h"
+#include "src/sim/xhci/slot_fsm.h"
+
+namespace t2m {
+namespace {
+
+LearnResult learn(const Trace& trace, std::vector<std::string> inputs = {}) {
+  LearnerConfig config;
+  config.abstraction.input_vars = std::move(inputs);
+  LearnResult r = ModelLearner(config).learn(trace);
+  EXPECT_TRUE(r.success);
+  return r;
+}
+
+/// All transition paths of length l, as predicate-NAME tuples. Two minimal
+/// models with different (but equally valid) wirings share this language, so
+/// it is the right reproduction check where the SAT solver's choice among
+/// sibling models is arbitrary.
+std::set<std::vector<std::string>> path_language(const Nfa& m, std::size_t l) {
+  std::set<std::vector<std::string>> out;
+  for (const auto& path : transition_sequences(m, l)) {
+    std::vector<std::string> named;
+    named.reserve(path.size());
+    for (const PredId p : path) named.push_back(m.pred_name(p));
+    out.insert(std::move(named));
+  }
+  return out;
+}
+
+TEST(EndToEnd, Fig1bUsbSlot) {
+  const LearnResult r = learn(sim::generate_slot_trace());
+  EXPECT_EQ(r.states, 4u);  // Table II: 4 states
+  EXPECT_TRUE(isomorphic(canonicalize(r.model), sim::reference_usb_slot_expected()));
+}
+
+TEST(EndToEnd, Fig3UsbAttach) {
+  const LearnResult r = learn(sim::generate_usb_attach_trace());
+  // Paper: 7 states; our transaction mix lands within one state of that.
+  EXPECT_GE(r.states, 6u);
+  EXPECT_LE(r.states, 8u);
+  EXPECT_TRUE(r.model.accepts(r.preds.seq));
+}
+
+TEST(EndToEnd, Fig5Counter) {
+  const LearnResult r = learn(sim::generate_counter_trace({}));
+  EXPECT_EQ(r.states, 4u);
+  // Several 4-state wirings satisfy all constraints; they agree on the
+  // realisable label paths, which is what Fig. 5 depicts.
+  const Nfa reference = sim::reference_counter_model(128);
+  EXPECT_EQ(path_language(r.model, 2), path_language(reference, 2));
+  EXPECT_EQ(path_language(r.model, 3), path_language(reference, 3));
+  EXPECT_TRUE(r.model.accepts(r.preds.seq));
+}
+
+TEST(EndToEnd, Fig4Integrator) {
+  const LearnResult r =
+      learn(sim::generate_integrator_trace({}), {sim::integrator_input_var()});
+  EXPECT_EQ(r.states, 3u);  // Table II: 3 states
+  // Vocabulary: op' = op + ip, op' = op, and the merged saturation guard.
+  const auto names = r.preds.names_for(Schema());
+  bool has_merged_guard = false;
+  for (const Transition& t : r.model.transitions()) {
+    if (r.model.pred_name(t.pred).find("||") != std::string::npos) {
+      has_merged_guard = true;
+    }
+  }
+  EXPECT_TRUE(has_merged_guard);
+}
+
+TEST(EndToEnd, Fig2bSerial) {
+  const LearnResult r = learn(sim::generate_serial_trace({}));
+  // Paper: 6 states; ours is at least as concise.
+  EXPECT_GE(r.states, 4u);
+  EXPECT_LE(r.states, 6u);
+  // Event labels and data updates both appear on edges.
+  std::set<std::string> labels;
+  for (const Transition& t : r.model.transitions()) {
+    labels.insert(r.model.pred_name(t.pred));
+  }
+  EXPECT_TRUE(labels.count("read"));
+  EXPECT_TRUE(labels.count("write"));
+  EXPECT_TRUE(labels.count("reset"));
+  EXPECT_TRUE(labels.count("x' = x - 1"));
+  EXPECT_TRUE(labels.count("x' = x + 1"));
+  EXPECT_TRUE(labels.count("x' = 0"));
+}
+
+TEST(EndToEnd, Fig6RtLinux) {
+  const LearnResult r = learn(sim::generate_full_coverage_sched_trace(20165));
+  // Paper: 8 states with l = 2 compliance; our trace permits merging the
+  // two scheduler-entry states, landing at 7 (EXPERIMENTS.md discusses it).
+  EXPECT_GE(r.states, 7u);
+  EXPECT_LE(r.states, 8u);
+  // All eight events appear as edge labels.
+  std::set<std::string> labels;
+  for (const Transition& t : r.model.transitions()) {
+    labels.insert(r.model.pred_name(t.pred));
+  }
+  for (const auto& event : sim::sched_event_names()) {
+    EXPECT_TRUE(labels.count(event)) << event;
+  }
+}
+
+TEST(EndToEnd, Fig6RtLinuxDeeperComplianceRecoversEightStates) {
+  // With l = 3 the (sleepable, entry, preempt) mix is forbidden and the
+  // scheduler-entry states split, matching the paper's 8 exactly.
+  LearnerConfig config;
+  config.compliance_length = 3;
+  const LearnResult r =
+      ModelLearner(config).learn(sim::generate_full_coverage_sched_trace(6000));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.states, 8u);
+  EXPECT_EQ(path_language(r.model, 2),
+            path_language(sim::reference_sched_thread_model(), 2));
+}
+
+TEST(EndToEnd, LearnedModelsReplayTheirOwnTraces) {
+  const Trace traces[] = {
+      sim::generate_slot_trace({}),
+      sim::generate_counter_trace({16, 120, 1}),
+      sim::generate_serial_trace({16, 200, 11, 0.46, 0.44}),
+  };
+  for (const Trace& t : traces) {
+    const LearnResult r = learn(t);
+    EXPECT_TRUE(r.model.accepts(r.preds.seq));
+    const ComplianceResult c = check_compliance(r.model, r.preds.seq, 2);
+    EXPECT_TRUE(c.compliant);
+  }
+}
+
+TEST(EndToEnd, PairwiseEncodingReproducesSameModels) {
+  LearnerConfig config;
+  config.encoding = DeterminismEncoding::Pairwise;
+  const LearnResult slot = ModelLearner(config).learn(sim::generate_slot_trace());
+  ASSERT_TRUE(slot.success);
+  EXPECT_EQ(slot.states, 4u);
+  const LearnResult counter =
+      ModelLearner(config).learn(sim::generate_counter_trace({}));
+  ASSERT_TRUE(counter.success);
+  EXPECT_EQ(counter.states, 4u);
+}
+
+/// Parameterized sweep over w. With w = 3 the model is exactly Fig. 5;
+/// larger windows refine the peak/trough into nested guards (x >= 127 then
+/// x >= 128), so the model grows but stays concise and trace-accepting.
+class WindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WindowSweep, CounterModelConciseAndAccepting) {
+  LearnerConfig config;
+  config.window = GetParam();
+  const LearnResult r = ModelLearner(config).learn(sim::generate_counter_trace({}));
+  ASSERT_TRUE(r.success);
+  if (GetParam() == 3) {
+    EXPECT_EQ(r.states, 4u);
+  } else {
+    EXPECT_LE(r.states, 8u) << "w=" << GetParam();
+  }
+  EXPECT_TRUE(r.model.accepts(r.preds.seq));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep, ::testing::Values(3, 4, 5, 6));
+
+/// Parameterized sweep: counter thresholds all learn 4-state models with
+/// matching threshold guards.
+class ThresholdSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ThresholdSweep, FourStatesAnyThreshold) {
+  const std::int64_t threshold = GetParam();
+  const Trace t = sim::generate_counter_trace(
+      {threshold, static_cast<std::size_t>(threshold * 7 / 2), 1});
+  const LearnResult r = ModelLearner().learn(t);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.states, 4u);
+  const Nfa reference = sim::reference_counter_model(threshold);
+  EXPECT_EQ(path_language(r.model, 2), path_language(reference, 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep, ::testing::Values(8, 16, 32, 100));
+
+}  // namespace
+}  // namespace t2m

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "src/expr/eval.h"
+#include "src/expr/expr.h"
+#include "src/expr/parser.h"
+#include "src/expr/printer.h"
+#include "src/expr/simplify.h"
+
+namespace t2m {
+namespace {
+
+Schema test_schema() {
+  Schema s;
+  s.add_int("x");
+  s.add_int("y");
+  s.add_cat("ev", {"idle", "read", "write"}, "idle");
+  return s;
+}
+
+Valuation obs(std::int64_t x, std::int64_t y, std::int64_t ev = 0) {
+  return {Value::of_int(x), Value::of_int(y), Value::of_sym(ev)};
+}
+
+TEST(Expr, SizeCountsNodes) {
+  const auto e = Expr::add(Expr::var_ref(0, false), Expr::int_const(1));
+  EXPECT_EQ(e->size(), 3u);
+  EXPECT_EQ(Expr::int_const(5)->size(), 1u);
+  const auto ite = Expr::ite(Expr::bool_const(true), e, Expr::int_const(0));
+  EXPECT_EQ(ite->size(), 6u);
+}
+
+TEST(Expr, GuardDetection) {
+  const auto guard = Expr::ge(Expr::var_ref(0, false), Expr::int_const(128));
+  EXPECT_TRUE(guard->is_guard());
+  const auto update = Expr::update_of(0, Expr::int_const(0));
+  EXPECT_FALSE(update->is_guard());
+}
+
+TEST(Expr, StructuralEqualityAndHash) {
+  const auto a = Expr::add(Expr::var_ref(0, false), Expr::int_const(1));
+  const auto b = Expr::add(Expr::var_ref(0, false), Expr::int_const(1));
+  const auto c = Expr::add(Expr::var_ref(0, true), Expr::int_const(1));
+  EXPECT_TRUE(Expr::equal(*a, *b));
+  EXPECT_FALSE(Expr::equal(*a, *c));
+  EXPECT_EQ(Expr::hash(*a), Expr::hash(*b));
+}
+
+TEST(Expr, CollectVars) {
+  const auto e = Expr::update_of(0, Expr::add(Expr::var_ref(0, false),
+                                              Expr::var_ref(1, false)));
+  std::set<std::pair<VarIndex, bool>> vars;
+  e->collect_vars(vars);
+  EXPECT_EQ(vars.size(), 3u);
+  EXPECT_TRUE(vars.count({0, true}));
+  EXPECT_TRUE(vars.count({0, false}));
+  EXPECT_TRUE(vars.count({1, false}));
+}
+
+TEST(Expr, ConjDisjEdgeCases) {
+  EXPECT_EQ(eval_guard(*Expr::conj({}), obs(0, 0)), true);
+  EXPECT_EQ(eval_guard(*Expr::disj({}), obs(0, 0)), false);
+  const auto single = Expr::ge(Expr::var_ref(0, false), Expr::int_const(1));
+  EXPECT_TRUE(Expr::equal(*Expr::conj({single}), *single));
+}
+
+TEST(Eval, ArithmeticAndComparison) {
+  const Valuation cur = obs(3, 4);
+  const Valuation next = obs(5, 6);
+  const auto x = Expr::var_ref(0, false);
+  const auto xp = Expr::var_ref(0, true);
+  EXPECT_EQ(eval_value(*Expr::add(x, Expr::int_const(2)), cur, next), Value::of_int(5));
+  EXPECT_EQ(eval_value(*Expr::mul(x, x), cur, next), Value::of_int(9));
+  EXPECT_TRUE(eval_bool(*Expr::eq(xp, Expr::int_const(5)), cur, next));
+  EXPECT_TRUE(eval_bool(*Expr::update_of(0, Expr::add(x, Expr::int_const(2))), cur, next));
+  EXPECT_FALSE(eval_bool(*Expr::lt(xp, x), cur, next));
+}
+
+TEST(Eval, BooleanShortCircuitAndIte) {
+  const Valuation cur = obs(1, 0);
+  const auto t = Expr::bool_const(true);
+  const auto f = Expr::bool_const(false);
+  EXPECT_TRUE(eval_bool(*Expr::lor(t, f), cur, cur));
+  EXPECT_FALSE(eval_bool(*Expr::land(f, t), cur, cur));
+  const auto ite = Expr::ite(Expr::ge(Expr::var_ref(0, false), Expr::int_const(1)),
+                             Expr::int_const(10), Expr::int_const(20));
+  EXPECT_EQ(eval_value(*ite, cur, cur), Value::of_int(10));
+}
+
+TEST(Eval, SymbolEquality) {
+  const Valuation cur = obs(0, 0, 1);
+  const Valuation next = obs(0, 0, 2);
+  const auto ev_next = Expr::var_ref(2, true);
+  EXPECT_TRUE(eval_bool(*Expr::eq(ev_next, Expr::constant(Value::of_sym(2))), cur, next));
+  EXPECT_FALSE(eval_bool(*Expr::eq(ev_next, Expr::constant(Value::of_sym(1))), cur, next));
+  // A symbol never equals an integer.
+  EXPECT_FALSE(eval_bool(*Expr::eq(ev_next, Expr::int_const(2)), cur, next));
+}
+
+TEST(Eval, TypeErrorsThrow) {
+  const Valuation cur = obs(0, 0, 1);
+  const auto ev = Expr::var_ref(2, false);
+  EXPECT_THROW(eval_value(*Expr::add(ev, Expr::int_const(1)), cur, cur), std::logic_error);
+  EXPECT_THROW(eval_guard(*Expr::var_ref(0, true), cur), std::logic_error);
+}
+
+TEST(Printer, PaperNotation) {
+  const Schema s = test_schema();
+  const auto up = Expr::update_of(0, Expr::add(Expr::var_ref(0, false), Expr::int_const(1)));
+  EXPECT_EQ(to_string(*up, s), "x' = x + 1");
+  const auto guard = Expr::ge(Expr::var_ref(0, false), Expr::int_const(128));
+  EXPECT_EQ(to_string(*guard, s), "x >= 128");
+  const auto ev = Expr::eq(Expr::var_ref(2, true), Expr::constant(Value::of_sym(1)));
+  EXPECT_EQ(to_string(*ev, s), "ev' = read");
+}
+
+TEST(Printer, Parenthesization) {
+  const Schema s = test_schema();
+  const auto x = Expr::var_ref(0, false);
+  const auto e = Expr::mul(Expr::add(x, Expr::int_const(1)), Expr::int_const(2));
+  EXPECT_EQ(to_string(*e, s), "(x + 1) * 2");
+  const auto disj = Expr::lor(
+      Expr::land(Expr::ge(x, Expr::int_const(5)), Expr::le(x, Expr::int_const(9))),
+      Expr::eq(x, Expr::int_const(0)));
+  EXPECT_EQ(to_string(*disj, s), "x >= 5 && x <= 9 || x = 0");
+}
+
+TEST(Parser, RoundTripsPrinterOutput) {
+  const Schema s = test_schema();
+  const char* cases[] = {
+      "x' = x + 1",
+      "x >= 128",
+      "x <= 1",
+      "x' = x - 1",
+      "ev' = read",
+      "x >= 5 && y <= 3 || x = 0",
+      "x' = y + x",
+      "ite(x >= 2, y, x + 1)",
+      "!(x = 1)",
+      "-x + 3",
+  };
+  for (const char* text : cases) {
+    const ExprPtr parsed = parse_expr(text, s);
+    const ExprPtr reparsed = parse_expr(to_string(*parsed, s), s);
+    EXPECT_TRUE(Expr::equal(*parsed, *reparsed)) << text;
+  }
+}
+
+TEST(Parser, Errors) {
+  const Schema s = test_schema();
+  EXPECT_THROW(parse_expr("x +", s), std::invalid_argument);
+  EXPECT_THROW(parse_expr("unknown_var + 1", s), std::invalid_argument);
+  EXPECT_THROW(parse_expr("x + 1 extra", s), std::invalid_argument);
+  EXPECT_THROW(parse_expr("ite(x, 1)", s), std::invalid_argument);
+}
+
+TEST(Simplify, ConstantFolding) {
+  const Schema s = test_schema();
+  const auto folded = simplify(parse_expr("2 + 3 * 4", s));
+  EXPECT_EQ(to_string(*folded, s), "14");
+  EXPECT_EQ(to_string(*simplify(parse_expr("x + 0", s)), s), "x");
+  EXPECT_EQ(to_string(*simplify(parse_expr("x * 1", s)), s), "x");
+  EXPECT_EQ(to_string(*simplify(parse_expr("x * 0", s)), s), "0");
+  EXPECT_EQ(to_string(*simplify(parse_expr("x - x", s)), s), "0");
+}
+
+TEST(Simplify, NegativeAddendBecomesSub) {
+  const auto e = Expr::add(Expr::var_ref(0, false), Expr::int_const(-1));
+  const Schema s = test_schema();
+  EXPECT_EQ(to_string(*simplify(e), s), "x - 1");
+}
+
+TEST(Simplify, BooleanRules) {
+  const Schema s = test_schema();
+  EXPECT_EQ(to_string(*simplify(parse_expr("x >= 1 && true", s)), s), "x >= 1");
+  EXPECT_EQ(to_string(*simplify(parse_expr("x >= 1 || true", s)), s), "1");
+  EXPECT_EQ(to_string(*simplify(parse_expr("!!(x >= 1)", s)), s), "x >= 1");
+  EXPECT_EQ(to_string(*simplify(parse_expr("ite(true, x, y)", s)), s), "x");
+}
+
+/// Property: simplification preserves semantics on a grid of valuations.
+class SimplifySemantics : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SimplifySemantics, PreservesValue) {
+  const Schema s = test_schema();
+  const ExprPtr original = parse_expr(GetParam(), s);
+  const ExprPtr simplified = simplify(original);
+  for (std::int64_t x = -3; x <= 3; ++x) {
+    for (std::int64_t y = -2; y <= 2; ++y) {
+      const Valuation cur = obs(x, y);
+      const Valuation next = obs(x + 1, y - 1);
+      EXPECT_EQ(eval_value(*original, cur, next), eval_value(*simplified, cur, next))
+          << GetParam() << " at x=" << x << " y=" << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exprs, SimplifySemantics,
+                         ::testing::Values("x + 0 + y", "x * 1 - y * 0",
+                                           "ite(x >= 0, x + 1, x - 1)",
+                                           "x' = x + 1 && true",
+                                           "(x + 1) * (y + 0)", "x - x + y",
+                                           "!(x >= 1) || x >= 1"));
+
+}  // namespace
+}  // namespace t2m

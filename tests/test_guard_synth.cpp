@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "src/expr/eval.h"
+#include "src/expr/printer.h"
+#include "src/synth/guard_synth.h"
+
+namespace t2m {
+namespace {
+
+Schema counter_schema() {
+  Schema s;
+  s.add_int("x");
+  return s;
+}
+
+Schema integrator_schema() {
+  Schema s;
+  s.add_int("ip");
+  s.add_int("op");
+  return s;
+}
+
+std::vector<GuardExample> counter_examples(std::int64_t positive,
+                                           std::initializer_list<std::int64_t> negatives) {
+  std::vector<GuardExample> out;
+  out.push_back({{Value::of_int(positive)}, true});
+  for (const std::int64_t n : negatives) out.push_back({{Value::of_int(n)}, false});
+  return out;
+}
+
+TEST(GuardSynth, PeakThresholdGuard) {
+  // The counter's peak: separate 128 from everything below (Fig. 5).
+  const Schema s = counter_schema();
+  std::vector<GuardExample> examples = counter_examples(128, {});
+  for (std::int64_t v = 2; v <= 127; ++v) {
+    examples.push_back({{Value::of_int(v)}, false});
+  }
+  const ExprPtr g = GuardSynth(s).synthesize(examples);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(to_string(*g, s), "x >= 128");
+}
+
+TEST(GuardSynth, TroughThresholdGuard) {
+  const Schema s = counter_schema();
+  std::vector<GuardExample> examples = counter_examples(1, {});
+  for (std::int64_t v = 2; v <= 128; ++v) {
+    examples.push_back({{Value::of_int(v)}, false});
+  }
+  const ExprPtr g = GuardSynth(s).synthesize(examples);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(to_string(*g, s), "x <= 1");
+}
+
+TEST(GuardSynth, ConjunctionWhenOneAtomInsufficient) {
+  // Integrator saturation: (ip, op) = (1, 5) vs (0, 5), (1, 4), ...
+  const Schema s = integrator_schema();
+  std::vector<GuardExample> examples;
+  examples.push_back({{Value::of_int(1), Value::of_int(5)}, true});
+  examples.push_back({{Value::of_int(0), Value::of_int(5)}, false});
+  examples.push_back({{Value::of_int(-1), Value::of_int(5)}, false});
+  examples.push_back({{Value::of_int(1), Value::of_int(4)}, false});
+  examples.push_back({{Value::of_int(0), Value::of_int(0)}, false});
+  const ExprPtr g = GuardSynth(s).synthesize(examples);
+  ASSERT_TRUE(g);
+  // Must hold on the positive, fail on all negatives.
+  for (const GuardExample& ex : examples) {
+    EXPECT_EQ(eval_guard(*g, ex.obs), ex.positive);
+  }
+  EXPECT_EQ(g->op(), ExprOp::And);
+}
+
+TEST(GuardSynth, DisjunctionAcrossClusters) {
+  // Two positive clusters (both saturations) need an OR of conjunctions.
+  const Schema s = integrator_schema();
+  std::vector<GuardExample> examples;
+  examples.push_back({{Value::of_int(1), Value::of_int(5)}, true});
+  examples.push_back({{Value::of_int(-1), Value::of_int(-5)}, true});
+  for (std::int64_t ip = -1; ip <= 1; ++ip) {
+    for (std::int64_t op = -4; op <= 4; ++op) {
+      examples.push_back({{Value::of_int(ip), Value::of_int(op)}, false});
+    }
+  }
+  examples.push_back({{Value::of_int(0), Value::of_int(5)}, false});
+  examples.push_back({{Value::of_int(0), Value::of_int(-5)}, false});
+  const ExprPtr g = GuardSynth(s).synthesize(examples);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g->op(), ExprOp::Or);
+  for (const GuardExample& ex : examples) {
+    EXPECT_EQ(eval_guard(*g, ex.obs), ex.positive) << to_string(*g, s);
+  }
+}
+
+TEST(GuardSynth, CategoricalAtom) {
+  Schema s;
+  s.add_cat("ev", {"idle", "read", "write"}, "idle");
+  std::vector<GuardExample> examples;
+  examples.push_back({{Value::of_sym(1)}, true});
+  examples.push_back({{Value::of_sym(0)}, false});
+  examples.push_back({{Value::of_sym(2)}, false});
+  const ExprPtr g = GuardSynth(s).synthesize(examples);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(to_string(*g, s), "ev = read");
+}
+
+TEST(GuardSynth, ConflictingLabelsFail) {
+  const Schema s = counter_schema();
+  std::vector<GuardExample> examples = {
+      {{Value::of_int(5)}, true},
+      {{Value::of_int(5)}, false},
+  };
+  EXPECT_FALSE(GuardSynth(s).synthesize(examples));
+}
+
+TEST(GuardSynth, NoPositivesFail) {
+  const Schema s = counter_schema();
+  std::vector<GuardExample> examples = {{{Value::of_int(5)}, false}};
+  EXPECT_FALSE(GuardSynth(s).synthesize(examples));
+}
+
+TEST(GuardSynth, NoNegativesGivesTrue) {
+  const Schema s = counter_schema();
+  std::vector<GuardExample> examples = {{{Value::of_int(5)}, true}};
+  const ExprPtr g = GuardSynth(s).synthesize(examples);
+  ASSERT_TRUE(g);
+  EXPECT_TRUE(eval_guard(*g, {Value::of_int(99)}));
+}
+
+/// Property sweep: the guard always separates for threshold-style data.
+class GuardThreshold : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GuardThreshold, SeparatesTopValue) {
+  const std::int64_t top = GetParam();
+  const Schema s = counter_schema();
+  std::vector<GuardExample> examples = counter_examples(top, {});
+  for (std::int64_t v = 1; v < top; ++v) {
+    examples.push_back({{Value::of_int(v)}, false});
+  }
+  const ExprPtr g = GuardSynth(s).synthesize(examples);
+  ASSERT_TRUE(g);
+  for (const GuardExample& ex : examples) {
+    EXPECT_EQ(eval_guard(*g, ex.obs), ex.positive);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, GuardThreshold,
+                         ::testing::Values(2, 8, 16, 64, 128, 1000));
+
+}  // namespace
+}  // namespace t2m

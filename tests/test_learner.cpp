@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/core/compliance.h"
+#include "src/core/learner.h"
+#include "src/trace/recorder.h"
+
+namespace t2m {
+namespace {
+
+Trace event_trace(const std::vector<std::string>& events,
+                  const std::vector<std::string>& alphabet) {
+  TraceRecorder rec;
+  std::vector<std::string> symbols = alphabet;
+  symbols.insert(symbols.begin(), "__start");
+  const VarIndex ev = rec.declare_cat("ev", std::move(symbols), "__start");
+  rec.commit();
+  for (const auto& e : events) {
+    rec.set_sym(ev, e);
+    rec.commit();
+  }
+  return rec.take();
+}
+
+TEST(Compliance, DetectsInvalidSequences) {
+  Nfa m(2, 0);
+  m.add_transition(0, 0, 1);
+  m.add_transition(1, 1, 0);
+  m.add_transition(1, 0, 1);  // allows (0,0) via 0->1->1
+  const std::vector<PredId> seq = {0, 1, 0, 1};
+  const ComplianceResult r = check_compliance(m, seq, 2);
+  EXPECT_FALSE(r.compliant);
+  EXPECT_TRUE(r.invalid_sequences.count({0, 0}));
+}
+
+TEST(Compliance, PassesWhenModelMatchesSequence) {
+  Nfa m(2, 0);
+  m.add_transition(0, 0, 1);
+  m.add_transition(1, 1, 0);
+  const std::vector<PredId> seq = {0, 1, 0, 1};
+  EXPECT_TRUE(check_compliance(m, seq, 2).compliant);
+}
+
+TEST(Learner, SimpleCycle) {
+  const Trace t = event_trace({"a", "b", "c", "a", "b", "c", "a", "b", "c"},
+                              {"a", "b", "c"});
+  const ModelLearner learner;
+  const LearnResult r = learner.learn(t);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.states, 3u);
+  EXPECT_EQ(r.model.num_transitions(), 3u);
+}
+
+TEST(Learner, SelfLoopCollapsesToOneState) {
+  const Trace t = event_trace({"a", "a", "a", "a", "a", "a"}, {"a"});
+  const ModelLearner learner;
+  const LearnResult r = learner.learn(t);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.states, 2u);  // search starts at N=2; a self-loop fits
+}
+
+TEST(Learner, RefinementForcesLargerModel) {
+  // a-b alternation with a distinguished prefix: aab ab ab ... A 2-state
+  // model allowing (a,a) everywhere fails compliance against tails.
+  const Trace t = event_trace({"a", "b", "a", "b", "c", "a", "b", "c"},
+                              {"a", "b", "c"});
+  const ModelLearner learner;
+  const LearnResult r = learner.learn(t);
+  ASSERT_TRUE(r.success);
+  // Whatever N, the result must pass its own compliance check.
+  const ComplianceResult c =
+      check_compliance(r.model, r.preds.seq, learner.config().compliance_length);
+  EXPECT_TRUE(c.compliant);
+  EXPECT_TRUE(r.model.deterministic_per_predicate());
+}
+
+TEST(Learner, ModelEmbedsEverySegment) {
+  const Trace t = event_trace({"a", "b", "a", "c", "a", "b", "a", "c"},
+                              {"a", "b", "c"});
+  const ModelLearner learner;
+  const LearnResult r = learner.learn(t);
+  ASSERT_TRUE(r.success);
+  // The full predicate sequence must be accepted from the initial state:
+  // the chained windows pin the run through the whole trace.
+  EXPECT_TRUE(r.model.accepts(r.preds.seq));
+}
+
+TEST(Learner, NonSegmentedAgreesOnSmallInput) {
+  const Trace t = event_trace({"a", "b", "c", "a", "b", "c", "a", "b", "c"},
+                              {"a", "b", "c"});
+  LearnerConfig seg_config;
+  seg_config.segmented = true;
+  LearnerConfig full_config;
+  full_config.segmented = false;
+  const LearnResult seg = ModelLearner(seg_config).learn(t);
+  const LearnResult full = ModelLearner(full_config).learn(t);
+  ASSERT_TRUE(seg.success);
+  ASSERT_TRUE(full.success);
+  EXPECT_EQ(seg.states, full.states);
+}
+
+TEST(Learner, WindowSweepLearnsSameCycle) {
+  // The paper reports identical automata across window choices for their
+  // benchmarks; verify on the simple cycle for several w.
+  const std::vector<std::string> events = {"a", "b", "c", "a", "b", "c",
+                                           "a", "b", "c", "a", "b", "c"};
+  for (const std::size_t w : {2u, 3u, 4u, 5u}) {
+    LearnerConfig config;
+    config.window = w;
+    const LearnResult r = ModelLearner(config).learn(event_trace(events, {"a", "b", "c"}));
+    ASSERT_TRUE(r.success) << "w=" << w;
+    EXPECT_EQ(r.states, 3u) << "w=" << w;
+  }
+}
+
+TEST(Learner, InitialStatesRespected) {
+  const Trace t = event_trace({"a", "b", "a", "b"}, {"a", "b"});
+  LearnerConfig config;
+  config.initial_states = 4;  // start searching above the minimum
+  const LearnResult r = ModelLearner(config).learn(t);
+  ASSERT_TRUE(r.success);
+  EXPECT_GE(r.states, 4u);
+}
+
+TEST(Learner, TimeoutReported) {
+  // An effectively-zero budget must time out, not crash.
+  std::vector<std::string> events;
+  const char* alphabet[] = {"a", "b", "c", "d", "e"};
+  for (int i = 0; i < 2000; ++i) {
+    events.push_back(alphabet[(i * i + i / 7) % 5]);
+  }
+  LearnerConfig config;
+  config.timeout_seconds = 1e-9;
+  const LearnResult r =
+      ModelLearner(config).learn(event_trace(events, {"a", "b", "c", "d", "e"}));
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(Learner, MaxStatesBoundsSearch) {
+  const Trace t = event_trace({"a", "b", "c", "d", "a", "b", "c", "d"},
+                              {"a", "b", "c", "d"});
+  LearnerConfig config;
+  config.max_states = 1;
+  const LearnResult r = ModelLearner(config).learn(t);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST(Learner, StatsAreConsistent) {
+  const Trace t = event_trace({"a", "b", "a", "b", "a", "b"}, {"a", "b"});
+  const LearnResult r = ModelLearner().learn(t);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.stats.sequence_length, 6u);
+  EXPECT_GT(r.stats.segments, 0u);
+  EXPECT_GE(r.stats.sat_calls, 1u);
+  EXPECT_GE(r.stats.total_seconds, 0.0);
+}
+
+TEST(Learner, PredNamesAttachedToModel) {
+  const Trace t = event_trace({"a", "b", "a", "b"}, {"a", "b"});
+  const LearnResult r = ModelLearner().learn(t);
+  ASSERT_TRUE(r.success);
+  std::set<std::string> labels;
+  for (const Transition& tr : r.model.transitions()) {
+    labels.insert(r.model.pred_name(tr.pred));
+  }
+  EXPECT_TRUE(labels.count("a"));
+  EXPECT_TRUE(labels.count("b"));
+}
+
+}  // namespace
+}  // namespace t2m

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "src/automaton/coverage.h"
+#include "src/automaton/monitor.h"
+#include "src/automaton/ops.h"
+#include "src/core/learner.h"
+#include "src/sim/basic/counter.h"
+#include "src/sim/references.h"
+#include "src/trace/recorder.h"
+
+namespace t2m {
+namespace {
+
+/// Learns the counter model once for the monitor tests.
+const LearnResult& counter_model() {
+  static const LearnResult result = [] {
+    const Trace t = sim::generate_counter_trace({8, 60, 1});
+    LearnResult r = ModelLearner().learn(t);
+    EXPECT_TRUE(r.success);
+    return r;
+  }();
+  return result;
+}
+
+Valuation x_obs(std::int64_t v) { return {Value::of_int(v)}; }
+
+TEST(Monitor, AcceptsHealthyBehaviour) {
+  const LearnResult& r = counter_model();
+  Monitor monitor(r.model, r.preds.vocab);
+  for (std::int64_t x = 1; x <= 8; ++x) EXPECT_TRUE(monitor.feed(x_obs(x)));
+  for (std::int64_t x = 7; x >= 1; --x) EXPECT_TRUE(monitor.feed(x_obs(x)));
+  EXPECT_FALSE(monitor.violated());
+  EXPECT_EQ(monitor.observations(), 15u);
+}
+
+TEST(Monitor, FlagsIllegalJump) {
+  const LearnResult& r = counter_model();
+  Monitor monitor(r.model, r.preds.vocab);
+  EXPECT_TRUE(monitor.feed(x_obs(1)));
+  EXPECT_TRUE(monitor.feed(x_obs(2)));
+  EXPECT_FALSE(monitor.feed(x_obs(7)));  // jump by 5: no predicate matches
+  EXPECT_TRUE(monitor.violated());
+  EXPECT_EQ(monitor.violation_index(), 2u);
+  // Stays violated until reset.
+  EXPECT_FALSE(monitor.feed(x_obs(8)));
+  monitor.reset();
+  EXPECT_TRUE(monitor.feed(x_obs(3)));
+  EXPECT_FALSE(monitor.violated());
+}
+
+TEST(Monitor, FlagsWrongDirectionAtStart) {
+  const LearnResult& r = counter_model();
+  Monitor monitor(r.model, r.preds.vocab);
+  EXPECT_TRUE(monitor.feed(x_obs(5)));
+  // The initial state expects ascending behaviour; x' = x - 1 from the
+  // initial state is not part of the learned language start.
+  const bool second = monitor.feed(x_obs(4));
+  EXPECT_FALSE(second);
+  EXPECT_TRUE(monitor.violated());
+}
+
+TEST(Monitor, FrontierTracksNondeterminism) {
+  const LearnResult& r = counter_model();
+  Monitor monitor(r.model, r.preds.vocab);
+  monitor.feed(x_obs(1));
+  monitor.feed(x_obs(2));
+  EXPECT_GE(monitor.frontier().size(), 1u);
+}
+
+TEST(Coverage, FullCoverageReport) {
+  const Nfa ref = sim::reference_counter_model(8);
+  const CoverageReport report = compare_coverage(ref, ref);
+  EXPECT_TRUE(report.uncovered_labels.empty());
+  EXPECT_TRUE(report.extra_labels.empty());
+  EXPECT_DOUBLE_EQ(report.label_coverage(), 1.0);
+}
+
+TEST(Coverage, DetectsUncoveredAndExtra) {
+  const Nfa datasheet = sim::reference_usb_slot_datasheet();
+  const Nfa learned = sim::reference_usb_slot_expected();
+  const CoverageReport report = compare_coverage(datasheet, learned);
+  EXPECT_FALSE(report.uncovered_labels.empty());
+  const auto& unc = report.uncovered_labels;
+  EXPECT_TRUE(std::find(unc.begin(), unc.end(), "CR_ADDR_DEV_BSR1") != unc.end());
+  EXPECT_TRUE(std::find(unc.begin(), unc.end(), "CR_DECONFIG_END") != unc.end());
+  EXPECT_LT(report.label_coverage(), 1.0);
+  EXPECT_GT(report.label_coverage(), 0.5);
+}
+
+TEST(Coverage, FormatMentionsLabels) {
+  const CoverageReport report = compare_coverage(sim::reference_usb_slot_datasheet(),
+                                                 sim::reference_usb_slot_expected());
+  const std::string text = format_report(report);
+  EXPECT_NE(text.find("CR_ADDR_DEV_BSR1"), std::string::npos);
+  EXPECT_NE(text.find("label coverage"), std::string::npos);
+}
+
+TEST(Replay, TraceAgainstLearnedModel) {
+  const LearnResult& r = counter_model();
+  const Trace healthy = sim::generate_counter_trace({8, 40, 1});
+  const ReplayResult ok = replay_trace(r.model, r.preds.vocab, healthy);
+  EXPECT_TRUE(ok.accepted);
+  EXPECT_EQ(ok.steps, healthy.num_steps());
+
+  // A buggy system that skips a value mid-ascent: no predicate explains the
+  // jump 4 -> 6, so the replay must die exactly there.
+  Trace buggy(healthy.schema());
+  for (const std::int64_t v : {1, 2, 3, 4, 6, 7}) buggy.append({Value::of_int(v)});
+  const ReplayResult bad = replay_trace(r.model, r.preds.vocab, buggy);
+  EXPECT_FALSE(bad.accepted);
+  EXPECT_EQ(bad.failed_step, 3u);
+}
+
+TEST(Replay, AnywhereStartRelaxesPrefix) {
+  const LearnResult& r = counter_model();
+  // A fragment starting mid-descent is rejected from the initial state but
+  // accepted from some state.
+  TraceRecorder rec;
+  rec.declare_int("x", 0);
+  Trace fragment(rec.take().schema());
+  for (const std::int64_t v : {6, 5, 4, 3}) fragment.append({Value::of_int(v)});
+  EXPECT_FALSE(replay_trace(r.model, r.preds.vocab, fragment).accepted);
+  EXPECT_TRUE(replay_trace_anywhere(r.model, r.preds.vocab, fragment).accepted);
+}
+
+}  // namespace
+}  // namespace t2m

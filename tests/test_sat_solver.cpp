@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/sat/dimacs.h"
+#include "src/sat/solver.h"
+#include "src/util/rng.h"
+
+namespace t2m::sat {
+namespace {
+
+TEST(SatSolver, EmptyIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(SatSolver, UnitPropagation) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_TRUE(s.add_unit(pos(a)));
+  ASSERT_TRUE(s.add_binary(neg(a), pos(b)));
+  ASSERT_EQ(s.solve(), SolveResult::Sat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(SatSolver, ContradictoryUnits) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.add_unit(pos(a)));
+  EXPECT_FALSE(s.add_unit(neg(a)));
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(SatSolver, TautologyAndDuplicatesIgnored) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(a), neg(a)}));  // tautology dropped
+  EXPECT_TRUE(s.add_clause({pos(a), pos(a), pos(a)}));
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(SatSolver, SimpleUnsatCore) {
+  // (a | b) & (a | ~b) & (~a | b) & (~a | ~b) is unsatisfiable.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));
+  s.add_binary(pos(a), neg(b));
+  s.add_binary(neg(a), pos(b));
+  s.add_binary(neg(a), neg(b));
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+/// Pigeonhole principle PHP(n+1, n): classic hard UNSAT family.
+void add_pigeonhole(Solver& s, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
+  for (auto& row : at) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) c.push_back(pos(at[p][h]));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_binary(neg(at[p1][h]), neg(at[p2][h]));
+      }
+    }
+  }
+}
+
+TEST(SatSolver, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 6; ++holes) {
+    Solver s;
+    add_pigeonhole(s, holes);
+    EXPECT_EQ(s.solve(), SolveResult::Unsat) << "holes=" << holes;
+  }
+}
+
+TEST(SatSolver, ExactlyOne) {
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 5; ++i) lits.push_back(pos(s.new_var()));
+  ASSERT_TRUE(s.add_exactly_one(lits));
+  ASSERT_EQ(s.solve(), SolveResult::Sat);
+  int set = 0;
+  for (const Lit l : lits) set += s.model_value(l.var()) ? 1 : 0;
+  EXPECT_EQ(set, 1);
+}
+
+TEST(SatSolver, IncrementalClauseAddition) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));
+  ASSERT_EQ(s.solve(), SolveResult::Sat);
+  // Forbid the found model repeatedly until UNSAT; must take <= 4 models.
+  int models = 0;
+  while (s.solve() == SolveResult::Sat) {
+    ++models;
+    ASSERT_LE(models, 3);
+    Clause block;
+    block.push_back(s.model_value(a) ? neg(a) : pos(a));
+    block.push_back(s.model_value(b) ? neg(b) : pos(b));
+    s.add_clause(block);
+  }
+  EXPECT_EQ(models, 3);  // (T,T), (T,F), (F,T)
+}
+
+TEST(SatSolver, Assumptions) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(neg(a), pos(b));
+  const Lit assume_a[] = {pos(a)};
+  ASSERT_EQ(s.solve(assume_a), SolveResult::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  // Assumptions do not persist.
+  const Lit assume_not_b[] = {neg(b), pos(a)};
+  EXPECT_EQ(s.solve(assume_not_b), SolveResult::Unsat);
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  Solver s;
+  add_pigeonhole(s, 8);
+  s.set_conflict_budget(5);
+  EXPECT_EQ(s.solve(), SolveResult::Unknown);
+}
+
+// --- randomised cross-check against brute force ---------------------------
+
+CnfFormula random_formula(Rng& rng, std::size_t vars, std::size_t clauses) {
+  CnfFormula f;
+  f.num_vars = vars;
+  for (std::size_t c = 0; c < clauses; ++c) {
+    Clause clause;
+    for (int k = 0; k < 3; ++k) {
+      const Var v = static_cast<Var>(rng.below(vars));
+      clause.push_back(Lit(v, rng.chance(0.5)));
+    }
+    f.clauses.push_back(clause);
+  }
+  return f;
+}
+
+bool brute_force_sat(const CnfFormula& f) {
+  const std::size_t n = f.num_vars;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    bool all = true;
+    for (const Clause& c : f.clauses) {
+      bool any = false;
+      for (const Lit l : c) {
+        const bool val = ((mask >> l.var()) & 1) != 0;
+        if (val != l.negated()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+class RandomCnf : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCnf, AgreesWithBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 25; ++round) {
+    // Around the 3-SAT phase transition (ratio ~4.3) for small n.
+    const std::size_t vars = 6 + rng.below(5);
+    const std::size_t clauses = vars * 4 + rng.below(vars);
+    const CnfFormula f = random_formula(rng, vars, clauses);
+    Solver s;
+    const bool loaded = load_into_solver(f, s);
+    const bool expected = brute_force_sat(f);
+    if (!loaded) {
+      EXPECT_FALSE(expected);
+      continue;
+    }
+    const SolveResult got = s.solve();
+    EXPECT_EQ(got == SolveResult::Sat, expected)
+        << "seed=" << GetParam() << " round=" << round;
+    // When SAT, the model must actually satisfy the formula.
+    if (got == SolveResult::Sat) {
+      for (const Clause& c : f.clauses) {
+        bool any = false;
+        for (const Lit l : c) {
+          if (s.model_value(l.var()) != l.negated()) any = true;
+        }
+        EXPECT_TRUE(any);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnf, ::testing::Range(1, 9));
+
+TEST(Dimacs, RoundTrip) {
+  CnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {{pos(0), neg(1)}, {pos(2)}, {neg(0), pos(1), neg(2)}};
+  std::stringstream ss;
+  write_dimacs(ss, f);
+  const CnfFormula back = read_dimacs(ss);
+  EXPECT_EQ(back.num_vars, f.num_vars);
+  ASSERT_EQ(back.clauses.size(), f.clauses.size());
+  for (std::size_t i = 0; i < f.clauses.size(); ++i) {
+    EXPECT_EQ(back.clauses[i], f.clauses[i]);
+  }
+}
+
+TEST(Dimacs, RejectsGarbage) {
+  std::stringstream ss("this is not dimacs\n1 2 0\n");
+  EXPECT_THROW(read_dimacs(ss), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace t2m::sat

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "src/core/segmentation.h"
+
+namespace t2m {
+namespace {
+
+TEST(Segmentation, UniqueWindowsInFirstOccurrenceOrder) {
+  const std::vector<PredId> seq = {0, 1, 0, 1, 0, 1, 2};
+  const auto segments = segment_sequence(seq, 3);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0], (Segment{0, 1, 0}));
+  EXPECT_EQ(segments[1], (Segment{1, 0, 1}));
+  EXPECT_EQ(segments[2], (Segment{0, 1, 2}));
+}
+
+TEST(Segmentation, RepetitionCollapses) {
+  // A long periodic sequence yields a constant number of segments.
+  std::vector<PredId> seq;
+  for (int i = 0; i < 10000; ++i) seq.push_back(static_cast<PredId>(i % 4));
+  const auto segments = segment_sequence(seq, 3);
+  EXPECT_EQ(segments.size(), 4u);
+}
+
+TEST(Segmentation, ShortSequenceIsOneSegment) {
+  const std::vector<PredId> seq = {0, 1};
+  const auto segments = segment_sequence(seq, 3);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0], seq);
+}
+
+TEST(Segmentation, ExactWindowLength) {
+  const std::vector<PredId> seq = {0, 1, 2};
+  const auto segments = segment_sequence(seq, 3);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0], seq);
+}
+
+TEST(Segmentation, EmptyAndInvalid) {
+  EXPECT_TRUE(segment_sequence({}, 3).empty());
+  EXPECT_THROW(segment_sequence({0, 1}, 0), std::invalid_argument);
+}
+
+TEST(Segmentation, WholeSequenceMode) {
+  const std::vector<PredId> seq = {0, 1, 0, 1};
+  const auto whole = whole_sequence(seq);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0], seq);
+  EXPECT_TRUE(whole_sequence({}).empty());
+}
+
+TEST(Segmentation, TotalTransitions) {
+  const std::vector<PredId> seq = {0, 1, 0, 1, 0};
+  EXPECT_EQ(total_transitions(segment_sequence(seq, 3)), 6u);   // 2 segments x 3
+  EXPECT_EQ(total_transitions(whole_sequence(seq)), 5u);
+}
+
+TEST(Segmentation, WindowOneListsAlphabet) {
+  const std::vector<PredId> seq = {2, 0, 1, 0, 2};
+  const auto segments = segment_sequence(seq, 1);
+  EXPECT_EQ(segments.size(), 3u);  // unique symbols, order of first occurrence
+  EXPECT_EQ(segments[0], (Segment{2}));
+}
+
+}  // namespace
+}  // namespace t2m

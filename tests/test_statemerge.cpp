@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/basic/counter.h"
+#include "src/statemerge/edsm.h"
+#include "src/statemerge/ktails.h"
+#include "src/statemerge/pta.h"
+
+namespace t2m {
+namespace {
+
+TEST(Pta, SingleSequenceIsChain) {
+  const Pta pta({{0, 1, 2}}, 3);
+  EXPECT_EQ(pta.num_states(), 4u);
+  EXPECT_EQ(pta.child(0, 0), std::optional<std::size_t>(1));
+  EXPECT_EQ(pta.child(1, 1), std::optional<std::size_t>(2));
+  EXPECT_FALSE(pta.child(0, 1).has_value());
+}
+
+TEST(Pta, SharedPrefixes) {
+  const Pta pta({{0, 1}, {0, 2}}, 3);
+  // root, after-0 shared, then two leaves.
+  EXPECT_EQ(pta.num_states(), 4u);
+  EXPECT_EQ(pta.child(0, 0), pta.child(0, 0));
+  const auto mid = *pta.child(0, 0);
+  EXPECT_TRUE(pta.child(mid, 1).has_value());
+  EXPECT_TRUE(pta.child(mid, 2).has_value());
+}
+
+TEST(Pta, RejectsOutOfAlphabet) {
+  EXPECT_THROW(Pta({{5}}, 3), std::invalid_argument);
+}
+
+TEST(Pta, ToNfa) {
+  const Pta pta({{0, 1, 0}}, 2);
+  const Nfa m = pta.to_nfa();
+  EXPECT_EQ(m.num_states(), 4u);
+  EXPECT_EQ(m.num_transitions(), 3u);
+  const PredId word[] = {0, 1, 0};
+  EXPECT_TRUE(m.accepts(word));
+}
+
+TEST(SymbolsOfTrace, DistinctValuationsDistinctSymbols) {
+  const Trace t = sim::generate_counter_trace({8, 30, 1});
+  const SymbolSequence s = symbols_of_trace(t);
+  EXPECT_EQ(s.seq.size(), t.size());
+  EXPECT_EQ(s.alphabet.size(), 8u);  // values 1..8
+  EXPECT_EQ(s.alphabet[0], "x=1");
+}
+
+TEST(KTails, MergesPeriodicChain) {
+  // Period-3 cycle repeated: kTails(k=2) folds it to 3 states.
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 30; ++i) seq.push_back(static_cast<std::size_t>(i % 3));
+  const Nfa m = ktails({seq}, 3, 2);
+  EXPECT_LE(m.num_states(), 5u);   // cycle plus possibly tail artefacts
+  EXPECT_GE(m.num_states(), 3u);
+  EXPECT_TRUE(m.accepts(std::vector<PredId>(seq.begin(), seq.end())));
+}
+
+TEST(KTails, HigherKGeneralisesLess) {
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 40; ++i) seq.push_back(static_cast<std::size_t>((i / 2) % 2));
+  const Nfa loose = ktails({seq}, 2, 1);
+  const Nfa tight = ktails({seq}, 2, 4);
+  EXPECT_LE(loose.num_states(), tight.num_states());
+}
+
+TEST(KTails, CounterBaselineHasManyStates) {
+  // The paper's observation: raw counter values give state-merge a large
+  // model (MINT: 377 states for len 447), far above our learner's 4.
+  const Trace t = sim::generate_counter_trace({128, 447, 1});
+  const SymbolSequence s = symbols_of_trace(t);
+  const Nfa m = ktails({s.seq}, s.alphabet.size(), 2);
+  EXPECT_GT(m.num_states(), 100u);
+}
+
+TEST(Edsm, FoldsPeriodicChain) {
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 60; ++i) seq.push_back(static_cast<std::size_t>(i % 2));
+  const EdsmResult r = edsm_blue_fringe({seq}, 2);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_GT(r.merges, 0u);
+  EXPECT_LE(r.model.num_states(), 4u);
+  EXPECT_TRUE(r.model.accepts(std::vector<PredId>(seq.begin(), seq.end())));
+}
+
+TEST(Edsm, AcceptsTrainingWordAlways) {
+  std::vector<std::size_t> seq = {0, 1, 2, 0, 1, 2, 1, 1, 2, 0};
+  const EdsmResult r = edsm_blue_fringe({seq}, 3);
+  EXPECT_TRUE(r.model.accepts(std::vector<PredId>(seq.begin(), seq.end())));
+}
+
+TEST(Edsm, ThresholdControlsPromotion) {
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 30; ++i) seq.push_back(static_cast<std::size_t>(i % 3));
+  EdsmConfig aggressive;
+  aggressive.merge_threshold = 1;
+  EdsmConfig conservative;
+  conservative.merge_threshold = 1000000;  // nothing merges
+  const EdsmResult a = edsm_blue_fringe({seq}, 3, aggressive);
+  const EdsmResult c = edsm_blue_fringe({seq}, 3, conservative);
+  EXPECT_LT(a.model.num_states(), c.model.num_states());
+  EXPECT_GT(c.promotions, 0u);
+}
+
+TEST(Edsm, TimeoutReturnsPartialResult) {
+  std::vector<std::size_t> seq;
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ULL + 1;
+    seq.push_back(static_cast<std::size_t>(state >> 60));  // 16 symbols
+  }
+  EdsmConfig config;
+  config.timeout_seconds = 1e-6;
+  const EdsmResult r = edsm_blue_fringe({seq}, 16, config);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(Edsm, MultipleSamples) {
+  const EdsmResult r = edsm_blue_fringe({{0, 1, 0, 1}, {0, 1}, {0, 1, 0, 1, 0, 1}}, 2);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.model.accepts(std::vector<PredId>{0, 1, 0, 1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace t2m

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "src/expr/eval.h"
+#include "src/expr/printer.h"
+#include "src/expr/simplify.h"
+#include "src/synth/cegis.h"
+#include "src/synth/enumerative.h"
+#include "src/synth/ite_chain.h"
+
+namespace t2m {
+namespace {
+
+Schema one_var_schema() {
+  Schema s;
+  s.add_int("x");
+  return s;
+}
+
+Schema two_var_schema() {
+  Schema s;
+  s.add_int("ip");
+  s.add_int("op");
+  return s;
+}
+
+std::vector<UpdateExample> chain_examples(std::initializer_list<std::int64_t> values) {
+  std::vector<UpdateExample> out;
+  auto it = values.begin();
+  std::int64_t prev = *it++;
+  for (; it != values.end(); ++it) {
+    out.push_back(UpdateExample{{Value::of_int(prev)}, Value::of_int(*it)});
+    prev = *it;
+  }
+  return out;
+}
+
+TEST(Enumerative, LearnsIncrement) {
+  // The paper's motivating sample: next(1)=2, next(2)=3, next(3)=4 => x+1.
+  const Schema s = one_var_schema();
+  const auto examples = chain_examples({1, 2, 3, 4});
+  const EnumerativeSynth engine(s, Grammar::for_updates(s, 0, examples));
+  const ExprPtr e = engine.synthesize(examples);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(to_string(*e, s), "x + 1");
+}
+
+TEST(Enumerative, SectionSevenDoubling) {
+  // Section VII: trace 1, 2, 4, 8 => fastsynth produces x + x.
+  const Schema s = one_var_schema();
+  const auto examples = chain_examples({1, 2, 4, 8});
+  const EnumerativeSynth engine(s, Grammar::for_updates(s, 0, examples));
+  const ExprPtr e = engine.synthesize(examples);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(to_string(*e, s), "x + x");
+}
+
+TEST(Enumerative, ConstantDiscoveryFromData) {
+  // next(x) = x - 7: the constant 7 must be discovered automatically.
+  const Schema s = one_var_schema();
+  const auto examples = chain_examples({20, 13, 6, -1});
+  const EnumerativeSynth engine(s, Grammar::for_updates(s, 0, examples));
+  const ExprPtr e = engine.synthesize(examples);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(to_string(*simplify(e), s), "x - 7");
+}
+
+TEST(Enumerative, TwoVariableUpdate) {
+  // op' = op + ip over varying inputs.
+  const Schema s = two_var_schema();
+  std::vector<UpdateExample> examples = {
+      {{Value::of_int(1), Value::of_int(3)}, Value::of_int(4)},
+      {{Value::of_int(-1), Value::of_int(4)}, Value::of_int(3)},
+      {{Value::of_int(0), Value::of_int(3)}, Value::of_int(3)},
+  };
+  const EnumerativeSynth engine(s, Grammar::for_updates(s, 1, examples));
+  const ExprPtr e = engine.synthesize(examples);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(to_string(*e, s), "op + ip");
+}
+
+TEST(Enumerative, ReturnsAllMinimalCandidates) {
+  // With a constant input ip=1, `op + 1` collapses into `op + ip` under
+  // observational equivalence: the constant 1 and the variable ip have the
+  // same signature, and the VARIABLE is the preferred representative (this
+  // is what makes the integrator learn op+ip rather than op+1). The
+  // spelling variants of the sum survive as distinct minimal candidates.
+  const Schema s = two_var_schema();
+  std::vector<UpdateExample> examples = {
+      {{Value::of_int(1), Value::of_int(3)}, Value::of_int(4)},
+      {{Value::of_int(1), Value::of_int(4)}, Value::of_int(5)},
+  };
+  const EnumerativeSynth engine(s, Grammar::for_updates(s, 1, examples));
+  const auto all = engine.synthesize_all(examples);
+  ASSERT_GE(all.size(), 2u);
+  std::set<std::string> names;
+  for (const auto& e : all) names.insert(to_string(*e, s));
+  EXPECT_TRUE(names.count("op + ip"));
+  EXPECT_FALSE(names.count("op + 1"));  // pruned: 1 is equivalent to ip here
+}
+
+TEST(Enumerative, FailsWhenNoSmallTermFits) {
+  const Schema s = one_var_schema();
+  // The counter peak: next(127)=128, next(128)=127 has no one-op fit.
+  auto examples = chain_examples({127, 128, 127});
+  Grammar g = Grammar::for_updates(s, 0, examples);
+  g.max_size = 4;
+  const EnumerativeSynth engine(s, g);
+  EXPECT_FALSE(engine.synthesize(examples));
+}
+
+TEST(Enumerative, IteExtensionFindsConditional) {
+  // A genuinely conditional step function: 5 below the threshold, 7 above.
+  // No arithmetic-only term of bounded size fits, so ite is required.
+  const Schema s = one_var_schema();
+  std::vector<UpdateExample> examples;
+  for (const std::int64_t x : {1, 2, 3}) {
+    examples.push_back({{Value::of_int(x)}, Value::of_int(5)});
+  }
+  for (const std::int64_t x : {10, 11}) {
+    examples.push_back({{Value::of_int(x)}, Value::of_int(7)});
+  }
+  Grammar g = Grammar::for_updates(s, 0, examples);
+  g.allow_ite = true;
+  g.max_size = 9;
+  const EnumerativeSynth engine(s, g);
+  const ExprPtr e = engine.synthesize(examples);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->op(), ExprOp::Ite);
+  for (const auto& ex : examples) {
+    EXPECT_EQ(eval_value(*e, ex.input, ex.input), ex.output);
+  }
+}
+
+TEST(Enumerative, StatsPopulated) {
+  const Schema s = one_var_schema();
+  const auto examples = chain_examples({1, 2, 3});
+  const EnumerativeSynth engine(s, Grammar::for_updates(s, 0, examples));
+  SynthStats stats;
+  ASSERT_TRUE(engine.synthesize(examples, &stats));
+  EXPECT_GT(stats.terms_enumerated, 0u);
+  EXPECT_EQ(stats.solution_size, 3u);
+}
+
+TEST(Cegis, ConvergesOnLargePool) {
+  const Schema s = one_var_schema();
+  std::vector<UpdateExample> pool;
+  for (std::int64_t x = 0; x < 500; ++x) {
+    pool.push_back(UpdateExample{{Value::of_int(x)}, Value::of_int(x - 1)});
+  }
+  const CegisSynth cegis(s, Grammar::for_updates(s, 0, pool));
+  CegisStats stats;
+  const ExprPtr e = cegis.synthesize(pool, &stats);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(to_string(*simplify(e), s), "x - 1");
+  // The working set must stay far below the pool size.
+  EXPECT_LE(stats.working_set, 10u);
+}
+
+TEST(Cegis, AddsCounterexamples) {
+  const Schema s = one_var_schema();
+  // Mostly x+1 but one exception forces at least one CEGIS round and then
+  // failure (no small term fits everything).
+  std::vector<UpdateExample> pool;
+  for (std::int64_t x = 0; x < 50; ++x) {
+    pool.push_back(UpdateExample{{Value::of_int(x)}, Value::of_int(x + 1)});
+  }
+  pool.push_back(UpdateExample{{Value::of_int(1000)}, Value::of_int(0)});
+  Grammar g = Grammar::for_updates(s, 0, pool);
+  g.max_size = 3;
+  const CegisSynth cegis(s, g);
+  CegisStats stats;
+  EXPECT_FALSE(cegis.synthesize(pool, &stats));
+  EXPECT_GT(stats.iterations, 1u);
+}
+
+TEST(IteChain, BuildsTrivialSolution) {
+  // Section VII: CVC4's grammar-free mode produces nested point solutions.
+  const Schema s = one_var_schema();
+  const auto examples = chain_examples({1, 2, 4, 8});
+  const IteChainSynth engine(s);
+  const ExprPtr e = engine.synthesize(examples);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->op(), ExprOp::Ite);
+  for (const auto& ex : examples) {
+    EXPECT_EQ(eval_value(*e, ex.input, ex.input), ex.output);
+  }
+  // And it is larger than the generalising x + x (size 3).
+  EXPECT_GT(e->size(), 3u);
+}
+
+TEST(IteChain, RejectsNonFunction) {
+  const Schema s = one_var_schema();
+  std::vector<UpdateExample> examples = {
+      {{Value::of_int(1)}, Value::of_int(2)},
+      {{Value::of_int(1)}, Value::of_int(3)},
+  };
+  EXPECT_FALSE(IteChainSynth(s).synthesize(examples));
+}
+
+TEST(Grammar, PoolContainsValuesAndDeltas) {
+  const Schema s = one_var_schema();
+  const auto examples = chain_examples({10, 17});
+  const Grammar g = Grammar::for_updates(s, 0, examples);
+  const auto has = [&](std::int64_t c) {
+    return std::find(g.constants.begin(), g.constants.end(), c) != g.constants.end();
+  };
+  EXPECT_TRUE(has(10));
+  EXPECT_TRUE(has(17));
+  EXPECT_TRUE(has(7));  // delta
+  EXPECT_TRUE(has(0));
+  EXPECT_TRUE(has(1));
+}
+
+}  // namespace
+}  // namespace t2m

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/ftrace_io.h"
+#include "src/trace/recorder.h"
+#include "src/trace/text_io.h"
+#include "src/trace/trace.h"
+
+namespace t2m {
+namespace {
+
+TEST(Trace, AppendAndAccess) {
+  Schema s;
+  s.add_int("x");
+  Trace trace(std::move(s));
+  trace.append({Value::of_int(1)});
+  trace.append({Value::of_int(2)});
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.num_steps(), 1u);
+  EXPECT_EQ(trace.step_cur(0)[0], Value::of_int(1));
+  EXPECT_EQ(trace.step_next(0)[0], Value::of_int(2));
+  EXPECT_EQ(trace.format_obs(0), "x=1");
+}
+
+TEST(Trace, WidthMismatchThrows) {
+  Schema s;
+  s.add_int("x");
+  s.add_int("y");
+  Trace trace(std::move(s));
+  EXPECT_THROW(trace.append({Value::of_int(1)}), std::invalid_argument);
+}
+
+TEST(Trace, Prefix) {
+  Schema s;
+  s.add_int("x");
+  Trace trace(std::move(s));
+  for (int i = 0; i < 10; ++i) trace.append({Value::of_int(i)});
+  const Trace p = trace.prefix(4);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.obs(3)[0], Value::of_int(3));
+  EXPECT_EQ(trace.prefix(100).size(), 10u);
+}
+
+TEST(Recorder, KeepsValuesAcrossCommits) {
+  TraceRecorder rec;
+  const VarIndex x = rec.declare_int("x", 5);
+  const VarIndex ev = rec.declare_cat("ev", {"a", "b"}, "a");
+  rec.commit();
+  rec.set_sym(ev, "b");
+  rec.commit();  // x carries over
+  const Trace t = rec.take();
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.obs(0)[x], Value::of_int(5));
+  EXPECT_EQ(t.obs(1)[x], Value::of_int(5));
+  EXPECT_EQ(t.obs(0)[ev], Value::of_sym(0));
+  EXPECT_EQ(t.obs(1)[ev], Value::of_sym(1));
+}
+
+TEST(Recorder, DeclareAfterCommitThrows) {
+  TraceRecorder rec;
+  rec.declare_int("x");
+  rec.commit();
+  EXPECT_THROW(rec.declare_int("y"), std::logic_error);
+}
+
+TEST(TextIo, RoundTrip) {
+  TraceRecorder rec;
+  const VarIndex x = rec.declare_int("x");
+  const VarIndex b = rec.declare_bool("busy");
+  const VarIndex ev = rec.declare_cat("ev", {"idle", "go"}, "idle");
+  for (int i = 0; i < 5; ++i) {
+    rec.set_int(x, i);
+    rec.set_bool(b, i % 2 == 0);
+    rec.set_sym(ev, i % 2 == 0 ? "go" : "idle");
+    rec.commit();
+  }
+  const Trace original = rec.take();
+
+  std::stringstream ss;
+  write_trace_text(ss, original);
+  const Trace back = read_trace_text(ss);
+
+  ASSERT_EQ(back.size(), original.size());
+  ASSERT_EQ(back.schema().size(), 3u);
+  EXPECT_EQ(back.schema().var(0).name, "x");
+  EXPECT_EQ(back.schema().var(1).type, VarType::Bool);
+  EXPECT_EQ(back.schema().var(2).type, VarType::Cat);
+  EXPECT_EQ(back.schema().var(2).default_sym, std::optional<std::int64_t>(0));
+  for (std::size_t t = 0; t < original.size(); ++t) {
+    EXPECT_EQ(back.obs(t), original.obs(t)) << "row " << t;
+  }
+}
+
+TEST(TextIo, InternsUndeclaredSymbols) {
+  std::stringstream ss("# var ev cat\nfoo\nbar\nfoo\n");
+  const Trace t = read_trace_text(ss);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.obs(0)[0], t.obs(2)[0]);
+  EXPECT_NE(t.obs(0)[0], t.obs(1)[0]);
+}
+
+TEST(TextIo, RejectsBadRows) {
+  std::stringstream ss("# var x int\n1 2\n");
+  EXPECT_THROW(read_trace_text(ss), std::invalid_argument);
+  std::stringstream late("# var x int\n1\n# var y int\n");
+  EXPECT_THROW(read_trace_text(late), std::invalid_argument);
+}
+
+TEST(FtraceIo, ParsesFullShape) {
+  std::stringstream ss(
+      "# tracer: nop\n"
+      "pi_stress-1234 [000] d..2 100.000001: sched_waking: comm=x pid=9\n"
+      "pi_stress-1234 [000] d..2 100.000002: sched_switch_in: prev=y\n"
+      "other-77 [000] d..2 100.000003: sched_entry: cpu=0\n");
+  const Trace all = read_ftrace(ss);
+  EXPECT_EQ(all.size(), 3u);
+
+  std::stringstream again(
+      "pi_stress-1234 [000] d..2 100.000001: sched_waking: comm=x\n"
+      "other-77 [000] d..2 100.000003: sched_entry: cpu=0\n");
+  const Trace filtered = read_ftrace(again, "pi_stress");
+  EXPECT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered.schema().format_value(0, filtered.obs(0)[0]), "sched_waking");
+}
+
+TEST(FtraceIo, ParsesSimplifiedShapeAndRoundTrips) {
+  std::stringstream ss("0.1 sched_waking\n0.2 sched_switch_in extra detail\n");
+  const Trace t = read_ftrace(ss);
+  ASSERT_EQ(t.size(), 2u);
+  std::stringstream out;
+  write_ftrace(out, t);
+  const Trace back = read_ftrace(out);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.schema().format_value(0, back.obs(1)[0]), "sched_switch_in");
+}
+
+}  // namespace
+}  // namespace t2m

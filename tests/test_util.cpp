@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/cli.h"
+#include "src/util/csv.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_utils.h"
+
+namespace t2m {
+namespace {
+
+TEST(StringUtils, Split) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split_ws("  a\t b \n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(StringUtils, TrimAndAffixes) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(starts_with("abcdef", "abc"));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+  EXPECT_TRUE(ends_with("abcdef", "def"));
+  EXPECT_FALSE(ends_with("ef", "def"));
+}
+
+TEST(StringUtils, JoinAndFormat) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.1234, 2), "0.12");
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) differ |= (a2.next() != c2.next());
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, RangeAndUnitBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Deadline, NeverAndFinite) {
+  const Deadline never = Deadline::never();
+  EXPECT_FALSE(never.expired());
+  EXPECT_FALSE(never.is_finite());
+  const Deadline past = Deadline::after_seconds(-1.0);
+  EXPECT_TRUE(past.expired());
+  const Deadline future = Deadline::after_seconds(60.0);
+  EXPECT_FALSE(future.expired());
+  EXPECT_GT(future.remaining_seconds(), 0.0);
+}
+
+TEST(Stopwatch, MonotoneElapsed) {
+  Stopwatch watch;
+  const double t1 = watch.elapsed_seconds();
+  const double t2 = watch.elapsed_seconds();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0.0);
+  watch.restart();
+  EXPECT_GE(watch.elapsed_ms(), 0);
+}
+
+TEST(TableWriter, AsciiAndCsv) {
+  TableWriter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  std::ostringstream ascii;
+  table.write_ascii(ascii);
+  EXPECT_NE(ascii.str().find("| alpha | 1     |"), std::string::npos);
+  std::ostringstream csv;
+  table.write_csv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1\nb,22\n");
+}
+
+TEST(TableWriter, RejectsBadRows) {
+  TableWriter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(CliArgs, FlagsAndPositionals) {
+  const char* argv[] = {"prog", "learn", "--trace", "t.txt", "--window=5",
+                        "--verbose", "--timeout", "2.5"};
+  const CliArgs args(8, argv);
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"learn"}));
+  EXPECT_EQ(args.get_or("trace", ""), "t.txt");
+  EXPECT_EQ(args.get_int_or("window", 3), 5);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_DOUBLE_EQ(args.get_double_or("timeout", 0.0), 2.5);
+  EXPECT_EQ(args.get_int_or("absent", 9), 9);
+  EXPECT_FALSE(args.get("absent").has_value());
+}
+
+}  // namespace
+}  // namespace t2m

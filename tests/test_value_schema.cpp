@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/base/schema.h"
+#include "src/base/value.h"
+
+namespace t2m {
+namespace {
+
+TEST(Value, IntRoundTrip) {
+  const Value v = Value::of_int(-42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_FALSE(v.is_sym());
+  EXPECT_EQ(v.as_int(), -42);
+  EXPECT_EQ(v.debug_string(), "-42");
+}
+
+TEST(Value, BoolIsInt) {
+  EXPECT_EQ(Value::of_bool(true).as_int(), 1);
+  EXPECT_EQ(Value::of_bool(false).as_int(), 0);
+  EXPECT_TRUE(Value::of_bool(true).as_bool());
+}
+
+TEST(Value, SymRoundTrip) {
+  const Value v = Value::of_sym(3);
+  EXPECT_TRUE(v.is_sym());
+  EXPECT_EQ(v.as_sym(), 3);
+  EXPECT_THROW(v.as_int(), std::logic_error);
+}
+
+TEST(Value, EqualityDistinguishesKinds) {
+  EXPECT_NE(Value::of_int(1), Value::of_sym(1));
+  EXPECT_EQ(Value::of_int(1), Value::of_bool(true));
+  EXPECT_EQ(Value::of_sym(2), Value::of_sym(2));
+}
+
+TEST(Value, OrderingIsTotal) {
+  EXPECT_LT(Value::of_int(1), Value::of_int(2));
+  EXPECT_LT(Value::of_int(5), Value::of_sym(0));  // Int kind sorts first
+}
+
+TEST(Schema, DeclareAndLookup) {
+  Schema schema;
+  const VarIndex x = schema.add_int("x");
+  const VarIndex flag = schema.add_bool("flag");
+  const VarIndex ev = schema.add_cat("ev", {"idle", "read"}, "idle");
+  EXPECT_EQ(schema.size(), 3u);
+  EXPECT_EQ(schema.find("x"), std::optional<VarIndex>(x));
+  EXPECT_EQ(schema.find("flag"), std::optional<VarIndex>(flag));
+  EXPECT_EQ(schema.find("ev"), std::optional<VarIndex>(ev));
+  EXPECT_FALSE(schema.find("nope").has_value());
+}
+
+TEST(Schema, DuplicateNameRejected) {
+  Schema schema;
+  schema.add_int("x");
+  EXPECT_THROW(schema.add_bool("x"), std::invalid_argument);
+}
+
+TEST(Schema, CatSymbols) {
+  Schema schema;
+  const VarIndex ev = schema.add_cat("ev", {"a", "b"}, "a");
+  EXPECT_EQ(schema.sym_id(ev, "a"), 0);
+  EXPECT_EQ(schema.sym_id(ev, "b"), 1);
+  EXPECT_EQ(schema.sym_name(ev, 1), "b");
+  EXPECT_EQ(schema.var(ev).default_sym, std::optional<std::int64_t>(0));
+  EXPECT_THROW(schema.sym_id(ev, "c"), std::invalid_argument);
+}
+
+TEST(Schema, InternGrowsSymbolTable) {
+  Schema schema;
+  const VarIndex ev = schema.add_cat("ev", {}, std::nullopt);
+  EXPECT_EQ(schema.sym_id_intern(ev, "x"), 0);
+  EXPECT_EQ(schema.sym_id_intern(ev, "y"), 1);
+  EXPECT_EQ(schema.sym_id_intern(ev, "x"), 0);
+  EXPECT_EQ(schema.var(ev).symbols.size(), 2u);
+}
+
+TEST(Schema, DefaultSymbolMustExist) {
+  Schema schema;
+  EXPECT_THROW(schema.add_cat("ev", {"a"}, "b"), std::invalid_argument);
+}
+
+TEST(Schema, ParseAndFormat) {
+  Schema schema;
+  const VarIndex x = schema.add_int("x");
+  const VarIndex b = schema.add_bool("b");
+  const VarIndex ev = schema.add_cat("ev", {"on", "off"}, "off");
+  EXPECT_EQ(schema.parse_value(x, "-7"), Value::of_int(-7));
+  EXPECT_EQ(schema.parse_value(b, "true"), Value::of_bool(true));
+  EXPECT_EQ(schema.parse_value(b, "0"), Value::of_bool(false));
+  EXPECT_EQ(schema.parse_value(ev, "on"), Value::of_sym(0));
+  EXPECT_EQ(schema.format_value(x, Value::of_int(9)), "9");
+  EXPECT_EQ(schema.format_value(b, Value::of_bool(true)), "true");
+  EXPECT_EQ(schema.format_value(ev, Value::of_sym(1)), "off");
+}
+
+TEST(Schema, ModePredicates) {
+  Schema numeric;
+  numeric.add_int("x");
+  numeric.add_bool("b");
+  EXPECT_TRUE(numeric.all_numeric());
+  EXPECT_FALSE(numeric.all_categorical());
+
+  Schema events;
+  events.add_cat("ev", {"a"}, "a");
+  EXPECT_TRUE(events.all_categorical());
+  EXPECT_FALSE(events.all_numeric());
+
+  Schema empty;
+  EXPECT_FALSE(empty.all_numeric());
+  EXPECT_FALSE(empty.all_categorical());
+}
+
+}  // namespace
+}  // namespace t2m

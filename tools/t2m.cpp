@@ -1,0 +1,153 @@
+// t2m: command-line front end for the trace2model-cpp library.
+//
+//   t2m gen   --example counter --out counter.trace      generate a trace
+//   t2m learn --trace counter.trace --dot model.dot      learn a model
+//   t2m info  --trace counter.trace                      describe a trace
+//
+// `t2m learn` accepts --window, --compliance, --input <var> (repeatable via
+// comma list), --no-segment, --encoding pairwise|successor, --timeout <sec>.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/abstraction/abstraction.h"
+#include "src/automaton/dot.h"
+#include "src/core/learner.h"
+#include "src/core/report.h"
+#include "src/sim/basic/counter.h"
+#include "src/sim/basic/integrator.h"
+#include "src/sim/rtlinux/workloads.h"
+#include "src/sim/serial/serial_port.h"
+#include "src/sim/xhci/ring_interface.h"
+#include "src/sim/xhci/slot_fsm.h"
+#include "src/trace/text_io.h"
+#include "src/util/cli.h"
+#include "src/util/log.h"
+#include "src/util/string_utils.h"
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  t2m gen   --example counter|integrator|serial|usb-slot|usb-attach|rtlinux\n"
+      "            [--length N] [--out FILE]\n"
+      "  t2m learn --trace FILE [--window W] [--compliance L] [--input v1,v2]\n"
+      "            [--no-segment] [--encoding pairwise|successor]\n"
+      "            [--timeout SEC] [--dot FILE] [--verbose]\n"
+      "  t2m info  --trace FILE\n";
+  return 2;
+}
+
+t2m::Trace generate(const std::string& example, std::int64_t length) {
+  using namespace t2m::sim;
+  if (example == "counter") {
+    CounterConfig c;
+    if (length > 0) c.length = static_cast<std::size_t>(length);
+    return generate_counter_trace(c);
+  }
+  if (example == "integrator") {
+    IntegratorConfig c;
+    if (length > 0) c.length = static_cast<std::size_t>(length);
+    return generate_integrator_trace(c);
+  }
+  if (example == "serial") {
+    SerialPortConfig c;
+    if (length > 0) c.operations = static_cast<std::size_t>(length) / 2;
+    return generate_serial_trace(c);
+  }
+  if (example == "usb-slot") return generate_slot_trace();
+  if (example == "usb-attach") return generate_usb_attach_trace();
+  if (example == "rtlinux") {
+    return generate_full_coverage_sched_trace(length > 0 ? static_cast<std::size_t>(length)
+                                                         : 20165);
+  }
+  throw std::invalid_argument("unknown example: " + example);
+}
+
+int cmd_gen(const t2m::CliArgs& args) {
+  const auto example = args.get("example");
+  if (!example) return usage();
+  const t2m::Trace trace = generate(*example, args.get_int_or("length", 0));
+  const auto out = args.get("out");
+  if (out && !out->empty()) {
+    t2m::write_trace_file(*out, trace);
+    std::cout << "wrote " << trace.size() << " observations to " << *out << "\n";
+  } else {
+    t2m::write_trace_text(std::cout, trace);
+  }
+  return 0;
+}
+
+int cmd_learn(const t2m::CliArgs& args) {
+  const auto path = args.get("trace");
+  if (!path) return usage();
+  const t2m::Trace trace = t2m::read_trace_file(*path);
+
+  t2m::LearnerConfig config;
+  config.window = static_cast<std::size_t>(args.get_int_or("window", 3));
+  config.compliance_length = static_cast<std::size_t>(args.get_int_or("compliance", 2));
+  config.segmented = !args.has("no-segment");
+  config.timeout_seconds = args.get_double_or("timeout", 0.0);
+  if (args.get_or("encoding", "successor") == "pairwise") {
+    config.encoding = t2m::DeterminismEncoding::Pairwise;
+  }
+  for (const auto& name : t2m::split(args.get_or("input", ""), ',')) {
+    if (!name.empty()) config.abstraction.input_vars.push_back(name);
+  }
+
+  const t2m::ModelLearner learner(config);
+  const t2m::LearnResult result = learner.learn(trace);
+  std::cout << t2m::format_learn_report(result, trace.schema());
+  if (!result.success) return 1;
+
+  const auto dot = args.get("dot");
+  if (dot && !dot->empty()) {
+    std::ofstream os(*dot);
+    t2m::write_dot(os, result.model);
+    std::cout << "wrote DOT to " << *dot << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const t2m::CliArgs& args) {
+  const auto path = args.get("trace");
+  if (!path) return usage();
+  const t2m::Trace trace = t2m::read_trace_file(*path);
+  std::cout << "observations: " << trace.size() << "\n";
+  std::cout << "variables:\n";
+  for (t2m::VarIndex v = 0; v < trace.schema().size(); ++v) {
+    const auto& info = trace.schema().var(v);
+    std::cout << "  " << info.name << " ("
+              << (info.type == t2m::VarType::Cat
+                      ? "cat, " + std::to_string(info.symbols.size()) + " symbols"
+                      : info.type == t2m::VarType::Bool ? "bool" : "int")
+              << ")\n";
+  }
+  const auto mode = t2m::select_mode(trace.schema());
+  std::cout << "abstraction mode: "
+            << (mode == t2m::AbstractionMode::Event
+                    ? "event"
+                    : mode == t2m::AbstractionMode::Numeric ? "numeric" : "mixed")
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const t2m::CliArgs args(argc, argv);
+  if (args.has("verbose")) t2m::Logger::instance().set_level(t2m::LogLevel::Debug);
+  if (args.positional().empty()) return usage();
+  const std::string& command = args.positional().front();
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "learn") return cmd_learn(args);
+    if (command == "info") return cmd_info(args);
+  } catch (const std::exception& e) {
+    std::cerr << "t2m: error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
