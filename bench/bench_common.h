@@ -1,7 +1,9 @@
 #ifndef T2M_BENCH_BENCH_COMMON_H
 #define T2M_BENCH_BENCH_COMMON_H
 
+#include <fstream>
 #include <functional>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -72,6 +74,77 @@ inline std::string runtime_cell(const LearnResult& r, double timeout_seconds) {
   if (r.timed_out) return ">" + format_double(timeout_seconds) + " (timeout)";
   return "no model";
 }
+
+/// One measured run for the perf-trajectory log.
+struct BenchRecord {
+  std::string bench;          ///< benchmark id, e.g. "table1/USB Slot/segmented"
+  double wall_seconds = 0.0;
+  bool success = false;
+  bool timed_out = false;
+  std::size_t states = 0;
+  std::size_t sat_calls = 0;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_propagations = 0;
+  std::size_t peak_clause_arena_bytes = 0;
+};
+
+/// Collects per-benchmark results and emits them as JSON (default:
+/// BENCH_results.json in the working directory), so successive PRs can
+/// track wall time, SAT effort and arena footprint per paper benchmark.
+class BenchResultsJson {
+public:
+  void add(std::string bench, const LearnResult& r) {
+    BenchRecord rec;
+    rec.bench = std::move(bench);
+    rec.wall_seconds = r.stats.total_seconds;
+    rec.success = r.success;
+    rec.timed_out = r.timed_out;
+    rec.states = r.states;
+    rec.sat_calls = r.stats.sat_calls;
+    rec.sat_conflicts = r.stats.sat_conflicts;
+    rec.sat_propagations = r.stats.sat_propagations;
+    rec.peak_clause_arena_bytes = r.stats.sat_peak_arena_bytes;
+    records_.push_back(std::move(rec));
+  }
+
+  void write(std::ostream& os) const {
+    os << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      os << "  {\"bench\": \"" << escape(r.bench) << "\""
+         << ", \"wall_seconds\": " << format_double(r.wall_seconds, 6)
+         << ", \"success\": " << (r.success ? "true" : "false")
+         << ", \"timed_out\": " << (r.timed_out ? "true" : "false")
+         << ", \"states\": " << r.states
+         << ", \"sat_calls\": " << r.sat_calls
+         << ", \"sat_conflicts\": " << r.sat_conflicts
+         << ", \"sat_propagations\": " << r.sat_propagations
+         << ", \"peak_clause_arena_bytes\": " << r.peak_clause_arena_bytes << "}"
+         << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+  }
+
+  bool write_file(const std::string& path = "BENCH_results.json") const {
+    std::ofstream out(path);
+    if (!out) return false;
+    write(out);
+    return bool(out);
+  }
+
+private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<BenchRecord> records_;
+};
 
 }  // namespace t2m::bench
 

@@ -3,7 +3,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <set>
+
 #include "src/abstraction/abstraction.h"
+#include "src/automaton/ops.h"
+#include "src/core/compliance.h"
+#include "src/core/learner.h"
 #include "src/core/segmentation.h"
 #include "src/sat/solver.h"
 #include "src/sim/basic/counter.h"
@@ -62,6 +68,87 @@ void BM_SatRandom3Sat(benchmark::State& state) {
 }
 BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(200);
 
+// Propagate-heavy: 64 parallel implication chains of binary clauses, solved
+// repeatedly under chain-head assumptions. Each solve() is one long unit
+// propagation (no conflicts), so this isolates watcher/arena throughput.
+void BM_SatPropagateChains(benchmark::State& state) {
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChains = 64;
+  const std::size_t len = vars / kChains;
+  sat::Solver solver;
+  std::vector<sat::Lit> heads;
+  for (std::size_t c = 0; c < kChains; ++c) {
+    sat::Var prev = solver.new_var();
+    heads.push_back(sat::pos(prev));
+    for (std::size_t i = 1; i < len; ++i) {
+      const sat::Var next = solver.new_var();
+      solver.add_binary(sat::neg(prev), sat::pos(next));  // prev -> next
+      prev = next;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(heads));
+  }
+  state.counters["propagations"] = static_cast<double>(solver.stats().propagations);
+}
+BENCHMARK(BM_SatPropagateChains)->Arg(1 << 14)->Arg(1 << 17);
+
+namespace compliance_bench {
+
+/// A fixture shared by the compliance microbenchmarks: the rtlinux
+/// scheduler predicate sequence (the paper's longest discrete trace) and a
+/// compliant model learned from it.
+struct Fixture {
+  PredicateSequence preds;
+  Nfa model;
+
+  Fixture() {
+    const Trace trace = sim::generate_full_coverage_sched_trace(20165);
+    preds = abstract_trace(trace);
+    LearnerConfig config;
+    config.require_trace_acceptance = false;
+    const LearnResult r =
+        ModelLearner(config).learn_from_sequence(preds, trace.schema());
+    model = r.model;
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+}  // namespace compliance_bench
+
+// Compliance-heavy, seed pipeline: materialise S_l and P_l as ordered sets
+// and run set_difference — P_l rebuilt from the 20k-step sequence on every
+// check, exactly as the seed's refinement loop did.
+void BM_ComplianceLegacy(benchmark::State& state) {
+  const auto& f = compliance_bench::fixture();
+  const std::size_t l = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto model_seqs = transition_sequences(f.model, l);
+    const auto trace_seqs = subsequences(f.preds.seq, l);
+    std::set<std::vector<PredId>> invalid;
+    std::set_difference(model_seqs.begin(), model_seqs.end(), trace_seqs.begin(),
+                        trace_seqs.end(), std::inserter(invalid, invalid.begin()));
+    benchmark::DoNotOptimize(invalid);
+  }
+}
+BENCHMARK(BM_ComplianceLegacy)->Arg(2)->Arg(3);
+
+// Compliance-heavy, cached engine: P_l hashed once at construction (as the
+// learner holds it across all refinement iterations), model paths streamed.
+void BM_ComplianceCached(benchmark::State& state) {
+  const auto& f = compliance_bench::fixture();
+  const std::size_t l = static_cast<std::size_t>(state.range(0));
+  const ComplianceChecker checker(f.preds.seq, l);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(f.model));
+  }
+}
+BENCHMARK(BM_ComplianceCached)->Arg(2)->Arg(3);
+
 void BM_SynthIncrement(benchmark::State& state) {
   Schema schema;
   schema.add_int("x");
@@ -107,6 +194,61 @@ void BM_SegmentSchedTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_SegmentSchedTrace);
 
+
+// Propagate-heavy with clause-memory traffic: ternary implication chains
+// (the third literal is an assumption-falsified dummy, so every step scans
+// the clause for a replacement watch before propagating the unit).
+void BM_SatPropagateTernaryChains(benchmark::State& state) {
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChains = 64;
+  const std::size_t len = vars / kChains;
+  sat::Solver solver;
+  const sat::Var junk = solver.new_var();
+  std::vector<sat::Lit> assumptions = {sat::neg(junk)};
+  for (std::size_t c = 0; c < kChains; ++c) {
+    sat::Var prev = solver.new_var();
+    assumptions.push_back(sat::pos(prev));
+    for (std::size_t i = 1; i < len; ++i) {
+      const sat::Var next = solver.new_var();
+      solver.add_ternary(sat::neg(prev), sat::pos(next), sat::pos(junk));
+      prev = next;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(assumptions));
+  }
+}
+BENCHMARK(BM_SatPropagateTernaryChains)->Arg(1 << 14)->Arg(1 << 17);
+
+
+// The CEGIS inner loop in miniature: build a fresh clause database (one
+// ternary clause per variable, as a fresh CSP encoding does at every state
+// count N) and run one propagation-only solve over it. Clause allocation
+// and watcher attachment dominate, which is exactly the seed's per-clause
+// heap-vector cost versus the flat arena.
+void BM_SatEncodeAndPropagate(benchmark::State& state) {
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChains = 64;
+  const std::size_t len = vars / kChains;
+  for (auto _ : state) {
+    sat::Solver solver;
+    const sat::Var junk = solver.new_var();
+    std::vector<sat::Lit> assumptions = {sat::neg(junk)};
+    for (std::size_t c = 0; c < kChains; ++c) {
+      const sat::Var base = solver.new_vars(len);  // batch, as the encoders do
+      assumptions.push_back(sat::pos(base));
+      for (std::size_t i = 1; i < len; ++i) {
+        solver.add_ternary(sat::neg(base + static_cast<sat::Var>(i - 1)),
+                           sat::pos(base + static_cast<sat::Var>(i)), sat::pos(junk));
+      }
+    }
+    benchmark::DoNotOptimize(solver.solve(assumptions));
+  }
+}
+BENCHMARK(BM_SatEncodeAndPropagate)->Arg(1 << 14)->Arg(1 << 17);
+
 }  // namespace
 
 BENCHMARK_MAIN();
+
+

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
 
   TableWriter table({"Example", "N", "Trace Length", "Full Trace (s)", "Segmented (s)",
                      "[paper full]", "[paper seg]"});
+  bench::BenchResultsJson results;
 
   for (const auto& c : bench::paper_benchmarks()) {
     const Trace trace = c.make_trace();
@@ -26,11 +27,17 @@ int main(int argc, char** argv) {
     table.add_row({c.name, std::to_string(seg.success ? seg.states : c.paper_states),
                    std::to_string(trace.size()), bench::runtime_cell(full, timeout),
                    bench::runtime_cell(seg, timeout), c.paper_full_s, c.paper_seg_s});
+    results.add("table1/" + c.name + "/full", full);
+    results.add("table1/" + c.name + "/segmented", seg);
   }
 
   std::cout << "TABLE I -- segmented vs non-segmented runtime "
                "(paper columns: authors' CBMC on their machine)\n";
   table.write_ascii(std::cout);
   if (args.has("csv")) table.write_csv(std::cout);
+  const std::string json_path = args.get_or("json", "BENCH_results.json");
+  if (results.write_file(json_path)) {
+    std::cout << "\nwrote per-benchmark results to " << json_path << "\n";
+  }
   return 0;
 }

@@ -7,18 +7,26 @@
 
 namespace t2m {
 
+std::vector<std::vector<std::pair<PredId, StateId>>> out_edges(const Nfa& m) {
+  std::vector<std::vector<std::pair<PredId, StateId>>> out(m.num_states());
+  for (const Transition& t : m.transitions()) {
+    out[t.src].emplace_back(t.pred, t.dst);
+  }
+  return out;
+}
+
 namespace {
 
-void extend_paths(const Nfa& m, StateId state, std::size_t remaining,
-                  std::vector<PredId>& prefix, std::set<std::vector<PredId>>& out) {
+void extend_paths(const std::vector<std::vector<std::pair<PredId, StateId>>>& edges,
+                  StateId state, std::size_t remaining, std::vector<PredId>& prefix,
+                  std::set<std::vector<PredId>>& out) {
   if (remaining == 0) {
     out.insert(prefix);
     return;
   }
-  for (const Transition& t : m.transitions()) {
-    if (t.src != state) continue;
-    prefix.push_back(t.pred);
-    extend_paths(m, t.dst, remaining - 1, prefix, out);
+  for (const auto& [pred, dst] : edges[state]) {
+    prefix.push_back(pred);
+    extend_paths(edges, dst, remaining - 1, prefix, out);
     prefix.pop_back();
   }
 }
@@ -28,8 +36,9 @@ void extend_paths(const Nfa& m, StateId state, std::size_t remaining,
 std::set<std::vector<PredId>> transition_sequences(const Nfa& m, std::size_t l) {
   std::set<std::vector<PredId>> out;
   std::vector<PredId> prefix;
+  const auto edges = out_edges(m);
   for (StateId s = 0; s < m.num_states(); ++s) {
-    extend_paths(m, s, l, prefix, out);
+    extend_paths(edges, s, l, prefix, out);
   }
   return out;
 }

@@ -10,6 +10,10 @@
 
 namespace t2m {
 
+/// Transitions grouped by source state, as (pred, dst) pairs: the adjacency
+/// index used by path enumeration and the compliance DFS.
+std::vector<std::vector<std::pair<PredId, StateId>>> out_edges(const Nfa& m);
+
 /// All predicate words of length `l` realisable as transition paths in `m`
 /// from any state (the paper's S_l, used by the compliance check).
 std::set<std::vector<PredId>> transition_sequences(const Nfa& m, std::size_t l);

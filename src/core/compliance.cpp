@@ -1,24 +1,124 @@
 #include "src/core/compliance.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/automaton/ops.h"
 
 namespace t2m {
 
-ComplianceResult check_compliance(const Nfa& model, const std::vector<PredId>& seq,
-                                  std::size_t l) {
+ComplianceChecker::ComplianceChecker(const std::vector<PredId>& seq, std::size_t l)
+    : l_(l) {
+  // Mirror the original subsequences() edge cases: no windows for l == 0 or
+  // a sequence shorter than l. The empty window set is served by the
+  // generic hashed-vector path; every model word is missing.
+  if (l_ == 0 || seq.size() < l_) return;
+
+  PredId max_pred = 0;
+  for (const PredId p : seq) max_pred = std::max(max_pred, p);
+  bits_ = std::max(1u, static_cast<std::uint32_t>(std::bit_width(
+                           static_cast<std::uint64_t>(max_pred))));
+  packed_ = bits_ < 64 && l_ * bits_ <= 64;
+
+  if (packed_) {
+    const std::uint32_t width = static_cast<std::uint32_t>(l_) * bits_;
+    mask_ = width == 64 ? ~0ULL : (1ULL << width) - 1;
+    packed_windows_.reserve(seq.size());
+    // Rolling pack: shift each predicate in and mask to the window width;
+    // one pass, no per-window allocation.
+    std::uint64_t key = 0;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      key = ((key << bits_) | static_cast<std::uint64_t>(seq[i])) & mask_;
+      if (i + 1 >= l_) packed_windows_.insert(key);
+    }
+    trace_windows_ = packed_windows_.size();
+  } else {
+    vec_windows_.reserve(seq.size());
+    for (std::size_t i = 0; i + l_ <= seq.size(); ++i) {
+      vec_windows_.insert(std::vector<PredId>(
+          seq.begin() + static_cast<std::ptrdiff_t>(i),
+          seq.begin() + static_cast<std::ptrdiff_t>(i + l_)));
+    }
+    trace_windows_ = vec_windows_.size();
+  }
+}
+
+bool ComplianceChecker::packed_usable(const Nfa& model) const {
+  if (!packed_) return false;
+  // Every model predicate must fit the per-id bit budget, or packed keys
+  // would alias distinct words.
+  const std::uint64_t limit = bits_ >= 64 ? ~0ULL : (1ULL << bits_);
+  for (const Transition& t : model.transitions()) {
+    if (static_cast<std::uint64_t>(t.pred) >= limit) return false;
+  }
+  return true;
+}
+
+ComplianceResult ComplianceChecker::check(const Nfa& model) const {
   ComplianceResult result;
-  const auto model_seqs = transition_sequences(model, l);
-  const auto trace_seqs = subsequences(seq, l);
-  result.model_sequences = model_seqs.size();
-  result.trace_sequences = trace_seqs.size();
-  std::set_difference(model_seqs.begin(), model_seqs.end(), trace_seqs.begin(),
-                      trace_seqs.end(),
-                      std::inserter(result.invalid_sequences,
-                                    result.invalid_sequences.begin()));
+  result.trace_sequences = trace_windows_;
+
+  const auto adj = out_edges(model);
+  std::vector<PredId> prefix;
+  prefix.reserve(l_);
+
+  if (packed_usable(model)) {
+    // Streaming DFS over packed keys: dedup and membership are both O(1)
+    // integer hashing; only missing words are materialised.
+    std::unordered_set<std::uint64_t> seen;
+    const auto dfs = [&](auto&& self, StateId state, std::uint64_t key) -> void {
+      if (prefix.size() == l_) {
+        if (seen.insert(key).second && packed_windows_.count(key) == 0) {
+          result.invalid_sequences.insert(prefix);
+        }
+        return;
+      }
+      for (const auto& [pred, dst] : adj[state]) {
+        prefix.push_back(pred);
+        self(self, dst, ((key << bits_) | static_cast<std::uint64_t>(pred)) & mask_);
+        prefix.pop_back();
+      }
+    };
+    for (StateId s = 0; s < model.num_states(); ++s) dfs(dfs, s, 0);
+    result.model_sequences = seen.size();
+  } else {
+    // Generic path: hashed vector keys. Taken when windows exceed 64 bits
+    // or a model predicate is outside the trace's id range.
+    std::unordered_set<std::vector<PredId>, VectorHash> seen;
+    const auto in_trace = [this](const std::vector<PredId>& word) {
+      if (!packed_) return vec_windows_.count(word) != 0;
+      std::uint64_t key = 0;
+      const std::uint64_t limit = bits_ >= 64 ? ~0ULL : (1ULL << bits_);
+      for (const PredId p : word) {
+        if (static_cast<std::uint64_t>(p) >= limit) return false;  // never seen in trace
+        key = ((key << bits_) | static_cast<std::uint64_t>(p)) & mask_;
+      }
+      return packed_windows_.count(key) != 0;
+    };
+    const auto dfs = [&](auto&& self, StateId state) -> void {
+      if (prefix.size() == l_) {
+        if (seen.insert(prefix).second && !in_trace(prefix)) {
+          result.invalid_sequences.insert(prefix);
+        }
+        return;
+      }
+      for (const auto& [pred, dst] : adj[state]) {
+        prefix.push_back(pred);
+        self(self, dst);
+        prefix.pop_back();
+      }
+    };
+    for (StateId s = 0; s < model.num_states(); ++s) dfs(dfs, s);
+    result.model_sequences = seen.size();
+  }
+
   result.compliant = result.invalid_sequences.empty();
   return result;
+}
+
+ComplianceResult check_compliance(const Nfa& model, const std::vector<PredId>& seq,
+                                  std::size_t l) {
+  return ComplianceChecker(seq, l).check(model);
 }
 
 }  // namespace t2m

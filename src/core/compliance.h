@@ -1,10 +1,13 @@
 #ifndef T2M_CORE_COMPLIANCE_H
 #define T2M_CORE_COMPLIANCE_H
 
+#include <cstdint>
 #include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "src/automaton/nfa.h"
+#include "src/util/hash.h"
 
 namespace t2m {
 
@@ -19,6 +22,41 @@ struct ComplianceResult {
   std::size_t trace_sequences = 0;
 };
 
+/// One-pass compliance engine. The trace window set P_l is invariant across
+/// all refinement iterations of a learn run, so it is computed once at
+/// construction — with a rolling packed-key hash when the windows fit in 64
+/// bits, a hashed vector set otherwise — and every check() then streams the
+/// candidate model's length-l paths by DFS, emitting only the missing words
+/// instead of materialising the full S_l set and running set_difference.
+/// Produces results identical to the original
+/// transition_sequences/subsequences/set_difference pipeline.
+class ComplianceChecker {
+public:
+  ComplianceChecker(const std::vector<PredId>& seq, std::size_t l);
+
+  ComplianceResult check(const Nfa& model) const;
+
+  std::size_t window_length() const { return l_; }
+  /// |P_l|: number of distinct trace windows.
+  std::size_t trace_sequences() const { return trace_windows_; }
+
+private:
+  bool packed_usable(const Nfa& model) const;
+
+  std::size_t l_;
+  std::size_t trace_windows_ = 0;
+  /// Packed representation: each window folds into one 64-bit key, built by
+  /// a rolling shift over the sequence. Valid when l_ * bits_ <= 64.
+  bool packed_ = false;
+  std::uint32_t bits_ = 0;   ///< bits per predicate id
+  std::uint64_t mask_ = 0;   ///< low l_*bits_ bits
+  std::unordered_set<std::uint64_t> packed_windows_;
+  /// Fallback for windows too wide to pack.
+  std::unordered_set<std::vector<PredId>, VectorHash> vec_windows_;
+};
+
+/// Convenience single-shot wrapper around ComplianceChecker; the learner
+/// keeps a persistent checker instead, so P_l is computed once per run.
 ComplianceResult check_compliance(const Nfa& model, const std::vector<PredId>& seq,
                                   std::size_t l);
 

@@ -25,11 +25,11 @@ AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num
     }
   }
 
-  // One-hot blocks.
+  // One-hot blocks, allocated as one contiguous batch.
   block_base_.resize(num_state_vars_);
+  const sat::Var blocks_base = solver_.new_vars(num_state_vars_ * num_states_);
   for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
-    block_base_[sv] = static_cast<sat::Var>(solver_.num_vars());
-    for (std::size_t k = 0; k < num_states_; ++k) solver_.new_var();
+    block_base_[sv] = blocks_base + static_cast<sat::Var>(sv * num_states_);
   }
   encode_one_hot();
 
@@ -106,25 +106,24 @@ void AutomatonCsp::encode_determinism_successor() {
       log_warn() << "AutomatonCsp: clause budget exceeded (successor encoding)";
       return;
     }
-    std::vector<std::vector<sat::Lit>> succ(num_states_);
+    const sat::Var succ_base = solver_.new_vars(num_states_ * num_states_);
+    const auto succ = [&](std::size_t k, std::size_t k2) {
+      return sat::pos(succ_base + static_cast<sat::Var>(k * num_states_ + k2));
+    };
     for (std::size_t k = 0; k < num_states_; ++k) {
-      succ[k].resize(num_states_);
-      for (std::size_t k2 = 0; k2 < num_states_; ++k2) {
-        succ[k][k2] = sat::pos(solver_.new_var());
-      }
       // at-most-one successor per (k, p)
       for (std::size_t i = 0; i < num_states_; ++i) {
         for (std::size_t j = i + 1; j < num_states_; ++j) {
-          solver_.add_binary(~succ[k][i], ~succ[k][j]);
+          solver_.add_binary(~succ(k, i), ~succ(k, j));
         }
       }
     }
     for (const std::size_t t : transitions_with_pred_[p]) {
       for (std::size_t k = 0; k < num_states_; ++k) {
         for (std::size_t k2 = 0; k2 < num_states_; ++k2) {
-          // (src=k & dst=k2) -> succ[k][k2]
+          // (src=k & dst=k2) -> succ(k, k2)
           solver_.add_ternary(~state_lit(src_var_[t], k), ~state_lit(dst_var_[t], k2),
-                              succ[k][k2]);
+                              succ(k, k2));
         }
       }
     }
@@ -132,6 +131,10 @@ void AutomatonCsp::encode_determinism_successor() {
 }
 
 sat::Var AutomatonCsp::equality_var(std::size_t sv_a, std::size_t sv_b) {
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(sv_a) * num_state_vars_ + sv_b;
+  const auto it = equality_cache_.find(key);
+  if (it != equality_cache_.end()) return it->second;
   const sat::Var e = solver_.new_var();
   for (std::size_t k = 0; k < num_states_; ++k) {
     // (a=k & b=k) -> e
@@ -139,7 +142,38 @@ sat::Var AutomatonCsp::equality_var(std::size_t sv_a, std::size_t sv_b) {
     // (e & a=k) -> b=k
     solver_.add_ternary(~sat::pos(e), ~state_lit(sv_a, k), state_lit(sv_b, k));
   }
+  equality_cache_.emplace(key, e);
   return e;
+}
+
+const std::vector<ForbiddenChainCache::Chain>& AutomatonCsp::chains_for(
+    const std::vector<PredId>& word) {
+  ForbiddenChainCache& cache = chain_cache_ ? *chain_cache_ : local_chain_cache_;
+  if (const auto* hit = cache.find(word)) return *hit;
+  // Enumerate every chain of transitions labelled by `word`, recording the
+  // consecutive dst/src state-variable adjacencies. This is the exponential
+  // part of the encoding; everything emitted from it is N-independent, so
+  // the result is cached across state-count increments.
+  std::vector<ForbiddenChainCache::Chain>& chains = cache.emplace(word);
+  std::vector<std::size_t> chain(word.size());
+  const std::function<void(std::size_t)> recurse = [&](std::size_t depth) {
+    if (depth == word.size()) {
+      ForbiddenChainCache::Chain adj;
+      adj.reserve(word.size() - 1);
+      for (std::size_t i = 0; i + 1 < word.size(); ++i) {
+        adj.emplace_back(static_cast<std::uint32_t>(dst_var_[chain[i]]),
+                         static_cast<std::uint32_t>(src_var_[chain[i + 1]]));
+      }
+      chains.push_back(std::move(adj));
+      return;
+    }
+    for (const std::size_t t : transitions_with_pred_.at(word[depth])) {
+      chain[depth] = t;
+      recurse(depth + 1);
+    }
+  };
+  recurse(0);
+  return chains;
 }
 
 void AutomatonCsp::add_forbidden_sequence(const std::vector<PredId>& word) {
@@ -155,14 +189,13 @@ void AutomatonCsp::add_forbidden_sequence(const std::vector<PredId>& word) {
     }
     return;
   }
+  const std::vector<ForbiddenChainCache::Chain>& chains = chains_for(word);
   if (word.size() == 2) {
     // No transition labelled word[0] may feed one labelled word[1]:
     // for all pairs (a, b): dst(a) != src(b).
-    for (const std::size_t a : transitions_with_pred_.at(word[0])) {
-      for (const std::size_t b : transitions_with_pred_.at(word[1])) {
-        for (std::size_t k = 0; k < num_states_; ++k) {
-          solver_.add_binary(~state_lit(dst_var_[a], k), ~state_lit(src_var_[b], k));
-        }
+    for (const ForbiddenChainCache::Chain& adj : chains) {
+      for (std::size_t k = 0; k < num_states_; ++k) {
+        solver_.add_binary(~state_lit(adj[0].first, k), ~state_lit(adj[0].second, k));
       }
     }
     return;
@@ -170,24 +203,15 @@ void AutomatonCsp::add_forbidden_sequence(const std::vector<PredId>& word) {
   // General case: for every chain of transitions labelled by `word`, at
   // least one consecutive dst/src pair must differ. Auxiliary equality
   // variables keep this polynomial per chain.
-  std::vector<std::size_t> chain(word.size());
-  const std::function<void(std::size_t)> recurse = [&](std::size_t depth) {
-    if (depth == word.size()) {
-      std::vector<sat::Lit> clause;
-      clause.reserve(word.size() - 1);
-      for (std::size_t i = 0; i + 1 < word.size(); ++i) {
-        clause.push_back(
-            ~sat::pos(equality_var(dst_var_[chain[i]], src_var_[chain[i + 1]])));
-      }
-      solver_.add_clause(clause);
-      return;
+  std::vector<sat::Lit> clause;
+  for (const ForbiddenChainCache::Chain& adj : chains) {
+    clause.clear();
+    clause.reserve(adj.size());
+    for (const auto& [dst_sv, src_sv] : adj) {
+      clause.push_back(~sat::pos(equality_var(dst_sv, src_sv)));
     }
-    for (const std::size_t t : transitions_with_pred_.at(word[depth])) {
-      chain[depth] = t;
-      recurse(depth + 1);
-    }
-  };
-  recurse(0);
+    solver_.add_clause(clause);
+  }
 }
 
 sat::SolveResult AutomatonCsp::solve(const Deadline& deadline) {

@@ -2,14 +2,49 @@
 #define T2M_CORE_CSP_ENCODER_H
 
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/automaton/nfa.h"
 #include "src/core/segmentation.h"
 #include "src/sat/solver.h"
+#include "src/util/hash.h"
 #include "src/util/stopwatch.h"
 
 namespace t2m {
+
+/// Memoised chain enumeration for forbidden words.
+///
+/// Encoding a forbidden word w requires enumerating every chain of encoded
+/// transitions labelled by w — a product over the per-predicate transition
+/// groups that is exponential in |w|. The enumeration depends only on the
+/// segment layout (which transition reads which predicate between which
+/// state variables), NOT on the state count N, so the learner shares one
+/// cache across its N-increment loop: re-encoding the accumulated forbidden
+/// words into a fresh N+1 CSP reuses the cached chains and only emits the
+/// (cheap, N-dependent) clauses. Sound only while the segment layout is
+/// fixed, which holds for the whole of one learn_from_sequence() run.
+class ForbiddenChainCache {
+public:
+  /// One dst/src state-variable adjacency along a chain.
+  using SvPair = std::pair<std::uint32_t, std::uint32_t>;
+  /// One chain of transitions labelled by the word: |word|-1 adjacencies.
+  using Chain = std::vector<SvPair>;
+
+  /// Returns the cached chains for `word`, or null when absent.
+  const std::vector<Chain>* find(const std::vector<PredId>& word) const {
+    const auto it = entries_.find(word);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  std::vector<Chain>& emplace(const std::vector<PredId>& word) {
+    return entries_[word];
+  }
+  std::size_t size() const { return entries_.size(); }
+
+private:
+  std::unordered_map<std::vector<PredId>, std::vector<Chain>, VectorHash> entries_;
+};
 
 /// How the "at most one transition per (state, predicate)" condition
 /// (Algorithm 1, line 29) is encoded:
@@ -52,8 +87,13 @@ public:
 
   /// Forbids any path labelled `word` (compliance refinement, line 44).
   /// Length-2 words use direct binary clauses; longer words introduce
-  /// auxiliary state-equality variables.
+  /// auxiliary state-equality variables (memoised per state-variable pair).
   void add_forbidden_sequence(const std::vector<PredId>& word);
+
+  /// Shares a chain cache across CSP instances (non-owning; the learner
+  /// keeps one per learn_from_sequence run). Must only be shared between
+  /// CSPs built from the same segment layout.
+  void set_chain_cache(ForbiddenChainCache* cache) { chain_cache_ = cache; }
 
   /// Runs the solver; Unknown on deadline expiry.
   sat::SolveResult solve(const Deadline& deadline = Deadline::never());
@@ -70,6 +110,8 @@ public:
 
   std::size_t num_states() const { return num_states_; }
   std::size_t num_transitions() const { return preds_of_transition_.size(); }
+  /// Distinct state-variable pairs with an equality aux var (for tests).
+  std::size_t num_equality_vars() const { return equality_cache_.size(); }
   const sat::SolverStats& solver_stats() const { return solver_.stats(); }
   std::size_t num_clauses() const { return solver_.num_clauses(); }
   std::size_t num_vars() const { return solver_.num_vars(); }
@@ -81,8 +123,13 @@ private:
   void encode_one_hot();
   void encode_determinism_pairwise();
   void encode_determinism_successor();
-  /// Fresh variable forced to track `state_var_a == state_var_b`.
+  /// Variable forced to track `state_var_a == state_var_b`; memoised per
+  /// (sv_a, sv_b) so repeated adjacencies across forbidden chains reuse one
+  /// aux var instead of minting a fresh one plus 2N duplicate clauses.
   sat::Var equality_var(std::size_t sv_a, std::size_t sv_b);
+  /// Enumerates (and caches) the transition chains labelled by `word`.
+  const std::vector<ForbiddenChainCache::Chain>& chains_for(
+      const std::vector<PredId>& word);
 
   bool clause_budget_ok() const { return solver_.num_clauses() <= options_.max_clauses; }
 
@@ -102,6 +149,11 @@ private:
   std::vector<sat::Var> block_base_;
   /// Transitions grouped by predicate (for determinism and forbidding).
   std::vector<std::vector<std::size_t>> transitions_with_pred_;
+  /// Memoised equality aux vars, keyed by sv_a * num_state_vars_ + sv_b.
+  std::unordered_map<std::uint64_t, sat::Var> equality_cache_;
+  /// Shared cross-N chain cache (optional); falls back to a local one.
+  ForbiddenChainCache* chain_cache_ = nullptr;
+  ForbiddenChainCache local_chain_cache_;
 };
 
 }  // namespace t2m

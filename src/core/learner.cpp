@@ -43,20 +43,40 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
   result.stats.segments = segments.size();
   result.stats.encoded_transitions = total_transitions(segments);
 
-  // Forbidden sequences accumulate across N: they are facts about P.
+  // Forbidden sequences accumulate across N: they are facts about P. Their
+  // chain enumeration is N-independent, so one cache serves every CSP this
+  // run constructs (see ForbiddenChainCache).
   std::set<std::vector<PredId>> forbidden;
+  ForbiddenChainCache chain_cache;
+
+  // The trace window set is invariant across all refinement iterations:
+  // compute it once and let every compliance check stream against it.
+  const ComplianceChecker compliance_checker(preds.seq, config_.compliance_length);
+
+  // Fold one CSP's solver counters into the run totals.
+  const auto absorb_solver_stats = [&result, &forbidden](const AutomatonCsp& csp) {
+    const sat::SolverStats& s = csp.solver_stats();
+    result.stats.sat_conflicts += s.conflicts;
+    result.stats.sat_propagations += s.propagations;
+    if (s.peak_arena_bytes > result.stats.sat_peak_arena_bytes) {
+      result.stats.sat_peak_arena_bytes = s.peak_arena_bytes;
+    }
+    result.stats.forbidden_words = forbidden.size();
+  };
 
   const Stopwatch construction_watch;
   for (std::size_t n = config_.initial_states; n <= config_.max_states; ++n) {
     CspOptions options;
     options.encoding = config_.encoding;
     AutomatonCsp csp(segments, preds.vocab.size(), n, options);
+    csp.set_chain_cache(&chain_cache);
     for (const auto& word : forbidden) csp.add_forbidden_sequence(word);
 
     bool next_n = false;
     std::size_t acceptance_blocks = 0;
     while (!next_n) {
       if (deadline.expired()) {
+        absorb_solver_stats(csp);
         result.timed_out = true;
         result.preds = std::move(preds);
         result.stats.construction_seconds = construction_watch.elapsed_seconds();
@@ -66,6 +86,7 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
       ++result.stats.sat_calls;
       const sat::SolveResult sat_result = csp.solve(deadline);
       if (sat_result == sat::SolveResult::Unknown) {
+        absorb_solver_stats(csp);
         result.timed_out = true;
         result.preds = std::move(preds);
         result.stats.construction_seconds = construction_watch.elapsed_seconds();
@@ -75,14 +96,14 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
       if (sat_result == sat::SolveResult::Unsat) {
         // No N-state automaton: grow N (Algorithm 1, lines 34-36).
         ++result.stats.state_increments;
+        absorb_solver_stats(csp);
         log_debug() << "learner: no " << n << "-state automaton, growing N";
         next_n = true;
         continue;
       }
       // Candidate model: compliance check (lines 38-48).
       Nfa candidate = csp.extract_model();
-      const ComplianceResult compliance =
-          check_compliance(candidate, preds.seq, config_.compliance_length);
+      const ComplianceResult compliance = compliance_checker.check(candidate);
       if (compliance.compliant && config_.require_trace_acceptance &&
           acceptance_blocks < config_.max_acceptance_blocks &&
           !candidate.accepts(preds.seq)) {
@@ -99,6 +120,7 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
         continue;
       }
       if (compliance.compliant) {
+        absorb_solver_stats(csp);
         candidate.set_pred_names(preds.names_for(schema));
         result.success = true;
         result.model = std::move(candidate);

@@ -51,6 +51,12 @@ struct LearnStats {
   std::size_t sat_calls = 0;
   std::size_t refinements = 0;       ///< compliance iterations that added constraints
   std::size_t state_increments = 0;  ///< times N had to grow
+  std::size_t forbidden_words = 0;   ///< distinct forbidden sequences learned
+  // Aggregated over every CSP solver the run constructed (the perf
+  // trajectory counters the bench JSON emitter records).
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_propagations = 0;
+  std::size_t sat_peak_arena_bytes = 0;  ///< max clause-arena bytes of any CSP
   /// True when the trace-acceptance strengthening was abandoned after
   /// max_acceptance_blocks sibling models (the result is still compliant).
   bool acceptance_relaxed = false;

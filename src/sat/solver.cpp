@@ -11,26 +11,45 @@ namespace {
 
 constexpr double kVarDecay = 0.95;
 constexpr double kClauseDecay = 0.999;
-constexpr double kRescaleLimit = 1e100;
+constexpr double kVarRescaleLimit = 1e100;
+// Clause activities are stored as 32-bit floats in the arena header, so the
+// rescale threshold must sit well inside float range.
+constexpr float kClauseRescaleLimit = 1e20f;
 constexpr std::uint64_t kRestartBase = 100;
+// GC triggers when at least this fraction of the arena is dead words.
+constexpr std::size_t kGcWasteDenominator = 5;  // 1/5 = 20%
 
 }  // namespace
 
 Solver::Solver() = default;
 
-Var Solver::new_var() {
-  const Var v = static_cast<Var>(assign_.size());
-  assign_.push_back(LBool::Undef);
-  saved_phase_.push_back(LBool::False);
-  level_.push_back(0);
-  reason_.push_back(kNoReason);
-  activity_.push_back(0.0);
-  heap_index_.push_back(-1);
-  seen_.push_back(0);
-  watches_.emplace_back();  // positive literal
-  watches_.emplace_back();  // negative literal
-  heap_insert(v);
-  return v;
+Var Solver::new_var() { return new_vars(1); }
+
+Var Solver::new_vars(std::size_t count) {
+  const Var first = static_cast<Var>(assign_.size());
+  const std::size_t n = assign_.size() + count;
+  assign_.resize(n, LBool::Undef);
+  saved_phase_.resize(n, LBool::False);
+  level_.resize(n, 0);
+  reason_.resize(n, kNoReason);
+  activity_.resize(n, 0.0);
+  heap_index_.resize(n, -1);
+  seen_.resize(n, 0);
+  watches_.resize(2 * n);
+  heap_.reserve(n);
+  for (Var v = first; v < static_cast<Var>(n); ++v) {
+    heap_index_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(heap_.size());
+    heap_.push_back(v);
+    heap_sift_up(heap_.size() - 1);  // O(1): fresh activity 0 never rises
+  }
+  return first;
+}
+
+ClauseRef Solver::alloc_clause(std::span<const Lit> lits, bool learned) {
+  const ClauseRef cref = arena_.alloc(lits, learned);
+  stats_.arena_bytes = arena_.size_bytes();
+  stats_.peak_arena_bytes = arena_.peak_bytes();
+  return cref;
 }
 
 bool Solver::add_clause(std::span<const Lit> lits) {
@@ -39,13 +58,14 @@ bool Solver::add_clause(std::span<const Lit> lits) {
   if (decision_level() > 0) backtrack(0);
 
   // Normalise: sort, drop duplicates and root-false literals, detect
-  // tautologies and root-satisfied clauses.
-  Clause c(lits.begin(), lits.end());
-  std::sort(c.begin(), c.end());
-  Clause norm;
-  norm.reserve(c.size());
+  // tautologies and root-satisfied clauses. Scratch buffers are members so
+  // the encoder's bulk clause feeding does no per-call allocation.
+  add_scratch_.assign(lits.begin(), lits.end());
+  std::sort(add_scratch_.begin(), add_scratch_.end());
+  Clause& norm = add_norm_scratch_;
+  norm.clear();
   Lit prev = Lit::undef();
-  for (const Lit l : c) {
+  for (const Lit l : add_scratch_) {
     if (l.is_undef() || static_cast<std::size_t>(l.var()) >= assign_.size()) {
       throw std::invalid_argument("Solver::add_clause: literal over unknown variable");
     }
@@ -71,9 +91,10 @@ bool Solver::add_clause(std::span<const Lit> lits) {
     return ok_;
   }
 
-  clauses_.push_back(ClauseData{std::move(norm), 0.0, false, false});
+  const ClauseRef cref = alloc_clause(norm, /*learned=*/false);
+  problem_clauses_.push_back(cref);
   ++num_problem_clauses_;
-  attach_clause(static_cast<ClauseRef>(clauses_.size()) - 1);
+  attach_clause(cref);
   return true;
 }
 
@@ -92,12 +113,12 @@ bool Solver::add_exactly_one(std::span<const Lit> lits) {
 }
 
 void Solver::attach_clause(ClauseRef cref) {
-  const ClauseData& c = clauses_[static_cast<std::size_t>(cref)];
-  assert(c.lits.size() >= 2);
-  watches_[static_cast<std::size_t>((~c.lits[0]).code())].push_back(
-      Watcher{cref, c.lits[1]});
-  watches_[static_cast<std::size_t>((~c.lits[1]).code())].push_back(
-      Watcher{cref, c.lits[0]});
+  assert(arena_.size(cref) >= 2);
+  const Lit l0 = arena_.lit(cref, 0);
+  const Lit l1 = arena_.lit(cref, 1);
+  const ClauseRef ref = arena_.size(cref) == 2 ? (cref | kBinaryTag) : cref;
+  watches_[static_cast<std::size_t>((~l0).code())].push_back(Watcher{ref, l1});
+  watches_[static_cast<std::size_t>((~l1).code())].push_back(Watcher{ref, l0});
 }
 
 void Solver::enqueue(Lit l, ClauseRef reason) {
@@ -109,7 +130,7 @@ void Solver::enqueue(Lit l, ClauseRef reason) {
   trail_.push_back(l);
 }
 
-Solver::ClauseRef Solver::propagate() {
+ClauseRef Solver::propagate() {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
     ++stats_.propagations;
@@ -122,31 +143,56 @@ Solver::ClauseRef Solver::propagate() {
         ws[keep++] = w;
         continue;
       }
-      ClauseData& c = clauses_[static_cast<std::size_t>(w.clause)];
-      if (c.deleted) continue;  // lazily drop watchers of deleted clauses
+      // Binary fast path: the whole clause is (blocker | ~p); no clause
+      // memory is touched. Binary clauses are never deleted (reduce_learned
+      // skips size <= 2), so no deleted check is needed here.
+      if ((w.clause & kBinaryTag) != 0) {
+        const ClauseRef cref = w.clause & ~kBinaryTag;
+        if (value(w.blocker) == LBool::False) {
+          // Conflict: restore remaining watchers and report.
+          for (std::size_t j = i; j < ws.size(); ++j) ws[keep++] = ws[j];
+          ws.resize(keep);
+          propagate_head_ = trail_.size();
+          return cref;
+        }
+        // Implied: make the blocker the clause's first literal, as conflict
+        // analysis expects the asserting literal at position 0.
+        std::uint32_t* blits = arena_.lit_codes(cref);
+        if (blits[0] != static_cast<std::uint32_t>(w.blocker.code())) {
+          std::swap(blits[0], blits[1]);
+        }
+        ws[keep++] = w;
+        enqueue(w.blocker, cref);
+        continue;
+      }
+      if (arena_.deleted(w.clause)) continue;  // stale watcher, purged at GC
+      const std::size_t size = arena_.size(w.clause);
+      std::uint32_t* lits = arena_.lit_codes(w.clause);
       // Ensure the false literal (~p) sits at position 1.
-      const Lit false_lit = ~p;
-      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      assert(c.lits[1] == false_lit);
+      const auto false_code = static_cast<std::uint32_t>((~p).code());
+      if (lits[0] == false_code) std::swap(lits[0], lits[1]);
+      assert(lits[1] == false_code);
       // First literal satisfied?
-      if (value(c.lits[0]) == LBool::True) {
-        ws[keep++] = Watcher{w.clause, c.lits[0]};
+      const Lit first = Lit::from_code(static_cast<std::int32_t>(lits[0]));
+      if (value(first) == LBool::True) {
+        ws[keep++] = Watcher{w.clause, first};
         continue;
       }
       // Look for a replacement watch.
       bool moved = false;
-      for (std::size_t k = 2; k < c.lits.size(); ++k) {
-        if (value(c.lits[k]) != LBool::False) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[static_cast<std::size_t>((~c.lits[1]).code())].push_back(
-              Watcher{w.clause, c.lits[0]});
+      for (std::size_t k = 2; k < size; ++k) {
+        const Lit lk = Lit::from_code(static_cast<std::int32_t>(lits[k]));
+        if (value(lk) != LBool::False) {
+          std::swap(lits[1], lits[k]);
+          watches_[static_cast<std::size_t>((~lk).code())].push_back(
+              Watcher{w.clause, first});
           moved = true;
           break;
         }
       }
       if (moved) continue;
       // Unit or conflicting.
-      if (value(c.lits[0]) == LBool::False) {
+      if (value(first) == LBool::False) {
         // Conflict: restore remaining watchers and report.
         for (std::size_t j = i; j < ws.size(); ++j) ws[keep++] = ws[j];
         ws.resize(keep);
@@ -154,7 +200,7 @@ Solver::ClauseRef Solver::propagate() {
         return w.clause;
       }
       ws[keep++] = w;
-      enqueue(c.lits[0], w.clause);
+      enqueue(first, w.clause);
     }
     ws.resize(keep);
   }
@@ -164,26 +210,44 @@ Solver::ClauseRef Solver::propagate() {
 void Solver::bump_var(Var v) {
   auto& a = activity_[static_cast<std::size_t>(v)];
   a += var_inc_;
-  if (a > kRescaleLimit) {
+  if (a > kVarRescaleLimit) {
     for (auto& act : activity_) act *= 1e-100;
     var_inc_ *= 1e-100;
   }
   if (heap_contains(v)) heap_update(v);
 }
 
-void Solver::bump_clause(ClauseData& c) {
-  c.activity += clause_inc_;
-  if (c.activity > kRescaleLimit) {
-    for (auto& cl : clauses_) {
-      if (cl.learned) cl.activity *= 1e-100;
+void Solver::bump_clause(ClauseRef cref) {
+  const float bumped = arena_.activity(cref) + static_cast<float>(clause_inc_);
+  arena_.set_activity(cref, bumped);
+  if (bumped > kClauseRescaleLimit) {
+    for (const ClauseRef c : learnts_) {
+      if (arena_.deleted(c)) continue;
+      arena_.set_activity(c, arena_.activity(c) * 1e-20f);
     }
-    clause_inc_ *= 1e-100;
+    clause_inc_ *= 1e-20;
   }
 }
 
 void Solver::decay_activities() {
   var_inc_ /= kVarDecay;
   clause_inc_ /= kClauseDecay;
+}
+
+std::uint32_t Solver::compute_lbd(std::span<const Lit> lits) {
+  // Called after backtracking, so stale per-var levels may exceed the
+  // current decision level; grow the stamp array as needed.
+  ++lbd_stamp_gen_;
+  std::uint32_t count = 0;
+  for (const Lit l : lits) {
+    const auto lev = static_cast<std::size_t>(level_of(l.var()));
+    if (lev >= lbd_stamp_.size()) lbd_stamp_.resize(lev + 1, 0);
+    if (lbd_stamp_[lev] != lbd_stamp_gen_) {
+      lbd_stamp_[lev] = lbd_stamp_gen_;
+      ++count;
+    }
+  }
+  return count;
 }
 
 void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level) {
@@ -197,11 +261,11 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrac
 
   do {
     assert(reason != kNoReason);
-    ClauseData& c = clauses_[static_cast<std::size_t>(reason)];
-    if (c.learned) bump_clause(c);
+    if (arena_.learned(reason)) bump_clause(reason);
+    const std::size_t size = arena_.size(reason);
     const std::size_t start = p.is_undef() ? 0 : 1;
-    for (std::size_t i = start; i < c.lits.size(); ++i) {
-      const Lit q = c.lits[i];
+    for (std::size_t i = start; i < size; ++i) {
+      const Lit q = arena_.lit(reason, i);
       const auto qv = static_cast<std::size_t>(q.var());
       if (seen_[qv] || level_of(q.var()) == 0) continue;
       seen_[qv] = 1;
@@ -270,9 +334,9 @@ bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
       for (const Var v : cleared) seen_[static_cast<std::size_t>(v)] = 0;
       return false;
     }
-    const ClauseData& c = clauses_[static_cast<std::size_t>(r)];
-    for (std::size_t i = 1; i < c.lits.size(); ++i) {
-      const Lit q = c.lits[i];
+    const std::size_t size = arena_.size(r);
+    for (std::size_t i = 1; i < size; ++i) {
+      const Lit q = arena_.lit(r, i);
       const auto qv = static_cast<std::size_t>(q.var());
       if (seen_[qv] || level_of(q.var()) == 0) continue;
       const bool level_plausible =
@@ -320,30 +384,81 @@ Lit Solver::pick_branch_literal() {
   return Lit::undef();
 }
 
+bool Solver::locked(ClauseRef cref) const {
+  const Lit l0 = arena_.lit(cref, 0);
+  return value(l0) == LBool::True &&
+         reason_[static_cast<std::size_t>(l0.var())] == cref;
+}
+
 void Solver::reduce_learned() {
-  // Collect learned, non-reason clauses and delete the low-activity half.
-  std::vector<ClauseRef> learned;
-  for (std::size_t i = 0; i < clauses_.size(); ++i) {
-    const ClauseData& c = clauses_[i];
-    if (!c.learned || c.deleted || c.lits.size() <= 2) continue;
-    learned.push_back(static_cast<ClauseRef>(i));
+  ++stats_.reduces;
+  // Deletion candidates: learned, not glue (LBD <= 2 is kept forever), not
+  // binary, not currently the antecedent of an assignment.
+  std::vector<ClauseRef> cands;
+  cands.reserve(learnts_.size());
+  for (const ClauseRef c : learnts_) {
+    if (arena_.deleted(c) || arena_.size(c) <= 2) continue;
+    if (arena_.lbd(c) <= 2) continue;
+    if (locked(c)) continue;
+    cands.push_back(c);
   }
-  std::sort(learned.begin(), learned.end(), [this](ClauseRef a, ClauseRef b) {
-    return clauses_[static_cast<std::size_t>(a)].activity <
-           clauses_[static_cast<std::size_t>(b)].activity;
+  // Worst first: high LBD, then low activity.
+  std::sort(cands.begin(), cands.end(), [this](ClauseRef a, ClauseRef b) {
+    const std::uint32_t la = arena_.lbd(a);
+    const std::uint32_t lb = arena_.lbd(b);
+    if (la != lb) return la > lb;
+    return arena_.activity(a) < arena_.activity(b);
   });
-  std::vector<char> is_reason(clauses_.size(), 0);
+  for (std::size_t i = 0; i < cands.size() / 2; ++i) {
+    arena_.mark_deleted(cands[i]);
+  }
+  // Compact the learned list; dead watchers linger until the next GC.
+  std::erase_if(learnts_, [this](ClauseRef c) { return arena_.deleted(c); });
+}
+
+void Solver::maybe_garbage_collect() {
+  if (arena_.wasted_words() * kGcWasteDenominator >= arena_.size_words() &&
+      arena_.wasted_words() > 0) {
+    garbage_collect();
+  }
+}
+
+void Solver::garbage_collect() {
+  ClauseArena to;
+  to.reserve_words(arena_.size_words() - arena_.wasted_words());
+  to.inherit_peak(arena_);
+
+  // Watcher lists: purge watchers of deleted clauses, forward the rest.
+  for (auto& ws : watches_) {
+    std::size_t keep = 0;
+    for (const Watcher& w : ws) {
+      const ClauseRef tag = w.clause & kBinaryTag;
+      const ClauseRef cref = w.clause & ~kBinaryTag;
+      if (arena_.deleted(cref)) continue;
+      ws[keep++] = Watcher{arena_.relocate(cref, to) | tag, w.blocker};
+    }
+    ws.resize(keep);
+  }
+  // Reason references of assigned variables.
   for (const Lit l : trail_) {
-    const ClauseRef r = reason_[static_cast<std::size_t>(l.var())];
-    if (r != kNoReason) is_reason[static_cast<std::size_t>(r)] = 1;
+    auto& r = reason_[static_cast<std::size_t>(l.var())];
+    if (r == kNoReason) continue;
+    assert(!arena_.deleted(r));
+    r = arena_.relocate(r, to);
   }
-  for (std::size_t i = 0; i < learned.size() / 2; ++i) {
-    const ClauseRef cref = learned[i];
-    if (is_reason[static_cast<std::size_t>(cref)]) continue;
-    clauses_[static_cast<std::size_t>(cref)].deleted = true;
-    clauses_[static_cast<std::size_t>(cref)].lits.clear();
-    clauses_[static_cast<std::size_t>(cref)].lits.shrink_to_fit();
+  // Clause lists.
+  for (auto& c : problem_clauses_) c = arena_.relocate(c, to);
+  std::size_t keep = 0;
+  for (const ClauseRef c : learnts_) {
+    if (arena_.deleted(c)) continue;
+    learnts_[keep++] = arena_.relocate(c, to);
   }
+  learnts_.resize(keep);
+
+  arena_ = std::move(to);
+  ++stats_.gc_runs;
+  stats_.arena_bytes = arena_.size_bytes();
+  stats_.peak_arena_bytes = arena_.peak_bytes();
 }
 
 std::uint64_t Solver::luby(std::uint64_t i) {
@@ -365,7 +480,9 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
     ok_ = false;
     return SolveResult::Unsat;
   }
-  rebuild_order_heap();
+  // No heap rebuild: new_var() inserts every variable and backtrack()
+  // re-inserts unassigned ones, so the heap always contains all unassigned
+  // variables; pick_branch_literal() skips stale assigned entries lazily.
 
   std::uint64_t conflicts_total = 0;
   std::uint64_t restart_number = 0;
@@ -390,8 +507,10 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
       if (learnt.size() == 1) {
         enqueue(learnt[0], kNoReason);
       } else {
-        clauses_.push_back(ClauseData{learnt, clause_inc_, true, false});
-        const auto cref = static_cast<ClauseRef>(clauses_.size()) - 1;
+        const ClauseRef cref = alloc_clause(learnt, /*learned=*/true);
+        arena_.set_activity(cref, static_cast<float>(clause_inc_));
+        arena_.set_lbd(cref, compute_lbd(learnt));
+        learnts_.push_back(cref);
         attach_clause(cref);
         enqueue(learnt[0], cref);
         ++stats_.learned_clauses;
@@ -403,10 +522,9 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
       if (conflict_budget_ != 0 && conflicts_total >= conflict_budget_) {
         return SolveResult::Unknown;
       }
-      ++live_learned_;
-      if (live_learned_ > max_learned) {
+      if (learnts_.size() > max_learned) {
         reduce_learned();
-        live_learned_ /= 2;
+        maybe_garbage_collect();
         max_learned += max_learned / 10;
       }
       continue;
@@ -435,6 +553,9 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
     }
 
     if (next.is_undef()) {
+      // Every assigned variable sits on the trail exactly once, so a full
+      // trail means a total assignment — skip draining the order heap.
+      if (trail_.size() == num_vars()) return SolveResult::Sat;
       ++stats_.decisions;
       next = pick_branch_literal();
       if (next.is_undef()) return SolveResult::Sat;  // all variables assigned
@@ -452,14 +573,6 @@ bool Solver::model_value(Var v) const {
 }
 
 // --- activity-ordered max-heap ------------------------------------------
-
-void Solver::rebuild_order_heap() {
-  heap_.clear();
-  std::fill(heap_index_.begin(), heap_index_.end(), -1);
-  for (Var v = 0; v < static_cast<Var>(assign_.size()); ++v) {
-    if (value(v) == LBool::Undef) heap_insert(v);
-  }
-}
 
 void Solver::heap_insert(Var v) {
   if (heap_contains(v)) return;

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "src/sat/clause_arena.h"
 #include "src/sat/cnf.h"
 #include "src/util/stopwatch.h"
 
@@ -22,12 +23,22 @@ struct SolverStats {
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
   std::uint64_t learned_literals = 0;
+  std::uint64_t reduces = 0;        ///< learned-clause reduction rounds
+  std::uint64_t gc_runs = 0;        ///< arena compactions
+  std::size_t arena_bytes = 0;      ///< clause arena size after last solve
+  std::size_t peak_arena_bytes = 0; ///< lifetime arena high-water mark
 };
 
 /// Conflict-driven clause-learning SAT solver in the MiniSat lineage:
 /// two-watched-literal propagation, first-UIP conflict analysis with
 /// recursive clause minimisation, VSIDS branching with phase saving, Luby
-/// restarts and activity-based learned-clause deletion.
+/// restarts and LBD/activity-based learned-clause deletion.
+///
+/// Clauses live in a flat `ClauseArena` (contiguous uint32 buffer addressed
+/// by 32-bit offsets) rather than one heap vector per clause; deletion marks
+/// clauses dead in place and a compacting garbage collector reclaims the
+/// space, rewriting watcher lists and reason references and purging stale
+/// watchers of deleted clauses.
 ///
 /// The solver is incremental: clauses may be added between solve() calls
 /// (the learner's refinement loop adds forbidden-sequence constraints this
@@ -38,8 +49,13 @@ public:
 
   /// Creates a fresh variable and returns it.
   Var new_var();
+  /// Creates `count` fresh variables in one batch (one resize of the
+  /// per-variable arrays instead of `count` incremental grows; the encoders
+  /// allocate one-hot blocks this way). Returns the first of the block.
+  Var new_vars(std::size_t count);
   std::size_t num_vars() const { return assign_.size(); }
   std::size_t num_clauses() const { return num_problem_clauses_; }
+  std::size_t num_learned() const { return learnts_.size(); }
 
   /// Adds a clause; returns false if the instance is already unsatisfiable
   /// at the root level (e.g. conflicting unit clauses).
@@ -71,15 +87,16 @@ public:
   /// True if the solver is known unsatisfiable regardless of assumptions.
   bool in_unsat_state() const { return !ok_; }
 
+  /// Compacts the clause arena now (normally triggered automatically when
+  /// at least `kGcWasteFraction` of it is dead). Exposed for tests.
+  void garbage_collect();
+
 private:
-  struct ClauseData {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    bool learned = false;
-    bool deleted = false;
-  };
-  using ClauseRef = std::int32_t;
-  static constexpr ClauseRef kNoReason = -1;
+  static constexpr ClauseRef kNoReason = kClauseRefUndef;
+  /// Watcher refs of binary clauses carry this tag: propagation then runs
+  /// entirely on the watcher (blocker = the other literal) without touching
+  /// clause memory. Arena offsets stay well below 2^31, so the bit is free.
+  static constexpr ClauseRef kBinaryTag = 0x80000000u;
 
   struct Watcher {
     ClauseRef clause = kNoReason;
@@ -93,6 +110,7 @@ private:
   }
   LBool value(Var v) const { return assign_[static_cast<std::size_t>(v)]; }
 
+  ClauseRef alloc_clause(std::span<const Lit> lits, bool learned);
   void attach_clause(ClauseRef cref);
   void enqueue(Lit l, ClauseRef reason);
   ClauseRef propagate();
@@ -101,10 +119,13 @@ private:
   void backtrack(int level);
   Lit pick_branch_literal();
   void reduce_learned();
+  void maybe_garbage_collect();
+  /// True when the clause is the antecedent of its first literal.
+  bool locked(ClauseRef cref) const;
+  std::uint32_t compute_lbd(std::span<const Lit> lits);
   void bump_var(Var v);
-  void bump_clause(ClauseData& c);
+  void bump_clause(ClauseRef cref);
   void decay_activities();
-  void rebuild_order_heap();
 
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
   int level_of(Var v) const { return level_[static_cast<std::size_t>(v)]; }
@@ -123,7 +144,9 @@ private:
 
   // --- state ---
   bool ok_ = true;
-  std::vector<ClauseData> clauses_;
+  ClauseArena arena_;
+  std::vector<ClauseRef> problem_clauses_;
+  std::vector<ClauseRef> learnts_;
   std::size_t num_problem_clauses_ = 0;
   std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
   std::vector<LBool> assign_;                  // indexed by var
@@ -140,13 +163,16 @@ private:
   std::vector<Var> heap_;
   std::vector<std::int32_t> heap_index_;
 
-  // scratch buffers for analyze()
+  // scratch buffers for add_clause() and analyze()
+  Clause add_scratch_;
+  Clause add_norm_scratch_;
   std::vector<char> seen_;
   std::vector<Lit> analyze_stack_;
+  std::vector<std::uint32_t> lbd_stamp_;  // per-level stamp for LBD counting
+  std::uint32_t lbd_stamp_gen_ = 0;
 
   Deadline deadline_;
   std::uint64_t conflict_budget_ = 0;  // 0 = unlimited
-  std::size_t live_learned_ = 0;
   SolverStats stats_;
 };
 

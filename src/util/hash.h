@@ -1,0 +1,36 @@
+#ifndef T2M_UTIL_HASH_H
+#define T2M_UTIL_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace t2m {
+
+/// splitmix64 finaliser: cheap, well-mixed 64-bit hash step.
+inline std::uint64_t hash_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return hash_mix(seed ^ (v + (seed << 6) + (seed >> 2)));
+}
+
+/// Hash functor for vectors of integral ids (predicate windows, words).
+/// Used by the hashed-window dedup in segmentation and the compliance and
+/// forbidden-chain caches, replacing ordered std::set keys on hot paths.
+struct VectorHash {
+  template <typename T>
+  std::size_t operator()(const std::vector<T>& v) const {
+    std::uint64_t h = 0x2545f4914f6cdd1dULL ^ v.size();
+    for (const T& x : v) h = hash_combine(h, static_cast<std::uint64_t>(x));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace t2m
+
+#endif  // T2M_UTIL_HASH_H

@@ -157,5 +157,55 @@ TEST_P(EncodingAgreement, SameVerdict) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EncodingAgreement, ::testing::Range(0, 12));
 
+TEST(EqualityMemoisation, RepeatedWordMintsNoNewVars) {
+  // Three-long forbidden words introduce equality aux vars; re-adding the
+  // same word must reuse them all (same chains, same sv pairs) and add no
+  // solver variables.
+  const std::vector<Segment> segments = {{0, 1, 0}, {1, 0, 1}};
+  AutomatonCsp csp(segments, 2, 3);
+  csp.add_forbidden_sequence({0, 1, 1});
+  const std::size_t vars_after_first = csp.num_vars();
+  const std::size_t eq_after_first = csp.num_equality_vars();
+  EXPECT_GT(eq_after_first, 0u);
+  csp.add_forbidden_sequence({0, 1, 1});
+  EXPECT_EQ(csp.num_vars(), vars_after_first);
+  EXPECT_EQ(csp.num_equality_vars(), eq_after_first);
+}
+
+TEST(EqualityMemoisation, OverlappingWordsShareAuxVars) {
+  // Words sharing dst/src adjacencies reuse the memoised equality vars:
+  // the second word adds at most the pairs the first did not cover.
+  const std::vector<Segment> segments = {{0, 1, 2}, {1, 2, 0}};
+  AutomatonCsp csp(segments, 3, 3);
+  csp.add_forbidden_sequence({0, 1, 2});
+  const std::size_t eq_after_first = csp.num_equality_vars();
+  AutomatonCsp fresh(segments, 3, 3);
+  fresh.add_forbidden_sequence({1, 2, 0});
+  const std::size_t eq_second_alone = fresh.num_equality_vars();
+  csp.add_forbidden_sequence({1, 2, 0});
+  // Shared (dst, src) adjacencies: strictly fewer new vars than standalone.
+  EXPECT_LT(csp.num_equality_vars(), eq_after_first + eq_second_alone);
+  // And the constraint still bites: the segment realises 0-1-2, so
+  // forbidding it must be UNSAT at any N.
+  EXPECT_EQ(csp.solve(), sat::SolveResult::Unsat);
+}
+
+TEST(ForbiddenChainCacheTest, SharedAcrossStateCounts) {
+  // The same cache serves CSPs of different N (chains are N-independent);
+  // verdicts must match the uncached encoding.
+  const std::vector<Segment> segments = {{0, 1, 0}, {1, 0, 1}};
+  ForbiddenChainCache cache;
+  for (std::size_t n = 1; n <= 4; ++n) {
+    AutomatonCsp cached(segments, 2, n);
+    cached.set_chain_cache(&cache);
+    cached.add_forbidden_sequence({0, 1, 0});
+    AutomatonCsp uncached(segments, 2, n);
+    uncached.add_forbidden_sequence({0, 1, 0});
+    EXPECT_EQ(cached.solve(), uncached.solve()) << "N=" << n;
+  }
+  // One word, one cache entry, however many N values were encoded.
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 }  // namespace
 }  // namespace t2m
