@@ -63,8 +63,12 @@ inline LearnerConfig table_config(const BenchCase& c, bool segmented,
   config.timeout_seconds = timeout_seconds;
   config.abstraction.input_vars = c.input_vars;
   // Algorithm 1 as published: no trace-acceptance strengthening, so the
-  // runtime columns measure the paper's constraint system.
+  // runtime columns measure the paper's constraint system; likewise a fresh
+  // CSP per N (the search starts at the known N anyway, so there is nothing
+  // for a persistent solver to reuse). The fresh-vs-persistent comparison
+  // lives in bench_micro, bench_fig6_rtlinux and bench_fig7_scaling.
   config.require_trace_acceptance = false;
+  config.persistent_solver = false;
   return config;
 }
 
@@ -86,6 +90,8 @@ struct BenchRecord {
   std::uint64_t sat_conflicts = 0;
   std::uint64_t sat_propagations = 0;
   std::size_t peak_clause_arena_bytes = 0;
+  std::size_t csp_builds = 0;  ///< CSP constructions (fresh path: one per N)
+  std::size_t csp_grows = 0;   ///< in-place solver-reusing state growths
 };
 
 /// Collects per-benchmark results and emits them as JSON (default:
@@ -104,6 +110,8 @@ public:
     rec.sat_conflicts = r.stats.sat_conflicts;
     rec.sat_propagations = r.stats.sat_propagations;
     rec.peak_clause_arena_bytes = r.stats.sat_peak_arena_bytes;
+    rec.csp_builds = r.stats.csp_builds;
+    rec.csp_grows = r.stats.csp_grows;
     records_.push_back(std::move(rec));
   }
 
@@ -119,7 +127,9 @@ public:
          << ", \"sat_calls\": " << r.sat_calls
          << ", \"sat_conflicts\": " << r.sat_conflicts
          << ", \"sat_propagations\": " << r.sat_propagations
-         << ", \"peak_clause_arena_bytes\": " << r.peak_clause_arena_bytes << "}"
+         << ", \"peak_clause_arena_bytes\": " << r.peak_clause_arena_bytes
+         << ", \"csp_builds\": " << r.csp_builds
+         << ", \"csp_grows\": " << r.csp_grows << "}"
          << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     os << "]\n";

@@ -4,18 +4,30 @@
 // functional-coverage narrative. Paper: 8 states. With the default l = 2
 // compliance our trace permits merging the two scheduler-entry states (7
 // states); l = 3 recovers the paper's 8 (see EXPERIMENTS.md).
+//
+// The run doubles as the solver-reuse benchmark on the paper's longest
+// discrete trace: the same learn executed with a fresh CSP per state count
+// and with one persistent guarded solver (the default), timed side by side.
+//
+// Flags: --json FILE (emit per-run records for the perf trajectory).
 
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "src/automaton/coverage.h"
 #include "src/automaton/dot.h"
 #include "src/core/learner.h"
 #include "src/core/report.h"
 #include "src/sim/references.h"
 #include "src/sim/rtlinux/workloads.h"
+#include "src/util/cli.h"
+#include "src/util/csv.h"
+#include "src/util/stopwatch.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace t2m;
+  const CliArgs args(argc, argv);
+  bench::BenchResultsJson results;
 
   std::cout << "FIG 6 -- RT-Linux thread model (20165-event sched trace)\n\n";
 
@@ -40,6 +52,33 @@ int main() {
   if (r3.success) {
     std::cout << "with l=3 compliance: " << r3.states << " states\n";
   }
+
+  // Solver reuse on the hot loop: fresh CSP per N vs one persistent solver.
+  std::cout << "\n--- solver reuse (same learn, N searched from 2) ---\n";
+  TableWriter reuse({"Path", "Wall (s)", "SAT conflicts", "SAT propagations",
+                     "CSP builds", "CSP grows"});
+  for (const bool persistent : {false, true}) {
+    LearnerConfig config;
+    config.persistent_solver = persistent;
+    const Stopwatch watch;
+    const LearnResult run = ModelLearner(config).learn(trace);
+    const double wall = watch.elapsed_seconds();
+    reuse.add_row({persistent ? "persistent" : "fresh per N", format_double(wall, 4),
+                   std::to_string(run.stats.sat_conflicts),
+                   std::to_string(run.stats.sat_propagations),
+                   std::to_string(run.stats.csp_builds),
+                   std::to_string(run.stats.csp_grows)});
+    results.add(std::string("fig6/rtlinux/") + (persistent ? "persistent" : "fresh_per_n"),
+                run);
+  }
+  reuse.write_ascii(std::cout);
+
   std::cout << "\nDOT (l=2 model):\n" << to_dot(r.model, "rtlinux_fig6");
+
+  if (const auto json_path = args.get("json")) {
+    if (results.write_file(*json_path)) {
+      std::cout << "\nwrote per-run results to " << *json_path << "\n";
+    }
+  }
   return 0;
 }

@@ -2,7 +2,13 @@
 // segmented vs non-segmented input. Trace lengths 2^6 .. 2^15 as in the
 // paper; the non-segmented (pairwise-encoded) runs blow past the budget at
 // moderate lengths, which is exactly the curve shape the figure shows.
-// Flags: --timeout SEC (default 30), --max-exp E (default 15).
+//
+// A second series compares the persistent-solver learn path (one guarded
+// SAT instance across the N search, learner-realistic configuration) with
+// the fresh-CSP-per-N reference over the same trace prefixes.
+//
+// Flags: --timeout SEC (default 30), --max-exp E (default 15),
+//        --json FILE (also emit per-run records for the perf trajectory).
 
 #include <iostream>
 
@@ -19,6 +25,7 @@ int main(int argc, char** argv) {
   sim::IntegratorConfig sim_config;
   sim_config.length = 1u << 15;
   const Trace full_trace = sim::generate_integrator_trace(sim_config);
+  bench::BenchResultsJson results;
 
   TableWriter table({"Trace Length", "Segmented (s)", "Non-segmented (s)"});
   std::cout << "FIG 7 -- runtime vs trace length (integrator), log-log series\n";
@@ -32,6 +39,7 @@ int main(int argc, char** argv) {
     base.initial_states = 3;  // as in Table I: start at the known N
     base.timeout_seconds = timeout;
     base.abstraction.input_vars = {sim::integrator_input_var()};
+    base.persistent_solver = false;  // paper-faithful fresh construction
 
     LearnerConfig seg = base;
     seg.segmented = true;
@@ -42,10 +50,46 @@ int main(int argc, char** argv) {
     const LearnResult rf = ModelLearner(full).learn(trace);
     table.add_row({std::to_string(n), bench::runtime_cell(rs, timeout),
                    bench::runtime_cell(rf, timeout)});
+    results.add("fig7/len=" + std::to_string(n) + "/segmented", rs);
+    results.add("fig7/len=" + std::to_string(n) + "/full", rf);
   }
 
   table.write_ascii(std::cout);
   std::cout << "\nCSV (for plotting):\n";
   table.write_csv(std::cout);
+
+  // Fresh-per-N vs persistent solver over the same prefixes, in the
+  // learner's default configuration (successor encoding, search from N = 2,
+  // segmented) so the state-count loop actually iterates.
+  TableWriter reuse_table(
+      {"Trace Length", "Fresh per N (s)", "Persistent (s)", "Fresh conflicts",
+       "Persistent conflicts"});
+  std::cout << "\nSolver reuse -- fresh CSP per N vs one persistent solver\n";
+  for (int e = 6; e <= max_exp; ++e) {
+    const std::size_t n = 1u << e;
+    const Trace trace = full_trace.prefix(n);
+
+    LearnerConfig realistic;
+    realistic.timeout_seconds = timeout;
+    realistic.abstraction.input_vars = {sim::integrator_input_var()};
+
+    LearnerConfig fresh_config = realistic;
+    fresh_config.persistent_solver = false;
+    const LearnResult fresh = ModelLearner(fresh_config).learn(trace);
+    const LearnResult persistent = ModelLearner(realistic).learn(trace);
+    reuse_table.add_row({std::to_string(n), bench::runtime_cell(fresh, timeout),
+                         bench::runtime_cell(persistent, timeout),
+                         std::to_string(fresh.stats.sat_conflicts),
+                         std::to_string(persistent.stats.sat_conflicts)});
+    results.add("fig7/len=" + std::to_string(n) + "/fresh_per_n", fresh);
+    results.add("fig7/len=" + std::to_string(n) + "/persistent", persistent);
+  }
+  reuse_table.write_ascii(std::cout);
+
+  if (const auto json_path = args.get("json")) {
+    if (results.write_file(*json_path)) {
+      std::cout << "\nwrote per-run results to " << *json_path << "\n";
+    }
+  }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "src/sim/basic/counter.h"
 #include "src/sim/basic/integrator.h"
 #include "src/sim/rtlinux/workloads.h"
+#include "src/sim/xhci/ring_interface.h"
 #include "src/synth/enumerative.h"
 #include "src/util/rng.h"
 
@@ -148,6 +149,75 @@ void BM_ComplianceCached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ComplianceCached)->Arg(2)->Arg(3);
+
+namespace learn_bench {
+
+/// Pre-abstracted predicate sequences for the end-to-end learn benchmarks:
+/// the growth-heavy USB attach trace (N grows 2..8) and the rtlinux
+/// scheduler trace (the paper's longest discrete benchmark, N grows 2..7).
+struct Fixture {
+  PredicateSequence usb_preds;
+  Schema usb_schema;
+  PredicateSequence sched_preds;
+  Schema sched_schema;
+
+  Fixture() {
+    const Trace usb = sim::generate_usb_attach_trace();
+    usb_preds = abstract_trace(usb);
+    usb_schema = usb.schema();
+    const Trace sched = sim::generate_full_coverage_sched_trace(20165);
+    sched_preds = abstract_trace(sched);
+    sched_schema = sched.schema();
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+void run_learn(benchmark::State& state, const PredicateSequence& preds,
+               const Schema& schema, bool persistent) {
+  LearnerConfig config;
+  config.persistent_solver = persistent;
+  const ModelLearner learner(config);
+  std::uint64_t conflicts = 0;
+  for (auto _ : state) {
+    const LearnResult r = learner.learn_from_sequence(preds, schema);
+    conflicts = r.stats.sat_conflicts;
+    benchmark::DoNotOptimize(r.states);
+  }
+  state.counters["sat_conflicts"] = static_cast<double>(conflicts);
+}
+
+}  // namespace learn_bench
+
+// The tentpole comparison: the whole N-increment learn loop against one
+// persistent guarded solver versus a fresh CSP per state count. Same final
+// model either way; the counters show the reuse (conflicts drop, one build).
+void BM_LearnUsbAttachFreshPerN(benchmark::State& state) {
+  const auto& f = learn_bench::fixture();
+  learn_bench::run_learn(state, f.usb_preds, f.usb_schema, /*persistent=*/false);
+}
+BENCHMARK(BM_LearnUsbAttachFreshPerN);
+
+void BM_LearnUsbAttachPersistent(benchmark::State& state) {
+  const auto& f = learn_bench::fixture();
+  learn_bench::run_learn(state, f.usb_preds, f.usb_schema, /*persistent=*/true);
+}
+BENCHMARK(BM_LearnUsbAttachPersistent);
+
+void BM_LearnSchedTraceFreshPerN(benchmark::State& state) {
+  const auto& f = learn_bench::fixture();
+  learn_bench::run_learn(state, f.sched_preds, f.sched_schema, /*persistent=*/false);
+}
+BENCHMARK(BM_LearnSchedTraceFreshPerN);
+
+void BM_LearnSchedTracePersistent(benchmark::State& state) {
+  const auto& f = learn_bench::fixture();
+  learn_bench::run_learn(state, f.sched_preds, f.sched_schema, /*persistent=*/true);
+}
+BENCHMARK(BM_LearnSchedTracePersistent);
 
 void BM_SynthIncrement(benchmark::State& state) {
   Schema schema;

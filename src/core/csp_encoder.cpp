@@ -1,15 +1,25 @@
 #include "src/core/csp_encoder.h"
 
+#include <algorithm>
 #include <functional>
+#include <limits>
 #include <stdexcept>
 
 #include "src/util/log.h"
 
 namespace t2m {
 
+namespace {
+constexpr std::uint32_t kNoDecodedState = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
 AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num_preds,
                            std::size_t num_states, const CspOptions& options)
-    : num_preds_(num_preds), num_states_(num_states), options_(options) {
+    : num_preds_(num_preds),
+      num_states_(num_states),
+      capacity_(options.state_capacity == 0 ? num_states
+                                            : std::max(num_states, options.state_capacity)),
+      options_(options) {
   if (num_states_ == 0) throw std::invalid_argument("AutomatonCsp: zero states");
 
   // Lay out state variables: each segment of length w owns w+1 of them,
@@ -25,49 +35,125 @@ AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num
     }
   }
 
-  // One-hot blocks, allocated as one contiguous batch.
+  // One-hot blocks, allocated as one contiguous batch of capacity_ columns.
   block_base_.resize(num_state_vars_);
-  const sat::Var blocks_base = solver_.new_vars(num_state_vars_ * num_states_);
+  const sat::Var blocks_base = solver_.new_vars(num_state_vars_ * capacity_);
   for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
-    block_base_[sv] = blocks_base + static_cast<sat::Var>(sv * num_states_);
+    block_base_[sv] = blocks_base + static_cast<sat::Var>(sv * capacity_);
   }
-  encode_one_hot();
+
+  const bool is_persistent = options_.state_capacity > 0;
+  if (is_persistent) {
+    const sat::Var act_base = solver_.new_vars(capacity_);
+    act_.resize(capacity_);
+    for (std::size_t k = 0; k < capacity_; ++k) {
+      act_[k] = act_base + static_cast<sat::Var>(k);
+    }
+  }
+
+  // At-least-one over the full block width. In persistent mode the guard
+  // binaries (act_k | ~x) restrict it to the active columns under the
+  // per-solve assumptions; in fixed mode the width IS the state count.
+  std::vector<sat::Lit> alo(capacity_);
+  for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
+    for (std::size_t k = 0; k < capacity_; ++k) alo[k] = state_lit(sv, k);
+    solver_.add_clause(alo);
+    if (is_persistent) {
+      // Guard binaries only for columns that can ever be inactive: N only
+      // grows, so the first num_states_ columns never need deactivating.
+      for (std::size_t k = num_states_; k < capacity_; ++k) {
+        solver_.add_binary(sat::pos(act_[k]), ~state_lit(sv, k));
+      }
+    }
+  }
 
   transitions_with_pred_.resize(num_preds_);
   for (std::size_t i = 0; i < preds_of_transition_.size(); ++i) {
     transitions_with_pred_.at(preds_of_transition_[i]).push_back(i);
   }
 
+  // Successor aux blocks span the full capacity so their layout survives
+  // grow_to(); only used predicates get one.
+  succ_base_.assign(num_preds_, kVarUndef);
+  if (options_.encoding == DeterminismEncoding::Successor) {
+    for (std::size_t p = 0; p < num_preds_; ++p) {
+      if (transitions_with_pred_[p].empty()) continue;
+      succ_base_[p] = solver_.new_vars(capacity_ * capacity_);
+    }
+  }
+
   if (options_.pin_initial && num_state_vars_ > 0) {
     solver_.add_unit(state_lit(0, 0));
   }
 
-  switch (options_.encoding) {
-    case DeterminismEncoding::Pairwise:
-      encode_determinism_pairwise();
-      break;
-    case DeterminismEncoding::Successor:
-      encode_determinism_successor();
-      break;
-  }
+  activate_columns(0, num_states_);
 }
 
 sat::Lit AutomatonCsp::state_lit(std::size_t sv, std::size_t k) const {
   return sat::pos(block_base_.at(sv) + static_cast<sat::Var>(k));
 }
 
-void AutomatonCsp::encode_one_hot() {
-  std::vector<sat::Lit> lits(num_states_);
+bool AutomatonCsp::grow_to(std::size_t n) {
+  if (!persistent()) return false;
+  if (n <= num_states_) return true;
+  if (n > capacity_) return false;
+  const std::size_t lo = num_states_;
+  num_states_ = n;
+  decoded_valid_ = false;
+  // Learned clauses carry over; the branching heuristics do not — phases and
+  // activities encode the shape of the just-refuted (N-1)-state search and
+  // bias the wider problem towards degenerate sibling models.
+  solver_.reset_branching_heuristics();
+  activate_columns(lo, n);
+  return true;
+}
+
+void AutomatonCsp::activate_columns(std::size_t lo, std::size_t hi) {
+  // At-most-one pairs whose larger column is new.
   for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
-    for (std::size_t k = 0; k < num_states_; ++k) lits[k] = state_lit(sv, k);
-    solver_.add_exactly_one(lits);
+    if (!clause_budget_ok()) {
+      overflowed_ = true;
+      log_warn() << "AutomatonCsp: clause budget exceeded (one-hot encoding)";
+      return;
+    }
+    for (std::size_t j = std::max<std::size_t>(lo, 1); j < hi; ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        solver_.add_binary(~state_lit(sv, i), ~state_lit(sv, j));
+      }
+    }
+  }
+
+  switch (options_.encoding) {
+    case DeterminismEncoding::Pairwise:
+      encode_determinism_pairwise(lo, hi);
+      break;
+    case DeterminismEncoding::Successor:
+      encode_determinism_successor(lo, hi);
+      break;
+  }
+  if (overflowed_) return;
+
+  // Column extensions of everything the refinement loop accumulated so far
+  // (no-ops during construction, when both containers are still empty).
+  for (const auto& word : forbidden_pairs_) {
+    encode_forbidden_pair(chains_for(word), lo, hi);
+    if (overflowed_) return;
+  }
+  for (const auto& [key, e] : equality_cache_) {
+    if (!clause_budget_ok()) {
+      overflowed_ = true;
+      log_warn() << "AutomatonCsp: clause budget exceeded (equality extension)";
+      return;
+    }
+    encode_equality_columns(e, key / num_state_vars_, key % num_state_vars_, lo, hi);
   }
 }
 
-void AutomatonCsp::encode_determinism_pairwise() {
+void AutomatonCsp::encode_determinism_pairwise(std::size_t lo, std::size_t hi) {
   // For every pair of transitions sharing a predicate: equal sources force
   // equal destinations. Clauses (~srcA=k | ~srcB=k | ~dstA=k1 | ~dstB=k2)
   // for k1 != k2 -- the paper's "wrong transition" condition, line 29.
+  // Only tuples touching a column in [lo, hi) are new.
   for (const auto& group : transitions_with_pred_) {
     for (std::size_t a_i = 0; a_i < group.size(); ++a_i) {
       if (!clause_budget_ok()) {
@@ -80,10 +166,11 @@ void AutomatonCsp::encode_determinism_pairwise() {
         const std::size_t a = group[a_i];
         const std::size_t b = group[b_i];
         if (src_var_[a] == src_var_[b] && dst_var_[a] == dst_var_[b]) continue;
-        for (std::size_t k = 0; k < num_states_; ++k) {
-          for (std::size_t k1 = 0; k1 < num_states_; ++k1) {
-            for (std::size_t k2 = 0; k2 < num_states_; ++k2) {
+        for (std::size_t k = 0; k < hi; ++k) {
+          for (std::size_t k1 = 0; k1 < hi; ++k1) {
+            for (std::size_t k2 = 0; k2 < hi; ++k2) {
               if (k1 == k2) continue;
+              if (k < lo && k1 < lo && k2 < lo) continue;  // already emitted
               solver_.add_clause({~state_lit(src_var_[a], k), ~state_lit(src_var_[b], k),
                                   ~state_lit(dst_var_[a], k1),
                                   ~state_lit(dst_var_[b], k2)});
@@ -95,7 +182,7 @@ void AutomatonCsp::encode_determinism_pairwise() {
   }
 }
 
-void AutomatonCsp::encode_determinism_successor() {
+void AutomatonCsp::encode_determinism_successor(std::size_t lo, std::size_t hi) {
   // succ(k, p): one-hot successor state of state k under predicate p. Any
   // transition with predicate p leaving state k must land on succ(k, p);
   // at-most-one on the block enforces determinism in O(m N^2) clauses.
@@ -106,21 +193,23 @@ void AutomatonCsp::encode_determinism_successor() {
       log_warn() << "AutomatonCsp: clause budget exceeded (successor encoding)";
       return;
     }
-    const sat::Var succ_base = solver_.new_vars(num_states_ * num_states_);
+    const sat::Var succ_base = succ_base_[p];
     const auto succ = [&](std::size_t k, std::size_t k2) {
-      return sat::pos(succ_base + static_cast<sat::Var>(k * num_states_ + k2));
+      return sat::pos(succ_base + static_cast<sat::Var>(k * capacity_ + k2));
     };
-    for (std::size_t k = 0; k < num_states_; ++k) {
-      // at-most-one successor per (k, p)
-      for (std::size_t i = 0; i < num_states_; ++i) {
-        for (std::size_t j = i + 1; j < num_states_; ++j) {
+    for (std::size_t k = 0; k < hi; ++k) {
+      // at-most-one successor per (k, p); for sources already active only
+      // the pairs reaching into the new columns are missing.
+      for (std::size_t j = k < lo ? lo : 1; j < hi; ++j) {
+        for (std::size_t i = 0; i < j; ++i) {
           solver_.add_binary(~succ(k, i), ~succ(k, j));
         }
       }
     }
     for (const std::size_t t : transitions_with_pred_[p]) {
-      for (std::size_t k = 0; k < num_states_; ++k) {
-        for (std::size_t k2 = 0; k2 < num_states_; ++k2) {
+      for (std::size_t k = 0; k < hi; ++k) {
+        for (std::size_t k2 = 0; k2 < hi; ++k2) {
+          if (k < lo && k2 < lo) continue;  // already emitted
           // (src=k & dst=k2) -> succ(k, k2)
           solver_.add_ternary(~state_lit(src_var_[t], k), ~state_lit(dst_var_[t], k2),
                               succ(k, k2));
@@ -130,18 +219,26 @@ void AutomatonCsp::encode_determinism_successor() {
   }
 }
 
+void AutomatonCsp::encode_equality_columns(sat::Var e, std::size_t sv_a,
+                                           std::size_t sv_b, std::size_t lo,
+                                           std::size_t hi) {
+  // Vacuous for inactive columns: both clause shapes contain ~x_{a,k}, and
+  // the guard assumptions hold those literals true until column k activates.
+  for (std::size_t k = lo; k < hi; ++k) {
+    // (a=k & b=k) -> e
+    solver_.add_ternary(~state_lit(sv_a, k), ~state_lit(sv_b, k), sat::pos(e));
+    // (e & a=k) -> b=k
+    solver_.add_ternary(~sat::pos(e), ~state_lit(sv_a, k), state_lit(sv_b, k));
+  }
+}
+
 sat::Var AutomatonCsp::equality_var(std::size_t sv_a, std::size_t sv_b) {
   const std::uint64_t key =
       static_cast<std::uint64_t>(sv_a) * num_state_vars_ + sv_b;
   const auto it = equality_cache_.find(key);
   if (it != equality_cache_.end()) return it->second;
   const sat::Var e = solver_.new_var();
-  for (std::size_t k = 0; k < num_states_; ++k) {
-    // (a=k & b=k) -> e
-    solver_.add_ternary(~state_lit(sv_a, k), ~state_lit(sv_b, k), sat::pos(e));
-    // (e & a=k) -> b=k
-    solver_.add_ternary(~sat::pos(e), ~state_lit(sv_a, k), state_lit(sv_b, k));
-  }
+  encode_equality_columns(e, sv_a, sv_b, 0, num_states_);
   equality_cache_.emplace(key, e);
   return e;
 }
@@ -153,11 +250,21 @@ const std::vector<ForbiddenChainCache::Chain>& AutomatonCsp::chains_for(
   // Enumerate every chain of transitions labelled by `word`, recording the
   // consecutive dst/src state-variable adjacencies. This is the exponential
   // part of the encoding; everything emitted from it is N-independent, so
-  // the result is cached across state-count increments.
+  // the result is cached across state-count increments. The enumeration is
+  // budget-capped: every chain emits at least one clause, so a chain count
+  // beyond max_clauses can only end in overflow anyway — give up before the
+  // product materialises (unsegmented input makes even a length-2 word
+  // quadratic in its occurrence counts).
   std::vector<ForbiddenChainCache::Chain>& chains = cache.emplace(word);
   std::vector<std::size_t> chain(word.size());
+  bool truncated = false;
   const std::function<void(std::size_t)> recurse = [&](std::size_t depth) {
+    if (truncated) return;
     if (depth == word.size()) {
+      if (chains.size() >= options_.max_clauses) {
+        truncated = true;
+        return;
+      }
       ForbiddenChainCache::Chain adj;
       adj.reserve(word.size() - 1);
       for (std::size_t i = 0; i + 1 < word.size(); ++i) {
@@ -173,11 +280,40 @@ const std::vector<ForbiddenChainCache::Chain>& AutomatonCsp::chains_for(
     }
   };
   recurse(0);
+  if (truncated) {
+    cache.erase(word);  // a partial chain set must not be shared
+    overflowed_ = true;
+    log_warn() << "AutomatonCsp: clause budget exceeded (forbidden-word chain "
+                  "enumeration); giving up";
+    static const std::vector<ForbiddenChainCache::Chain> kNoChains;
+    return kNoChains;
+  }
   return chains;
 }
 
+void AutomatonCsp::encode_forbidden_pair(
+    const std::vector<ForbiddenChainCache::Chain>& chains, std::size_t lo,
+    std::size_t hi) {
+  // No transition labelled word[0] may feed one labelled word[1]:
+  // for all pairs (a, b): dst(a) != src(b).
+  std::size_t since_check = 0;
+  for (const ForbiddenChainCache::Chain& adj : chains) {
+    if (++since_check >= 4096) {
+      since_check = 0;
+      if (!clause_budget_ok()) {
+        overflowed_ = true;
+        log_warn() << "AutomatonCsp: clause budget exceeded (forbidden pair)";
+        return;
+      }
+    }
+    for (std::size_t k = lo; k < hi; ++k) {
+      solver_.add_binary(~state_lit(adj[0].first, k), ~state_lit(adj[0].second, k));
+    }
+  }
+}
+
 void AutomatonCsp::add_forbidden_sequence(const std::vector<PredId>& word) {
-  if (word.empty()) return;
+  if (word.empty() || overflowed_) return;
   if (word.size() == 1) {
     // A single forbidden predicate cannot occur at all; with segments fixed
     // this is only satisfiable if no transition uses it.
@@ -191,20 +327,28 @@ void AutomatonCsp::add_forbidden_sequence(const std::vector<PredId>& word) {
   }
   const std::vector<ForbiddenChainCache::Chain>& chains = chains_for(word);
   if (word.size() == 2) {
-    // No transition labelled word[0] may feed one labelled word[1]:
-    // for all pairs (a, b): dst(a) != src(b).
-    for (const ForbiddenChainCache::Chain& adj : chains) {
-      for (std::size_t k = 0; k < num_states_; ++k) {
-        solver_.add_binary(~state_lit(adj[0].first, k), ~state_lit(adj[0].second, k));
-      }
-    }
+    encode_forbidden_pair(chains, 0, num_states_);
+    // Overflowed words are not recorded: grow_to would only re-run a chain
+    // enumeration already known to be too large.
+    if (!overflowed_) forbidden_pairs_.push_back(word);
     return;
   }
   // General case: for every chain of transitions labelled by `word`, at
   // least one consecutive dst/src pair must differ. Auxiliary equality
-  // variables keep this polynomial per chain.
+  // variables keep this polynomial per chain. The clause itself is
+  // width-independent; the equality variables are extended per column at
+  // grow time.
   std::vector<sat::Lit> clause;
+  std::size_t since_check = 0;
   for (const ForbiddenChainCache::Chain& adj : chains) {
+    if (++since_check >= 1024) {
+      since_check = 0;
+      if (!clause_budget_ok()) {
+        overflowed_ = true;
+        log_warn() << "AutomatonCsp: clause budget exceeded (forbidden word)";
+        return;
+      }
+    }
     clause.clear();
     clause.reserve(adj.size());
     for (const auto& [dst_sv, src_sv] : adj) {
@@ -217,23 +361,54 @@ void AutomatonCsp::add_forbidden_sequence(const std::vector<PredId>& word) {
 sat::SolveResult AutomatonCsp::solve(const Deadline& deadline) {
   if (overflowed_) return sat::SolveResult::Unknown;
   solver_.set_deadline(deadline);
-  return solver_.solve();
+  decoded_valid_ = false;
+  if (!persistent()) return solver_.solve();
+  // Guard assumptions select the active width; block guards replay the
+  // current N's acceptance blocks and silence the expired ones.
+  assumptions_.clear();
+  for (std::size_t k = 0; k < capacity_; ++k) {
+    assumptions_.push_back(k < num_states_ ? sat::pos(act_[k]) : sat::neg(act_[k]));
+  }
+  for (const auto& [n, g] : block_guard_) {
+    assumptions_.push_back(n == num_states_ ? sat::pos(g) : sat::neg(g));
+  }
+  return solver_.solve(assumptions_);
 }
 
 void AutomatonCsp::block_current_model() {
   std::vector<sat::Lit> clause;
-  clause.reserve(num_state_vars_);
+  clause.reserve(num_state_vars_ + 1);
+  if (persistent()) {
+    auto [it, inserted] = block_guard_.try_emplace(num_states_, kVarUndef);
+    if (inserted) it->second = solver_.new_var();
+    clause.push_back(sat::neg(it->second));
+  }
   for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
     clause.push_back(~state_lit(sv, decode_state(sv)));
   }
   solver_.add_clause(clause);
 }
 
-std::size_t AutomatonCsp::decode_state(std::size_t sv) const {
-  for (std::size_t k = 0; k < num_states_; ++k) {
-    if (solver_.model_value(block_base_[sv] + static_cast<sat::Var>(k))) return k;
+void AutomatonCsp::decode_model() const {
+  decoded_.assign(num_state_vars_, kNoDecodedState);
+  for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
+    for (std::size_t k = 0; k < num_states_; ++k) {
+      if (solver_.model_value(block_base_[sv] + static_cast<sat::Var>(k))) {
+        decoded_[sv] = static_cast<std::uint32_t>(k);
+        break;
+      }
+    }
   }
-  throw std::logic_error("AutomatonCsp::decode_state: no state set (not SAT?)");
+  decoded_valid_ = true;
+}
+
+std::size_t AutomatonCsp::decode_state(std::size_t sv) const {
+  if (!decoded_valid_) decode_model();
+  const std::uint32_t k = decoded_.at(sv);
+  if (k == kNoDecodedState) {
+    throw std::logic_error("AutomatonCsp::decode_state: no state set (not SAT?)");
+  }
+  return k;
 }
 
 Nfa AutomatonCsp::extract_model() const {

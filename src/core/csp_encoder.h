@@ -40,6 +40,9 @@ public:
   std::vector<Chain>& emplace(const std::vector<PredId>& word) {
     return entries_[word];
   }
+  /// Drops a partially enumerated entry (budget overflow): a truncated chain
+  /// set must never be shared, it would silently under-constrain other CSPs.
+  void erase(const std::vector<PredId>& word) { entries_.erase(word); }
   std::size_t size() const { return entries_.size(); }
 
 private:
@@ -68,6 +71,13 @@ struct CspOptions {
   /// this cap is what turns the paper's ">16 hours" rows into a clean
   /// "intractable" verdict instead of memory exhaustion.
   std::size_t max_clauses = 5000000;
+  /// 0: fixed-N CSP (the fresh-per-N reference — one-hot blocks of exactly
+  /// `num_states` columns, no guards). Otherwise the persistent encoding:
+  /// blocks span `state_capacity` columns, each column k owns a guard
+  /// variable act_k, and grow_to() activates further columns so one solver
+  /// instance (learned clauses, VSIDS activity, saved phases) serves the
+  /// whole N-increment loop.
+  std::size_t state_capacity = 0;
 };
 
 /// The automaton-existence hypothesis of Algorithm 1 (lines 18-33), encoded
@@ -80,6 +90,20 @@ struct CspOptions {
 ///
 /// solve() == Sat  <=>  an N-state automaton embedding all segments exists
 /// (the paper's CBMC counterexample case).
+///
+/// Persistent mode (options.state_capacity > 0) keeps ONE sat::Solver alive
+/// across state counts. Soundness of the guarded encoding:
+///  - Every constraint except "use at least one state" is a negative
+///    (monotone) condition: at-most-one, determinism and forbidden-word
+///    clauses over columns >= N are vacuously satisfiable by leaving those
+///    columns false, so emitting them only up to the active width N and
+///    appending the new columns' clauses at grow time never changes the
+///    verdict for smaller N.
+///  - The at-least-one clause spans the full capacity once; guard binaries
+///    (act_k | ~x_{sv,k}) under the per-solve assumptions {act_0..act_{N-1},
+///    ~act_N..~act_{C-1}} force the inactive columns false, restricting it
+///    to exactly the active width. Clauses learned under those assumptions
+///    carry ~act_k antecedents and become vacuous once column k activates.
 class AutomatonCsp {
 public:
   AutomatonCsp(const std::vector<Segment>& segments, std::size_t num_preds,
@@ -95,12 +119,22 @@ public:
   /// CSPs built from the same segment layout.
   void set_chain_cache(ForbiddenChainCache* cache) { chain_cache_ = cache; }
 
+  /// Persistent mode: raises the active state count to `n` in place, keeping
+  /// the solver (learned clauses, activities, phases) intact. Only the
+  /// clauses of the newly activated columns are emitted. Returns false when
+  /// `n` exceeds the allocated capacity (the caller then rebuilds) or the
+  /// CSP is a fixed-N instance.
+  bool grow_to(std::size_t n);
+
   /// Runs the solver; Unknown on deadline expiry.
   sat::SolveResult solve(const Deadline& deadline = Deadline::never());
 
   /// Excludes the current satisfying assignment (over the state variables)
   /// so the next solve() yields a structurally different automaton. Used by
-  /// the trace-acceptance refinement. Requires last solve() == Sat.
+  /// the trace-acceptance refinement. Requires last solve() == Sat. In
+  /// persistent mode the blocking clause is guarded per state count, so it
+  /// expires when N grows — exactly matching the fresh-per-N behaviour of
+  /// discarding blocks along with the CSP.
   void block_current_model();
 
   /// Decodes the model into an automaton (requires last solve() == Sat).
@@ -109,6 +143,8 @@ public:
   Nfa extract_model() const;
 
   std::size_t num_states() const { return num_states_; }
+  std::size_t state_capacity() const { return capacity_; }
+  bool persistent() const { return !act_.empty(); }
   std::size_t num_transitions() const { return preds_of_transition_.size(); }
   /// Distinct state-variable pairs with an equality aux var (for tests).
   std::size_t num_equality_vars() const { return equality_cache_.size(); }
@@ -120,9 +156,22 @@ private:
   /// SAT literal for "state variable `sv` equals state `k`".
   sat::Lit state_lit(std::size_t sv, std::size_t k) const;
   std::size_t decode_state(std::size_t sv) const;
-  void encode_one_hot();
-  void encode_determinism_pairwise();
-  void encode_determinism_successor();
+  /// Fills decoded_ with the assigned state of every one-hot block in one
+  /// pass over the model, so repeated decode_state() lookups during model
+  /// extraction and blocking are O(1) instead of an O(N) scan each.
+  void decode_model() const;
+  /// Emits every N-dependent clause of columns [lo, hi): one-hot at-most-one
+  /// pairs, determinism, and the column extensions of accumulated forbidden
+  /// words and equality variables. Construction activates [0, N); grow_to()
+  /// activates [N, n).
+  void activate_columns(std::size_t lo, std::size_t hi);
+  void encode_determinism_pairwise(std::size_t lo, std::size_t hi);
+  void encode_determinism_successor(std::size_t lo, std::size_t hi);
+  void encode_forbidden_pair(const std::vector<ForbiddenChainCache::Chain>& chains,
+                             std::size_t lo, std::size_t hi);
+  /// Emits the equality semantics of `e` over columns [lo, hi).
+  void encode_equality_columns(sat::Var e, std::size_t sv_a, std::size_t sv_b,
+                               std::size_t lo, std::size_t hi);
   /// Variable forced to track `state_var_a == state_var_b`; memoised per
   /// (sv_a, sv_b) so repeated adjacencies across forbidden chains reuse one
   /// aux var instead of minting a fresh one plus 2N duplicate clauses.
@@ -134,7 +183,8 @@ private:
   bool clause_budget_ok() const { return solver_.num_clauses() <= options_.max_clauses; }
 
   std::size_t num_preds_;
-  std::size_t num_states_;
+  std::size_t num_states_;   ///< active state count N
+  std::size_t capacity_;     ///< allocated one-hot width (== N when fixed)
   CspOptions options_;
   bool overflowed_ = false;
   sat::Solver solver_;
@@ -145,15 +195,33 @@ private:
   std::vector<std::size_t> src_var_;
   std::vector<std::size_t> dst_var_;
   std::size_t num_state_vars_ = 0;
-  /// First SAT var of each state variable's one-hot block.
+  /// First SAT var of each state variable's one-hot block (capacity_ wide).
   std::vector<sat::Var> block_base_;
   /// Transitions grouped by predicate (for determinism and forbidding).
   std::vector<std::vector<std::size_t>> transitions_with_pred_;
+  /// Persistent mode: per-column guard variables (empty when fixed-N).
+  std::vector<sat::Var> act_;
+  /// Successor-encoding aux blocks, one capacity_^2 block per used predicate
+  /// (kVarUndef for unused predicates).
+  std::vector<sat::Var> succ_base_;
+  /// Length-2 forbidden words already encoded, re-extended at grow time.
+  /// (Longer words reduce to equality variables, which are extended via
+  /// equality_cache_; their chain clause itself is width-independent.)
+  std::vector<std::vector<PredId>> forbidden_pairs_;
+  /// Per-state-count guard variable for acceptance-blocking clauses.
+  std::unordered_map<std::size_t, sat::Var> block_guard_;
   /// Memoised equality aux vars, keyed by sv_a * num_state_vars_ + sv_b.
   std::unordered_map<std::uint64_t, sat::Var> equality_cache_;
   /// Shared cross-N chain cache (optional); falls back to a local one.
   ForbiddenChainCache* chain_cache_ = nullptr;
   ForbiddenChainCache local_chain_cache_;
+  /// One-pass model decode cache (valid while decoded_valid_).
+  mutable std::vector<std::uint32_t> decoded_;
+  mutable bool decoded_valid_ = false;
+  /// Assumption scratch for persistent solves.
+  std::vector<sat::Lit> assumptions_;
+
+  static constexpr sat::Var kVarUndef = -1;
 };
 
 }  // namespace t2m

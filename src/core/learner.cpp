@@ -1,5 +1,7 @@
 #include "src/core/learner.h"
 
+#include <algorithm>
+#include <optional>
 #include <set>
 
 #include "src/core/compliance.h"
@@ -53,11 +55,15 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
   // compute it once and let every compliance check stream against it.
   const ComplianceChecker compliance_checker(preds.seq, config_.compliance_length);
 
-  // Fold one CSP's solver counters into the run totals.
+  // Fold a finished CSP's solver counters into the run totals. In the
+  // persistent path one CSP spans many state counts, so this runs only when
+  // a CSP is retired (capacity rebuild) or the run returns — never twice for
+  // the same instance.
   const auto absorb_solver_stats = [&result, &forbidden](const AutomatonCsp& csp) {
     const sat::SolverStats& s = csp.solver_stats();
     result.stats.sat_conflicts += s.conflicts;
     result.stats.sat_propagations += s.propagations;
+    result.stats.sat_learned_clauses += s.learned_clauses;
     if (s.peak_arena_bytes > result.stats.sat_peak_arena_bytes) {
       result.stats.sat_peak_arena_bytes = s.peak_arena_bytes;
     }
@@ -65,18 +71,36 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
   };
 
   const Stopwatch construction_watch;
-  for (std::size_t n = config_.initial_states; n <= config_.max_states; ++n) {
+  std::optional<AutomatonCsp> csp;
+  // (Re)builds the CSP at state count n. Persistent mode allocates headroom
+  // columns beyond n so subsequent increments are in-place grows; the shared
+  // chain cache keeps re-adding the accumulated forbidden words cheap.
+  const auto build_csp = [&](std::size_t n) {
+    if (csp) absorb_solver_stats(*csp);
     CspOptions options;
     options.encoding = config_.encoding;
-    AutomatonCsp csp(segments, preds.vocab.size(), n, options);
-    csp.set_chain_cache(&chain_cache);
-    for (const auto& word : forbidden) csp.add_forbidden_sequence(word);
+    options.state_capacity =
+        config_.persistent_solver
+            ? std::min(config_.max_states, n + config_.state_headroom)
+            : 0;
+    csp.emplace(segments, preds.vocab.size(), n, options);
+    csp->set_chain_cache(&chain_cache);
+    for (const auto& word : forbidden) csp->add_forbidden_sequence(word);
+    ++result.stats.csp_builds;
+  };
+
+  for (std::size_t n = config_.initial_states; n <= config_.max_states; ++n) {
+    if (csp && config_.persistent_solver && csp->grow_to(n)) {
+      ++result.stats.csp_grows;
+    } else {
+      build_csp(n);
+    }
 
     bool next_n = false;
     std::size_t acceptance_blocks = 0;
     while (!next_n) {
       if (deadline.expired()) {
-        absorb_solver_stats(csp);
+        absorb_solver_stats(*csp);
         result.timed_out = true;
         result.preds = std::move(preds);
         result.stats.construction_seconds = construction_watch.elapsed_seconds();
@@ -84,9 +108,9 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
         return result;
       }
       ++result.stats.sat_calls;
-      const sat::SolveResult sat_result = csp.solve(deadline);
+      const sat::SolveResult sat_result = csp->solve(deadline);
       if (sat_result == sat::SolveResult::Unknown) {
-        absorb_solver_stats(csp);
+        absorb_solver_stats(*csp);
         result.timed_out = true;
         result.preds = std::move(preds);
         result.stats.construction_seconds = construction_watch.elapsed_seconds();
@@ -96,13 +120,12 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
       if (sat_result == sat::SolveResult::Unsat) {
         // No N-state automaton: grow N (Algorithm 1, lines 34-36).
         ++result.stats.state_increments;
-        absorb_solver_stats(csp);
         log_debug() << "learner: no " << n << "-state automaton, growing N";
         next_n = true;
         continue;
       }
       // Candidate model: compliance check (lines 38-48).
-      Nfa candidate = csp.extract_model();
+      Nfa candidate = csp->extract_model();
       const ComplianceResult compliance = compliance_checker.check(candidate);
       if (compliance.compliant && config_.require_trace_acceptance &&
           acceptance_blocks < config_.max_acceptance_blocks &&
@@ -116,11 +139,11 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
           log_warn() << "learner: acceptance strengthening abandoned after "
                      << acceptance_blocks << " sibling models at N = " << n;
         }
-        csp.block_current_model();
+        csp->block_current_model();
         continue;
       }
       if (compliance.compliant) {
-        absorb_solver_stats(csp);
+        absorb_solver_stats(*csp);
         candidate.set_pred_names(preds.names_for(schema));
         result.success = true;
         result.model = std::move(candidate);
@@ -136,12 +159,13 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
       log_debug() << "learner: compliance failed with "
                   << compliance.invalid_sequences.size() << " invalid sequences";
       for (const auto& word : compliance.invalid_sequences) {
-        if (forbidden.insert(word).second) csp.add_forbidden_sequence(word);
+        if (forbidden.insert(word).second) csp->add_forbidden_sequence(word);
       }
     }
   }
 
   // Exhausted the state budget.
+  if (csp) absorb_solver_stats(*csp);
   result.preds = std::move(preds);
   result.stats.construction_seconds = construction_watch.elapsed_seconds();
   result.stats.total_seconds = total.elapsed_seconds();

@@ -38,6 +38,16 @@ struct LearnerConfig {
   /// candidates per N and return the compliant model instead (the space of
   /// sibling models grows steeply when N exceeds the compliance minimum).
   std::size_t max_acceptance_blocks = 256;
+  /// Keep ONE SAT solver alive across the whole N-increment loop (guarded
+  /// one-hot encoding + per-solve assumptions, see AutomatonCsp): learned
+  /// clauses, VSIDS activity and saved phases survive state-count growth,
+  /// and segments/forbidden words are encoded once instead of per N. Off =
+  /// the fresh-CSP-per-N reference path (differential-tested against).
+  bool persistent_solver = true;
+  /// Persistent mode: one-hot columns allocated beyond the starting N, so
+  /// the first `state_headroom` increments are assumption flips. Growing
+  /// past the headroom rebuilds the CSP once with a larger capacity.
+  std::size_t state_headroom = 6;
   /// Trace-abstraction settings (window is taken from `window`).
   AbstractionConfig abstraction;
 };
@@ -52,10 +62,15 @@ struct LearnStats {
   std::size_t refinements = 0;       ///< compliance iterations that added constraints
   std::size_t state_increments = 0;  ///< times N had to grow
   std::size_t forbidden_words = 0;   ///< distinct forbidden sequences learned
+  // Solver-reuse trajectory: how often the run could flip assumptions on a
+  // live solver versus paying for a fresh encoding.
+  std::size_t csp_builds = 0;  ///< CSP constructions (fresh path: one per N)
+  std::size_t csp_grows = 0;   ///< in-place state-count growths (persistent path)
   // Aggregated over every CSP solver the run constructed (the perf
   // trajectory counters the bench JSON emitter records).
   std::uint64_t sat_conflicts = 0;
   std::uint64_t sat_propagations = 0;
+  std::uint64_t sat_learned_clauses = 0;
   std::size_t sat_peak_arena_bytes = 0;  ///< max clause-arena bytes of any CSP
   /// True when the trace-acceptance strengthening was abandoned after
   /// max_acceptance_blocks sibling models (the result is still compliant).

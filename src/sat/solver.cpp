@@ -322,6 +322,35 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrac
   }
 }
 
+void Solver::analyze_final(Lit failed) {
+  final_conflict_.clear();
+  final_conflict_.push_back(failed);
+  // `failed` is an assumption whose negation holds on the trail. If it was
+  // falsified at the root there is no assumption core beyond itself; else
+  // walk the reasons backwards, collecting the assumption decisions that
+  // seeded the propagation. Every decision level below the failure is an
+  // assumption level, so decisions found on the walk are assumptions.
+  if (decision_level() == 0 || level_of(failed.var()) == 0) return;
+  seen_[static_cast<std::size_t>(failed.var())] = 1;
+  for (std::size_t i = trail_.size(); i > trail_lim_[0]; --i) {
+    const Lit l = trail_[i - 1];
+    const auto v = static_cast<std::size_t>(l.var());
+    if (!seen_[v]) continue;
+    seen_[v] = 0;
+    const ClauseRef r = reason_[v];
+    if (r == kNoReason) {
+      final_conflict_.push_back(l);
+      continue;
+    }
+    // Position 0 of a reason clause is the propagated literal itself.
+    const std::size_t size = arena_.size(r);
+    for (std::size_t j = 1; j < size; ++j) {
+      const Lit q = arena_.lit(r, j);
+      if (level_of(q.var()) > 0) seen_[static_cast<std::size_t>(q.var())] = 1;
+    }
+  }
+}
+
 bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
   analyze_stack_.clear();
   analyze_stack_.push_back(l);
@@ -416,6 +445,57 @@ void Solver::reduce_learned() {
   std::erase_if(learnts_, [this](ClauseRef c) { return arena_.deleted(c); });
 }
 
+void Solver::reset_branching_heuristics() {
+  // Backtrack first: solve() can return Unsat under assumptions while still
+  // at the failing decision level, and backtrack() phase-saves the trail —
+  // resetting before unwinding would restore the refuted assignment.
+  backtrack(0);
+  std::fill(saved_phase_.begin(), saved_phase_.end(), LBool::False);
+  std::fill(activity_.begin(), activity_.end(), 0.0);
+  var_inc_ = 1.0;
+  // With all activities equal any permutation is a valid heap; sorting
+  // restores the exact layout a fresh solver starts from.
+  std::sort(heap_.begin(), heap_.end());
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    heap_index_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+  }
+}
+
+void Solver::simplify() {
+  assert(decision_level() == 0);
+  if (trail_.size() == simplified_up_to_) return;  // no new root facts
+  simplified_up_to_ = trail_.size();
+  ++stats_.simplify_rounds;
+  // Root assignments are permanent, so their antecedents are never walked
+  // again; clearing the reasons unlocks those clauses for removal.
+  for (const Lit l : trail_) reason_[static_cast<std::size_t>(l.var())] = kNoReason;
+  const auto root_satisfied = [this](ClauseRef c) {
+    const std::size_t size = arena_.size(c);
+    for (std::size_t i = 0; i < size; ++i) {
+      const Lit l = arena_.lit(c, i);
+      if (value(l) == LBool::True && level_of(l.var()) == 0) return true;
+    }
+    return false;
+  };
+  const auto drop_satisfied = [&](std::vector<ClauseRef>& list) {
+    std::erase_if(list, [&](ClauseRef c) {
+      if (arena_.deleted(c) || !root_satisfied(c)) return false;
+      // Watchers of deleted clauses are purged lazily: the non-binary
+      // propagation path checks the deleted bit, and a root-satisfied binary
+      // can never fire again (its blocker stays true), so both kinds are
+      // safe to drop in place until the next GC sweeps the watcher lists.
+      arena_.mark_deleted(c);
+      ++stats_.simplify_removed;
+      return true;
+    });
+  };
+  const std::size_t problem_before = problem_clauses_.size();
+  drop_satisfied(problem_clauses_);
+  num_problem_clauses_ -= problem_before - problem_clauses_.size();
+  drop_satisfied(learnts_);
+  maybe_garbage_collect();
+}
+
 void Solver::maybe_garbage_collect() {
   if (arena_.wasted_words() * kGcWasteDenominator >= arena_.size_words() &&
       arena_.wasted_words() > 0) {
@@ -474,12 +554,15 @@ std::uint64_t Solver::luby(std::uint64_t i) {
 }
 
 SolveResult Solver::solve(std::span<const Lit> assumptions) {
+  ++stats_.solves;
+  final_conflict_.clear();
   if (!ok_) return SolveResult::Unsat;
   backtrack(0);
   if (propagate() != kNoReason) {
     ok_ = false;
     return SolveResult::Unsat;
   }
+  simplify();
   // No heap rebuild: new_var() inserts every variable and backtrack()
   // re-inserts unassigned ones, so the heap always contains all unassigned
   // variables; pick_branch_literal() skips stale assigned entries lazily.
@@ -547,7 +630,11 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
         trail_lim_.push_back(trail_.size());  // dummy level, already satisfied
         continue;
       }
-      if (value(a) == LBool::False) return SolveResult::Unsat;
+      if (value(a) == LBool::False) {
+        analyze_final(a);
+        ++stats_.assumption_unsats;
+        return SolveResult::Unsat;
+      }
       next = a;
       break;
     }

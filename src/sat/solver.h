@@ -7,6 +7,7 @@
 
 #include "src/sat/clause_arena.h"
 #include "src/sat/cnf.h"
+#include "src/sat/watcher_list.h"
 #include "src/util/stopwatch.h"
 
 namespace t2m::sat {
@@ -25,6 +26,10 @@ struct SolverStats {
   std::uint64_t learned_literals = 0;
   std::uint64_t reduces = 0;        ///< learned-clause reduction rounds
   std::uint64_t gc_runs = 0;        ///< arena compactions
+  std::uint64_t solves = 0;             ///< solve() calls on this instance
+  std::uint64_t assumption_unsats = 0;  ///< Unsat verdicts from a failed assumption
+  std::uint64_t simplify_rounds = 0;    ///< root-level simplification passes
+  std::uint64_t simplify_removed = 0;   ///< clauses removed as root-satisfied
   std::size_t arena_bytes = 0;      ///< clause arena size after last solve
   std::size_t peak_arena_bytes = 0; ///< lifetime arena high-water mark
 };
@@ -72,8 +77,29 @@ public:
   /// `exactly one of lits` via pairwise at-most-one plus at-least-one.
   bool add_exactly_one(std::span<const Lit> lits);
 
-  /// Solves under the given assumptions.
+  /// Solves under the given assumptions. An Unsat verdict under assumptions
+  /// leaves the solver usable (only a root-level contradiction is terminal);
+  /// final_conflict() then names the assumptions responsible.
   SolveResult solve(std::span<const Lit> assumptions = {});
+
+  /// After an assumption-caused Unsat: the subset of the assumptions that is
+  /// jointly inconsistent with the clause database (MiniSat's analyzeFinal).
+  /// Empty when the last Unsat was unconditional (root-level).
+  const std::vector<Lit>& final_conflict() const { return final_conflict_; }
+
+  /// Root-level simplification: removes clauses satisfied at decision level
+  /// zero (and releases their antecedent locks). Called automatically at the
+  /// start of solve() when new root facts arrived; exposed for tests.
+  void simplify();
+
+  /// Resets the branching heuristics — saved phases to the all-false default
+  /// and VSIDS activities to zero — while keeping the clause database and
+  /// every learned clause. The incremental encoders call this at structural
+  /// growth points: the saved assignment shape and conflict activity of the
+  /// old (now unsatisfiable) problem are a misleading prior there, steering
+  /// the wider search towards degenerate sibling models, whereas the learned
+  /// clauses remain sound and keep their pruning power.
+  void reset_branching_heuristics();
 
   /// Cooperative limits; checked between conflicts.
   void set_deadline(Deadline deadline) { deadline_ = deadline; }
@@ -98,11 +124,6 @@ private:
   /// clause memory. Arena offsets stay well below 2^31, so the bit is free.
   static constexpr ClauseRef kBinaryTag = 0x80000000u;
 
-  struct Watcher {
-    ClauseRef clause = kNoReason;
-    Lit blocker = Lit::undef();
-  };
-
   // --- core operations ---
   LBool value(Lit l) const {
     const LBool v = assign_[static_cast<std::size_t>(l.var())];
@@ -115,6 +136,9 @@ private:
   void enqueue(Lit l, ClauseRef reason);
   ClauseRef propagate();
   void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level);
+  /// Collects into final_conflict_ the assumptions that propagated `failed`
+  /// to false (plus `failed` itself) by walking reasons down the trail.
+  void analyze_final(Lit failed);
   bool literal_redundant(Lit l, std::uint32_t abstract_levels);
   void backtrack(int level);
   Lit pick_branch_literal();
@@ -148,7 +172,7 @@ private:
   std::vector<ClauseRef> problem_clauses_;
   std::vector<ClauseRef> learnts_;
   std::size_t num_problem_clauses_ = 0;
-  std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
+  std::vector<WatcherList> watches_;           // indexed by literal code
   std::vector<LBool> assign_;                  // indexed by var
   std::vector<LBool> saved_phase_;             // phase saving
   std::vector<int> level_;                     // decision level per var
@@ -173,6 +197,8 @@ private:
 
   Deadline deadline_;
   std::uint64_t conflict_budget_ = 0;  // 0 = unlimited
+  std::vector<Lit> final_conflict_;    // assumption core of the last Unsat
+  std::size_t simplified_up_to_ = 0;   // root trail size at the last simplify()
   SolverStats stats_;
 };
 

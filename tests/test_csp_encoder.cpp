@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/automaton/dot.h"
 #include "src/core/csp_encoder.h"
 
 namespace t2m {
@@ -188,6 +189,104 @@ TEST(EqualityMemoisation, OverlappingWordsShareAuxVars) {
   // And the constraint still bites: the segment realises 0-1-2, so
   // forbidding it must be UNSAT at any N.
   EXPECT_EQ(csp.solve(), sat::SolveResult::Unsat);
+}
+
+/// Persistent CSP growing through N must agree with a fresh fixed-N CSP at
+/// every step, for both determinism encodings and with forbidden words of
+/// every encoded shape (pairs, triples) added before and after growth.
+TEST(PersistentCsp, GrowToMatchesFreshAtEveryN) {
+  const std::vector<Segment> segments = {{0, 1, 2}, {1, 2, 1}, {2, 1, 2}, {2, 3, 0}};
+  for (const DeterminismEncoding enc :
+       {DeterminismEncoding::Pairwise, DeterminismEncoding::Successor}) {
+    CspOptions persistent_options;
+    persistent_options.encoding = enc;
+    persistent_options.state_capacity = 6;
+    AutomatonCsp persistent(segments, 4, 2, persistent_options);
+    persistent.add_forbidden_sequence({1, 1});
+    persistent.add_forbidden_sequence({0, 1, 2});
+    for (std::size_t n = 2; n <= 6; ++n) {
+      ASSERT_TRUE(persistent.grow_to(n));
+      if (n == 4) persistent.add_forbidden_sequence({3, 3});  // mid-run refinement
+      CspOptions fresh_options;
+      fresh_options.encoding = enc;
+      AutomatonCsp fresh(segments, 4, n, fresh_options);
+      fresh.add_forbidden_sequence({1, 1});
+      fresh.add_forbidden_sequence({0, 1, 2});
+      if (n >= 4) fresh.add_forbidden_sequence({3, 3});
+      const sat::SolveResult got = persistent.solve();
+      EXPECT_EQ(got, fresh.solve()) << "N=" << n;
+      if (got == sat::SolveResult::Sat) {
+        validate_model(persistent.extract_model(), segments);
+      }
+    }
+  }
+}
+
+TEST(PersistentCsp, GrowBeyondCapacityRefused) {
+  const std::vector<Segment> segments = {{0, 1}};
+  CspOptions options;
+  options.state_capacity = 3;
+  AutomatonCsp csp(segments, 2, 2, options);
+  EXPECT_TRUE(csp.persistent());
+  EXPECT_EQ(csp.state_capacity(), 3u);
+  EXPECT_TRUE(csp.grow_to(3));
+  EXPECT_FALSE(csp.grow_to(4));
+  EXPECT_EQ(csp.num_states(), 3u);
+  // Fixed-N instances never grow.
+  AutomatonCsp fixed(segments, 2, 2);
+  EXPECT_FALSE(fixed.persistent());
+  EXPECT_FALSE(fixed.grow_to(3));
+}
+
+TEST(PersistentCsp, ModelUsesOnlyActiveStates) {
+  // With capacity 5 but N = 2, every decoded state must be < 2: the guard
+  // assumptions deactivate the remaining columns.
+  const std::vector<Segment> segments = {{0, 1}, {1, 0}};
+  CspOptions options;
+  options.state_capacity = 5;
+  AutomatonCsp csp(segments, 2, 2, options);
+  ASSERT_EQ(csp.solve(), sat::SolveResult::Sat);
+  const Nfa m = csp.extract_model();
+  EXPECT_EQ(m.num_states(), 2u);
+  for (const Transition& t : m.transitions()) {
+    EXPECT_LT(t.src, 2u);
+    EXPECT_LT(t.dst, 2u);
+  }
+  validate_model(m, segments);
+}
+
+TEST(PersistentCsp, BlockedModelsExpireOnGrowth) {
+  // Blocking clauses are guarded per state count: a model blocked at N must
+  // stay blocked while N is unchanged, yet the search at N+1 is unaffected
+  // (exactly the fresh-per-N semantics of discarding the CSP).
+  const std::vector<Segment> segments = {{0, 1}, {1, 0}};
+  CspOptions options;
+  options.state_capacity = 4;
+  AutomatonCsp csp(segments, 2, 2, options);
+  std::size_t models_at_2 = 0;
+  while (csp.solve() == sat::SolveResult::Sat) {
+    csp.block_current_model();
+    ++models_at_2;
+    ASSERT_LT(models_at_2, 64u) << "runaway model enumeration";
+  }
+  EXPECT_GT(models_at_2, 0u);
+  // Exhausted at N=2; growth must reopen the search.
+  ASSERT_TRUE(csp.grow_to(3));
+  EXPECT_EQ(csp.solve(), sat::SolveResult::Sat);
+  validate_model(csp.extract_model(), segments);
+}
+
+TEST(PersistentCsp, DecodeIsStablePerModel) {
+  // extract_model() and block_current_model() share one decoded snapshot:
+  // repeated extraction without an intervening solve is identical.
+  const std::vector<Segment> segments = {{0, 1, 0}, {1, 0, 1}};
+  CspOptions options;
+  options.state_capacity = 4;
+  AutomatonCsp csp(segments, 2, 2, options);
+  ASSERT_EQ(csp.solve(), sat::SolveResult::Sat);
+  const Nfa first = csp.extract_model();
+  const Nfa second = csp.extract_model();
+  EXPECT_EQ(to_dot(first, "m"), to_dot(second, "m"));
 }
 
 TEST(ForbiddenChainCacheTest, SharedAcrossStateCounts) {

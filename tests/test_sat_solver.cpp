@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/sat/dimacs.h"
@@ -125,6 +126,132 @@ TEST(SatSolver, Assumptions) {
   const Lit assume_not_b[] = {neg(b), pos(a)};
   EXPECT_EQ(s.solve(assume_not_b), SolveResult::Unsat);
   EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(SatSolver, FinalConflictNamesFailingAssumptions) {
+  // x & (~x | y) & (~y | ~z): assuming {w, z, x} is inconsistent through the
+  // chain x -> y -> ~z; the core must contain z and x but not the unrelated w.
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  const Var z = s.new_var();
+  const Var w = s.new_var();
+  s.add_binary(neg(x), pos(y));
+  s.add_binary(neg(y), neg(z));
+  const Lit assumptions[] = {pos(w), pos(z), pos(x)};
+  ASSERT_EQ(s.solve(assumptions), SolveResult::Unsat);
+  const std::vector<Lit>& core = s.final_conflict();
+  const auto has = [&core](Lit l) {
+    return std::find(core.begin(), core.end(), l) != core.end();
+  };
+  EXPECT_TRUE(has(pos(x)));
+  EXPECT_TRUE(has(pos(z)));
+  EXPECT_FALSE(has(pos(w)));
+  EXPECT_FALSE(s.in_unsat_state());  // assumption Unsat is not root Unsat
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+  EXPECT_TRUE(s.final_conflict().empty());
+}
+
+TEST(SatSolver, FinalConflictOnDirectlyContradictoryAssumptions) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));  // keep the instance nontrivial
+  const Lit assumptions[] = {pos(a), neg(a)};
+  ASSERT_EQ(s.solve(assumptions), SolveResult::Unsat);
+  const std::vector<Lit>& core = s.final_conflict();
+  EXPECT_EQ(core.size(), 2u);
+  EXPECT_NE(std::find(core.begin(), core.end(), pos(a)), core.end());
+  EXPECT_NE(std::find(core.begin(), core.end(), neg(a)), core.end());
+}
+
+TEST(SatSolver, FinalConflictEmptyOnRootUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(pos(a));
+  s.add_unit(neg(a));
+  const Lit assumptions[] = {pos(s.new_var())};
+  EXPECT_EQ(s.solve(assumptions), SolveResult::Unsat);
+  EXPECT_TRUE(s.final_conflict().empty());
+  EXPECT_TRUE(s.in_unsat_state());
+}
+
+TEST(SatSolver, SimplifyRemovesRootSatisfiedClauses) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_ternary(pos(a), pos(b), pos(c));
+  s.add_ternary(neg(a), pos(b), pos(c));
+  ASSERT_EQ(s.num_clauses(), 2u);
+  s.add_unit(pos(b));  // satisfies both at the root
+  s.simplify();
+  EXPECT_EQ(s.num_clauses(), 0u);
+  EXPECT_GE(s.stats().simplify_removed, 2u);
+  // Verdicts are unchanged by the removal.
+  const Lit assumptions[] = {neg(a), neg(c)};
+  EXPECT_EQ(s.solve(assumptions), SolveResult::Sat);
+}
+
+TEST(SatSolver, SimplifyKeepsUnresolvedClauses) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_ternary(pos(a), pos(b), pos(c));
+  s.add_unit(neg(a));  // falsifies a literal but does not satisfy the clause
+  s.simplify();
+  EXPECT_EQ(s.num_clauses(), 1u);
+  const Lit assumptions[] = {neg(b)};
+  ASSERT_EQ(s.solve(assumptions), SolveResult::Sat);
+  EXPECT_TRUE(s.model_value(c));
+}
+
+TEST(SatSolver, ReusedSolverAgreesWithFreshOnAssumptionSlices) {
+  // One persistent instance solved under many assumption sets must agree
+  // with a fresh instance per set — across interleaved clause additions,
+  // exactly the learner's usage pattern.
+  Rng rng(99);
+  Solver persistent;
+  CnfFormula base;
+  base.num_vars = 8;
+  for (std::size_t i = 0; i < 8; ++i) persistent.new_var();
+  for (int round = 0; round < 60; ++round) {
+    // Occasionally grow the clause set.
+    Clause clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(Lit(static_cast<Var>(rng.below(8)), rng.chance(0.5)));
+    }
+    base.clauses.push_back(clause);
+    persistent.add_clause(clause);
+    // Random assumption slice.
+    std::vector<Lit> assumptions;
+    for (Var v = 0; v < 3; ++v) {
+      if (rng.chance(0.5)) assumptions.push_back(Lit(v, rng.chance(0.5)));
+    }
+    Solver fresh;
+    for (std::size_t i = 0; i < 8; ++i) fresh.new_var();
+    bool fresh_ok = true;
+    for (const Clause& cl : base.clauses) fresh_ok = fresh.add_clause(cl) && fresh_ok;
+    const SolveResult want = fresh_ok ? fresh.solve(assumptions) : SolveResult::Unsat;
+    const SolveResult got = persistent.solve(assumptions);
+    EXPECT_EQ(got, want) << "round=" << round;
+    if (persistent.in_unsat_state()) break;  // both root-unsat from here on
+  }
+  EXPECT_GE(persistent.stats().solves, 1u);
+}
+
+TEST(SatSolver, ResetBranchingHeuristicsKeepsVerdicts) {
+  Solver s;
+  add_pigeonhole(s, 5);
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+  Solver sat_instance;
+  const Var a = sat_instance.new_var();
+  const Var b = sat_instance.new_var();
+  sat_instance.add_binary(pos(a), pos(b));
+  ASSERT_EQ(sat_instance.solve(), SolveResult::Sat);
+  sat_instance.reset_branching_heuristics();
+  EXPECT_EQ(sat_instance.solve(), SolveResult::Sat);
 }
 
 TEST(SatSolver, ConflictBudgetReturnsUnknown) {

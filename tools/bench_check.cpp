@@ -1,0 +1,131 @@
+// Compares BENCH_results.json files against a committed baseline and fails
+// (exit 1) on regressions, so CI catches a hot-path slowdown before merge.
+//
+//   bench_check --baseline bench/BENCH_baseline.json RESULTS.json [MORE.json...]
+//       [--max-wall-regress 0.25]   fail when wall_seconds grows by >25%
+//       [--max-conflict-factor 2.0] fail when sat_conflicts more than doubles
+//       [--min-wall 0.05]           ignore wall checks below this many seconds
+//
+// Reads only the fixed one-record-per-line format BenchResultsJson emits;
+// this is a tripwire for our own artefacts, not a general JSON parser.
+// Wall-clock on shared CI runners is noisy, hence the absolute floor and the
+// generous default tolerance; conflict counts are machine-independent and
+// catch search-quality regressions the timings hide.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/cli.h"
+
+namespace {
+
+struct Record {
+  double wall_seconds = 0.0;
+  std::uint64_t sat_conflicts = 0;
+  bool timed_out = false;
+};
+
+std::optional<std::string> field_text(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t start = at + needle.size();
+  std::size_t end = start;
+  if (end < line.size() && line[end] == '"') {  // string value
+    ++end;
+    std::string out;
+    while (end < line.size() && line[end] != '"') {
+      if (line[end] == '\\' && end + 1 < line.size()) ++end;
+      out.push_back(line[end++]);
+    }
+    return out;
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(start, end - start);
+}
+
+std::map<std::string, Record> load(const std::string& path) {
+  std::map<std::string, Record> records;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_check: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto bench = field_text(line, "bench");
+    if (!bench) continue;
+    Record rec;
+    if (const auto wall = field_text(line, "wall_seconds")) rec.wall_seconds = std::stod(*wall);
+    if (const auto conflicts = field_text(line, "sat_conflicts")) {
+      rec.sat_conflicts = std::stoull(*conflicts);
+    }
+    if (const auto timed_out = field_text(line, "timed_out")) rec.timed_out = *timed_out == "true";
+    records[*bench] = rec;
+  }
+  return records;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using t2m::CliArgs;
+  const CliArgs args(argc, argv);
+  const std::string baseline_path = args.get_or("baseline", "bench/BENCH_baseline.json");
+  const double max_wall_regress = args.get_double_or("max-wall-regress", 0.25);
+  const double max_conflict_factor = args.get_double_or("max-conflict-factor", 2.0);
+  const double min_wall = args.get_double_or("min-wall", 0.05);
+  if (args.positional().empty()) {
+    std::cerr << "usage: bench_check --baseline BASELINE.json RESULTS.json [MORE.json...]\n";
+    return 2;
+  }
+
+  const std::map<std::string, Record> baseline = load(baseline_path);
+  std::map<std::string, Record> results;
+  for (const std::string& path : args.positional()) {
+    for (const auto& [bench, rec] : load(path)) results[bench] = rec;
+  }
+
+  int regressions = 0;
+  int checked = 0;
+  for (const auto& [bench, base] : baseline) {
+    const auto it = results.find(bench);
+    if (it == results.end()) {
+      std::cerr << "MISSING  " << bench << " (in baseline, absent from results)\n";
+      ++regressions;
+      continue;
+    }
+    const Record& got = it->second;
+    ++checked;
+    if (got.timed_out && !base.timed_out) {
+      std::cerr << "TIMEOUT  " << bench << " (baseline completed)\n";
+      ++regressions;
+      continue;
+    }
+    if (base.wall_seconds >= min_wall && !base.timed_out &&
+        got.wall_seconds > base.wall_seconds * (1.0 + max_wall_regress)) {
+      std::cerr << "WALL     " << bench << ": " << got.wall_seconds << "s vs baseline "
+                << base.wall_seconds << "s (> +" << max_wall_regress * 100 << "%)\n";
+      ++regressions;
+    }
+    // Conflict counts are only comparable between completed runs: a run cut
+    // off by its timeout has done as much search as the machine allowed.
+    if (!base.timed_out && !got.timed_out && base.sat_conflicts >= 100 &&
+        static_cast<double>(got.sat_conflicts) >
+            static_cast<double>(base.sat_conflicts) * max_conflict_factor) {
+      std::cerr << "CONFLICT " << bench << ": " << got.sat_conflicts << " vs baseline "
+                << base.sat_conflicts << " (> x" << max_conflict_factor << ")\n";
+      ++regressions;
+    }
+  }
+
+  std::cout << "bench_check: " << checked << " benches checked against " << baseline_path
+            << ", " << regressions << " regression(s)\n";
+  return regressions == 0 ? 0 : 1;
+}
