@@ -1,0 +1,90 @@
+// Mining a model from a trace too long to hold in memory: the streaming
+// workflow. A LineReader memory-maps the trace file (zero-copy line views),
+// FtracePredStream interns one predicate per step as lines are consumed, and
+// ModelLearner::learn_from_stream builds the segment and compliance-window
+// sets from that single pass — peak memory stays O(window + unique windows)
+// no matter how long the trace is.
+//
+// Usage: stream_mining [--trace FILE] [--events N] [--window W]
+// Without --trace, a synthetic N-event trace (default 1,000,000) is
+// generated into ./stream_sample.ftrace first.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/abstraction/event_stream.h"
+#include "src/core/learner.h"
+#include "src/core/report.h"
+#include "src/sim/synthetic/pattern_events.h"
+#include "src/trace/mmap_io.h"
+#include "src/util/cli.h"
+#include "src/util/string_utils.h"
+
+namespace {
+
+/// Peak resident set of this process in KB (Linux: VmHWM from /proc), or 0.
+std::int64_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (t2m::starts_with(line, "VmHWM:")) {
+      const auto fields = t2m::split_ws(line);
+      std::int64_t kb = 0;
+      if (fields.size() >= 2 && t2m::parse_int64(fields[1], kb)) return kb;
+      return 0;  // unexpected /proc format: report nothing rather than throw
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace t2m;
+  try {
+    const CliArgs args(argc, argv);
+
+    std::string path = args.get_or("trace", "");
+    const bool user_trace = !path.empty();
+    sim::PatternEventConfig gen;
+    gen.events = static_cast<std::size_t>(args.get_int_or("events", 1'000'000));
+    if (!user_trace) {
+      path = "stream_sample.ftrace";
+      std::ofstream os(path);
+      sim::write_pattern_event_ftrace(os, gen);
+      std::cout << "generated " << gen.events << "-event sample trace: " << path << "\n";
+    }
+
+    LearnerConfig config;
+    config.window = static_cast<std::size_t>(args.get_int_or("window", 3));
+    config.timeout_seconds = args.get_double_or("timeout", 120.0);
+    // Algorithm 1 as published: with acceptance strengthening off the
+    // learner never needs the materialised sequence, so the ingest pass
+    // holds only the window ring and the dedup sets.
+    config.require_trace_acceptance = false;
+    // For the self-generated sample the generator's own automaton size is
+    // the right starting N; a user trace searches from the paper's default
+    // so the minimal model is not skipped.
+    const std::size_t default_n =
+        user_trace ? config.initial_states : sim::pattern_generator_states(gen);
+    config.initial_states = static_cast<std::size_t>(
+        args.get_int_or("initial-states", static_cast<std::int64_t>(default_n)));
+
+    LineReader lines(path);
+    std::cout << "reading " << path << " via "
+              << (lines.mapped() ? "mmap (zero-copy)" : "buffered istream") << "\n";
+    FtracePredStream stream(lines);
+
+    const ModelLearner learner(config);
+    const LearnResult result = learner.learn_from_stream(stream);
+    std::cout << format_learn_report(result, stream.schema());
+    std::cout << "ingested " << lines.bytes_read() << " bytes, "
+              << result.stats.sequence_length << " steps, peak RSS "
+              << format_double(peak_rss_kb() / 1024.0, 1) << " MB\n";
+    return result.success ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "stream_mining: error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,105 @@
+#include "src/abstraction/event_stream.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/trace/ftrace_io.h"
+#include "src/trace/text_io.h"
+#include "src/util/string_utils.h"
+
+namespace t2m {
+
+std::optional<PredId> EventStreamAbstractor::push(const Schema& schema,
+                                                  const Valuation& obs) {
+  if (observations_ == 0 && !schema.all_categorical()) {
+    throw std::invalid_argument("event abstraction requires all-categorical schema");
+  }
+  ++observations_;
+  if (observations_ == 1) return std::nullopt;  // first observation: no step yet
+
+  const auto hit = memo_.find(obs);
+  if (hit != memo_.end()) return hit->second;
+
+  std::vector<ExprPtr> atoms;
+  std::string display;
+  for (VarIndex v = 0; v < schema.size(); ++v) {
+    atoms.push_back(
+        Expr::eq(Expr::var_ref(v, /*primed=*/true), Expr::constant(obs[v])));
+    if (!display.empty()) display += " & ";
+    display += schema.format_value(v, obs[v]);
+  }
+  const PredId id = preds_.vocab.intern(Expr::conj(std::move(atoms)));
+  if (preds_.display_names.size() <= id) preds_.display_names.resize(id + 1);
+  preds_.display_names[id] = std::move(display);
+  memo_.emplace(obs, id);
+  return id;
+}
+
+PredicateSequence EventStreamAbstractor::take() { return std::move(preds_); }
+
+FtracePredStream::FtracePredStream(LineReader& lines, std::string task_filter)
+    : lines_(lines), task_filter_(std::move(task_filter)) {
+  ev_ = schema_.add_cat("event", {}, std::nullopt);
+}
+
+std::optional<PredId> FtracePredStream::next() {
+  if (done_) return std::nullopt;
+  std::string_view line;
+  while (lines_.next(line)) {
+    if (!parse_ftrace_line(line, task_, event_)) continue;
+    if (!task_filter_.empty() && task_ != task_filter_) continue;
+    const auto sym = schema_.sym_id_intern(ev_, event_);
+    const auto id = abstractor_.push(schema_, {Value::of_sym(sym)});
+    if (id) return id;
+  }
+  done_ = true;
+  if (abstractor_.observations() < 2) {
+    throw std::invalid_argument("event abstraction: trace needs at least two observations");
+  }
+  return std::nullopt;
+}
+
+TextTracePredStream::TextTracePredStream(LineReader& lines) : lines_(lines) {}
+
+std::optional<PredId> TextTracePredStream::next() {
+  if (done_) return std::nullopt;
+  std::string_view raw;
+  while (lines_.next(raw)) {
+    const std::string_view trimmed = trim(raw);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '#') {
+      const auto fields = split_ws(trimmed.substr(1));
+      if (!fields.empty() && fields[0] == "var") {
+        if (header_done_) {
+          throw std::invalid_argument("trace: '# var' after first data row");
+        }
+        parse_trace_var_decl(schema_, fields);
+      }
+      continue;
+    }
+    header_done_ = true;
+    const auto fields = split_ws(trimmed);
+    if (fields.size() != schema_.size()) {
+      throw std::invalid_argument("trace: row width " + std::to_string(fields.size()) +
+                                  " does not match schema width " +
+                                  std::to_string(schema_.size()));
+    }
+    Valuation v(schema_.size());
+    for (VarIndex i = 0; i < schema_.size(); ++i) {
+      if (schema_.var(i).type == VarType::Cat) {
+        v[i] = Value::of_sym(schema_.sym_id_intern(i, fields[i]));
+      } else {
+        v[i] = schema_.parse_value(i, fields[i]);
+      }
+    }
+    const auto id = abstractor_.push(schema_, v);
+    if (id) return id;
+  }
+  done_ = true;
+  if (abstractor_.observations() < 2) {
+    throw std::invalid_argument("event abstraction: trace needs at least two observations");
+  }
+  return std::nullopt;
+}
+
+}  // namespace t2m

@@ -1,0 +1,100 @@
+#ifndef T2M_ABSTRACTION_EVENT_STREAM_H
+#define T2M_ABSTRACTION_EVENT_STREAM_H
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/abstraction/pred_stream.h"
+#include "src/trace/mmap_io.h"
+#include "src/util/hash.h"
+
+namespace t2m {
+
+/// Push-based streaming counterpart of abstract_event_trace: feed one
+/// observation at a time; each observation after the first yields the PredId
+/// of the step ending there. The predicate expression, interning order and
+/// display names are byte-identical to running abstract_event_trace over the
+/// materialised trace (both depend only on the destination observation), so
+/// the two paths are interchangeable and differential-testable.
+class EventStreamAbstractor {
+public:
+  /// `schema` is read per call (not stored) because streaming readers intern
+  /// new symbols into their schema as lines are consumed.
+  std::optional<PredId> push(const Schema& schema, const Valuation& obs);
+
+  /// Observations pushed so far.
+  std::size_t observations() const { return observations_; }
+
+  /// Vocabulary + display names accumulated so far; `seq` is empty.
+  PredicateSequence take();
+
+private:
+  struct ValuationHash {
+    std::size_t operator()(const Valuation& v) const {
+      std::uint64_t h = 0x51ed270b9f1c3f2dULL ^ v.size();
+      for (const Value& x : v) {
+        h = hash_combine(h, static_cast<std::uint64_t>(x.kind()));
+        h = hash_combine(h, static_cast<std::uint64_t>(x.raw()));
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  PredicateSequence preds_;
+  /// The step predicate depends only on the destination valuation, so
+  /// repeated observations (the whole point of a long trace) skip the Expr
+  /// construction, interning and display formatting entirely — the memo
+  /// yields the same ids in the same first-occurrence order.
+  std::unordered_map<Valuation, PredId, ValuationHash> memo_;
+  std::size_t observations_ = 0;
+};
+
+/// PredStream over a simplified/full-shape ftrace log served by a
+/// LineReader: parses each line, interns the event symbol into a
+/// single-variable categorical schema and abstracts the step — one pass,
+/// holding one observation, never the trace. Equivalent to
+/// read_ftrace + abstract_event_trace.
+class FtracePredStream : public PredStream {
+public:
+  explicit FtracePredStream(LineReader& lines, std::string task_filter = "");
+
+  std::optional<PredId> next() override;
+  PredicateSequence take_preds() override { return abstractor_.take(); }
+  const Schema& schema() const override { return schema_; }
+
+private:
+  LineReader& lines_;
+  std::string task_filter_;
+  Schema schema_;
+  VarIndex ev_ = 0;
+  EventStreamAbstractor abstractor_;
+  // Parse buffers reused across next() calls — one allocation amortised
+  // over the million-event loop, as the batch reader's loop-hoisted locals.
+  std::string task_, event_;
+  bool done_ = false;
+};
+
+/// PredStream over the `# var` text trace format (all-categorical schemas
+/// only — the event abstraction's domain). Header and rows are parsed
+/// exactly as read_trace_text does, including its error behaviour, but rows
+/// are abstracted as they are read instead of collected.
+class TextTracePredStream : public PredStream {
+public:
+  explicit TextTracePredStream(LineReader& lines);
+
+  std::optional<PredId> next() override;
+  PredicateSequence take_preds() override { return abstractor_.take(); }
+  const Schema& schema() const override { return schema_; }
+
+private:
+  LineReader& lines_;
+  Schema schema_;
+  EventStreamAbstractor abstractor_;
+  bool header_done_ = false;
+  bool done_ = false;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_ABSTRACTION_EVENT_STREAM_H

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/string_utils.h"
+
 namespace t2m {
 
 VarIndex Schema::add(VarInfo info) {
@@ -94,8 +96,17 @@ const std::string& Schema::sym_name(VarIndex v, std::int64_t id) const {
 Value Schema::parse_value(VarIndex v, std::string_view text) const {
   const VarInfo& info = var(v);
   switch (info.type) {
-    case VarType::Int:
-      return Value::of_int(std::stoll(std::string(text)));
+    case VarType::Int: {
+      // Strict parse instead of stoll: a malformed trace row yields a
+      // diagnostic naming the variable, not an uncaught exception. The
+      // whole token must parse ("12x" is rejected, not truncated to 12).
+      std::int64_t parsed = 0;
+      if (!parse_int64(text, parsed)) {
+        throw std::invalid_argument("Schema: bad integer literal '" + std::string(text) +
+                                    "' for variable " + info.name);
+      }
+      return Value::of_int(parsed);
+    }
     case VarType::Bool:
       if (text == "true" || text == "1") return Value::of_bool(true);
       if (text == "false" || text == "0") return Value::of_bool(false);

@@ -7,6 +7,24 @@
 
 namespace t2m {
 
+void ComplianceChecker::init_packing(PredId max_pred) {
+  bits_ = std::max(1u, static_cast<std::uint32_t>(std::bit_width(
+                           static_cast<std::uint64_t>(max_pred))));
+  packed_ = bits_ < 64 && l_ * bits_ <= 64;
+  if (packed_) {
+    const std::uint32_t width = static_cast<std::uint32_t>(l_) * bits_;
+    mask_ = width == 64 ? ~0ULL : (1ULL << width) - 1;
+  }
+}
+
+std::uint64_t ComplianceChecker::pack_word(const std::vector<PredId>& word) const {
+  std::uint64_t key = 0;
+  for (const PredId p : word) {
+    key = ((key << bits_) | static_cast<std::uint64_t>(p)) & mask_;
+  }
+  return key;
+}
+
 ComplianceChecker::ComplianceChecker(const std::vector<PredId>& seq, std::size_t l)
     : l_(l) {
   // Mirror the original subsequences() edge cases: no windows for l == 0 or
@@ -16,13 +34,9 @@ ComplianceChecker::ComplianceChecker(const std::vector<PredId>& seq, std::size_t
 
   PredId max_pred = 0;
   for (const PredId p : seq) max_pred = std::max(max_pred, p);
-  bits_ = std::max(1u, static_cast<std::uint32_t>(std::bit_width(
-                           static_cast<std::uint64_t>(max_pred))));
-  packed_ = bits_ < 64 && l_ * bits_ <= 64;
+  init_packing(max_pred);
 
   if (packed_) {
-    const std::uint32_t width = static_cast<std::uint32_t>(l_) * bits_;
-    mask_ = width == 64 ? ~0ULL : (1ULL << width) - 1;
     packed_windows_.reserve(seq.size());
     // Rolling pack: shift each predicate in and mask to the window width;
     // one pass, no per-window allocation.
@@ -114,6 +128,40 @@ ComplianceResult ComplianceChecker::check(const Nfa& model) const {
 
   result.compliant = result.invalid_sequences.empty();
   return result;
+}
+
+ComplianceWindowBuilder::ComplianceWindowBuilder(std::size_t l)
+    : l_(l), dedup_(std::max<std::size_t>(l, 1)) {}
+
+void ComplianceWindowBuilder::push(PredId p) {
+  max_pred_ = std::max(max_pred_, p);
+  if (l_ == 0) return;  // no windows, matching the batch constructor
+  dedup_.push(p);
+}
+
+ComplianceChecker ComplianceWindowBuilder::finish() {
+  ComplianceChecker checker(l_);
+  // Mirror the batch constructor's edge cases: l == 0 or a stream shorter
+  // than l leaves an empty window set served by the generic path.
+  if (l_ == 0 || dedup_.pushed() < l_) return checker;
+  std::vector<std::vector<PredId>> windows = dedup_.take_windows();
+
+  // Every stream element is covered by at least one window once count >= l,
+  // so the maximum over pushed ids equals the batch path's maximum over the
+  // whole sequence — the packed-representation decision is identical.
+  checker.init_packing(max_pred_);
+  if (checker.packed_) {
+    checker.packed_windows_.reserve(windows.size());
+    for (const auto& window : windows) {
+      checker.packed_windows_.insert(checker.pack_word(window));
+    }
+  } else {
+    checker.vec_windows_.reserve(windows.size());
+    for (auto& window : windows) checker.vec_windows_.insert(std::move(window));
+  }
+  checker.trace_windows_ =
+      checker.packed_ ? checker.packed_windows_.size() : checker.vec_windows_.size();
+  return checker;
 }
 
 ComplianceResult check_compliance(const Nfa& model, const std::vector<PredId>& seq,

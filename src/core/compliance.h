@@ -8,6 +8,7 @@
 
 #include "src/automaton/nfa.h"
 #include "src/util/hash.h"
+#include "src/util/window_dedup.h"
 
 namespace t2m {
 
@@ -41,6 +42,17 @@ public:
   std::size_t trace_sequences() const { return trace_windows_; }
 
 private:
+  friend class ComplianceWindowBuilder;
+  explicit ComplianceChecker(std::size_t l) : l_(l) {}
+
+  /// Decides the window representation from the largest predicate id seen:
+  /// sets bits_, packed_ and mask_. One definition shared by the batch
+  /// constructor and ComplianceWindowBuilder::finish(), so the two
+  /// construction paths cannot drift apart.
+  void init_packing(PredId max_pred);
+  /// Folds a window into its packed 64-bit key (requires packed_).
+  std::uint64_t pack_word(const std::vector<PredId>& word) const;
+
   bool packed_usable(const Nfa& model) const;
 
   std::size_t l_;
@@ -53,6 +65,30 @@ private:
   std::unordered_set<std::uint64_t> packed_windows_;
   /// Fallback for windows too wide to pack.
   std::unordered_set<std::vector<PredId>, VectorHash> vec_windows_;
+};
+
+/// Streaming construction of the trace window set P_l: push one PredId per
+/// step and finish() yields a ComplianceChecker identical to constructing
+/// one from the materialised sequence. Windows are collected by the same
+/// StreamingWindowDedup mechanism the segmenter uses (O(1) rolling-hash
+/// updates, in-ring compares, allocation-free duplicates — see
+/// src/util/window_dedup.h). The packed/hashed representation decision
+/// needs the stream's maximum predicate id, which is only known at the end,
+/// so the distinct windows (O(distinct) memory) are re-packed into 64-bit
+/// keys at finish() when they fit.
+class ComplianceWindowBuilder {
+public:
+  explicit ComplianceWindowBuilder(std::size_t l);
+
+  void push(PredId p);
+
+  /// Finalises and surrenders the checker. The builder is spent afterwards.
+  ComplianceChecker finish();
+
+private:
+  std::size_t l_;
+  PredId max_pred_ = 0;
+  StreamingWindowDedup<PredId> dedup_;  ///< unused shell when l == 0
 };
 
 /// Convenience single-shot wrapper around ComplianceChecker; the learner

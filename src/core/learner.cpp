@@ -4,10 +4,7 @@
 #include <optional>
 #include <set>
 
-#include "src/core/compliance.h"
-#include "src/core/segmentation.h"
 #include "src/util/log.h"
-#include "src/util/stopwatch.h"
 
 namespace t2m {
 
@@ -31,29 +28,89 @@ LearnResult ModelLearner::learn(const Trace& trace, AbstractionMode mode) const 
 LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
                                               const Schema& schema) const {
   const Stopwatch total;
-  LearnResult result;
-  result.stats.sequence_length = preds.length();
-  result.stats.vocabulary_size = preds.vocab.size();
+  const std::size_t sequence_length = preds.length();
+  std::vector<Segment> segments = config_.segmented
+                                      ? segment_sequence(preds.seq, config_.window)
+                                      : whole_sequence(preds.seq);
 
+  // The trace window set is invariant across all refinement iterations:
+  // compute it once and let every compliance check stream against it.
+  const ComplianceChecker compliance_checker(preds.seq, config_.compliance_length);
+
+  // The timeout budgets the CEGIS search: the deadline starts after
+  // segmentation and P_l construction, exactly as the streaming path starts
+  // it after its ingest pass, so both paths give the search the same budget
+  // on the same trace.
+  const Deadline deadline = config_.timeout_seconds > 0
+                                ? Deadline::after_seconds(config_.timeout_seconds)
+                                : Deadline::never();
+  return run_search(std::move(preds), sequence_length, std::move(segments),
+                    compliance_checker, schema, deadline, total);
+}
+
+LearnResult ModelLearner::learn_from_stream(PredStream& stream) const {
+  const Stopwatch total;
+
+  // One pass: every pulled id goes simultaneously into the window segmenter
+  // and the compliance window builder, so P_l and the segment set come from
+  // the same stream the abstraction interns its predicates on. The full id
+  // sequence is retained only when a downstream consumer needs it.
+  const bool keep_sequence = config_.require_trace_acceptance || !config_.segmented;
+  const Stopwatch pass_watch;
+  // Non-segmented runs take their single segment from the retained sequence;
+  // feeding the segmenter would only burn CPU and memory on a discarded set.
+  std::optional<StreamingSegmenter> segmenter;
+  if (config_.segmented) segmenter.emplace(config_.window);
+  ComplianceWindowBuilder window_builder(config_.compliance_length);
+  std::vector<PredId> seq;
+  std::size_t sequence_length = 0;
+  while (const auto id = stream.next()) {
+    if (segmenter) segmenter->push(*id);
+    window_builder.push(*id);
+    if (keep_sequence) seq.push_back(*id);
+    ++sequence_length;
+  }
+  PredicateSequence preds = stream.take_preds();
+  preds.seq = std::move(seq);
+  std::vector<Segment> segments =
+      segmenter ? segmenter->take() : whole_sequence(preds.seq);
+  const ComplianceChecker compliance_checker = window_builder.finish();
+  const double pass_seconds = pass_watch.elapsed_seconds();
+
+  // The timeout budgets the CEGIS search, starting after ingest — matching
+  // learn_from_sequence, whose deadline starts after segmentation and P_l
+  // construction — so both paths give the search the same budget.
   const Deadline deadline = config_.timeout_seconds > 0
                                 ? Deadline::after_seconds(config_.timeout_seconds)
                                 : Deadline::never();
 
-  const std::vector<Segment> segments = config_.segmented
-                                            ? segment_sequence(preds.seq, config_.window)
-                                            : whole_sequence(preds.seq);
+  LearnResult result = run_search(std::move(preds), sequence_length, std::move(segments),
+                                  compliance_checker, stream.schema(), deadline, total);
+  result.stats.abstraction_seconds = pass_seconds;
+  result.stats.total_seconds = total.elapsed_seconds();
+  return result;
+}
+
+LearnResult ModelLearner::run_search(PredicateSequence preds, std::size_t sequence_length,
+                                     std::vector<Segment> segments,
+                                     const ComplianceChecker& compliance_checker,
+                                     const Schema& schema, const Deadline& deadline,
+                                     const Stopwatch& total) const {
+  LearnResult result;
+  result.stats.sequence_length = sequence_length;
+  result.stats.vocabulary_size = preds.vocab.size();
   result.stats.segments = segments.size();
   result.stats.encoded_transitions = total_transitions(segments);
+
+  // Trace acceptance needs the materialised sequence; the streaming path
+  // omits it exactly when the configuration never consults it.
+  const bool check_acceptance = config_.require_trace_acceptance && !preds.seq.empty();
 
   // Forbidden sequences accumulate across N: they are facts about P. Their
   // chain enumeration is N-independent, so one cache serves every CSP this
   // run constructs (see ForbiddenChainCache).
   std::set<std::vector<PredId>> forbidden;
   ForbiddenChainCache chain_cache;
-
-  // The trace window set is invariant across all refinement iterations:
-  // compute it once and let every compliance check stream against it.
-  const ComplianceChecker compliance_checker(preds.seq, config_.compliance_length);
 
   // Fold a finished CSP's solver counters into the run totals. In the
   // persistent path one CSP spans many state counts, so this runs only when
@@ -127,7 +184,7 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
       // Candidate model: compliance check (lines 38-48).
       Nfa candidate = csp->extract_model();
       const ComplianceResult compliance = compliance_checker.check(candidate);
-      if (compliance.compliant && config_.require_trace_acceptance &&
+      if (compliance.compliant && check_acceptance &&
           acceptance_blocks < config_.max_acceptance_blocks &&
           !candidate.accepts(preds.seq)) {
         // Valid per segments and compliance, but this wiring cannot replay

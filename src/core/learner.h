@@ -5,9 +5,13 @@
 #include <vector>
 
 #include "src/abstraction/abstraction.h"
+#include "src/abstraction/pred_stream.h"
 #include "src/automaton/nfa.h"
+#include "src/core/compliance.h"
 #include "src/core/csp_encoder.h"
+#include "src/core/segmentation.h"
 #include "src/trace/trace.h"
+#include "src/util/stopwatch.h"
 
 namespace t2m {
 
@@ -103,9 +107,28 @@ public:
   /// Learns from a pre-abstracted predicate sequence.
   LearnResult learn_from_sequence(PredicateSequence preds, const Schema& schema) const;
 
+  /// Streaming path for traces too long to materialise: one pass over
+  /// `stream` feeds the unique-window segmenter and the compliance window
+  /// builder directly, so peak memory is O(window + dedup set) instead of
+  /// O(trace). The compact id sequence is additionally retained only when
+  /// the configuration needs it (trace acceptance on, or non-segmented
+  /// encoding). The CEGIS search then runs on byte-identical artefacts to
+  /// the in-memory path, so both produce the same model
+  /// (differential-tested in tests/test_stream_pipeline.cpp).
+  LearnResult learn_from_stream(PredStream& stream) const;
+
   const LearnerConfig& config() const { return config_; }
 
 private:
+  /// The iterative SAT search + compliance refinement shared by the
+  /// in-memory and streaming entry points. `sequence_length` is |P|;
+  /// preds.seq may be empty in streaming mode (acceptance is then skipped).
+  LearnResult run_search(PredicateSequence preds, std::size_t sequence_length,
+                         std::vector<Segment> segments,
+                         const ComplianceChecker& compliance_checker,
+                         const Schema& schema, const Deadline& deadline,
+                         const Stopwatch& total) const;
+
   LearnerConfig config_;
 };
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/automaton/nfa.h"
+#include "src/util/window_dedup.h"
 
 namespace t2m {
 
@@ -19,6 +20,28 @@ std::vector<Segment> segment_sequence(const std::vector<PredId>& seq, std::size_
 
 /// The non-segmented encoding: one segment spanning the entire sequence.
 std::vector<Segment> whole_sequence(const std::vector<PredId>& seq);
+
+/// One-pass counterpart of segment_sequence for streams too long to
+/// materialise: a StreamingWindowDedup (w-slot ring, O(1) rolling-hash
+/// updates, in-ring compares, windows materialised only when new — see
+/// src/util/window_dedup.h) holds O(w + dedup set) memory independent of
+/// stream length. take() finalises and returns segments byte-identical to
+/// segment_sequence over the full sequence, including the short-stream case
+/// (≤ w events form one whole-sequence segment) and first-occurrence order.
+class StreamingSegmenter {
+public:
+  explicit StreamingSegmenter(std::size_t w);
+
+  void push(PredId p) { dedup_.push(p); }
+
+  /// Finalises the stream and surrenders the segment set. The segmenter is
+  /// spent afterwards.
+  std::vector<Segment> take();
+
+private:
+  std::size_t w_;
+  StreamingWindowDedup<PredId> dedup_;
+};
 
 /// Total transition count the segments induce (sum of segment lengths).
 std::size_t total_transitions(const std::vector<Segment>& segments);

@@ -1,0 +1,63 @@
+#include "src/sim/synthetic/pattern_events.h"
+
+#include <ostream>
+
+#include "src/util/rng.h"
+
+namespace t2m::sim {
+
+void for_each_pattern_event(const PatternEventConfig& config,
+                            const std::function<void(std::size_t)>& emit) {
+  Rng rng(config.seed);
+  const std::size_t p = config.pattern_length == 0 ? 1 : config.pattern_length;
+  std::size_t emitted = 0;
+  while (emitted < config.events) {
+    // One base cycle: ev0 .. ev(p-1).
+    for (std::size_t i = 0; i < p && emitted < config.events; ++i, ++emitted) {
+      emit(i);
+    }
+    // Occasional digression into one of the burst sub-patterns, each with
+    // its own disjoint symbol block, then back to the cycle start.
+    if (config.bursts > 0 && config.burst_length > 0 && rng.chance(config.burst_prob)) {
+      const std::size_t b = rng.below(config.bursts);
+      const std::size_t base = p + b * config.burst_length;
+      for (std::size_t i = 0; i < config.burst_length && emitted < config.events;
+           ++i, ++emitted) {
+        emit(base + i);
+      }
+    }
+  }
+}
+
+std::string pattern_event_name(std::size_t sym) { return "ev" + std::to_string(sym); }
+
+std::size_t pattern_generator_states(const PatternEventConfig& config) {
+  const std::size_t p = config.pattern_length == 0 ? 1 : config.pattern_length;
+  return p + config.bursts * config.burst_length;
+}
+
+void write_pattern_event_ftrace(std::ostream& os, const PatternEventConfig& config) {
+  std::size_t t = 0;
+  for_each_pattern_event(config, [&](std::size_t sym) {
+    os << t++ << ".000000 " << pattern_event_name(sym) << '\n';
+  });
+}
+
+void write_pattern_event_text(std::ostream& os, const PatternEventConfig& config) {
+  os << "# t2m-trace v1\n# var event cat\n";
+  for_each_pattern_event(config,
+                         [&](std::size_t sym) { os << pattern_event_name(sym) << '\n'; });
+}
+
+Trace generate_pattern_event_trace(const PatternEventConfig& config) {
+  Schema schema;
+  const VarIndex ev = schema.add_cat("event", {}, std::nullopt);
+  Trace trace(std::move(schema));
+  for_each_pattern_event(config, [&](std::size_t sym) {
+    const auto id = trace.mutable_schema().sym_id_intern(ev, pattern_event_name(sym));
+    trace.append({Value::of_sym(id)});
+  });
+  return trace;
+}
+
+}  // namespace t2m::sim

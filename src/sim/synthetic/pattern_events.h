@@ -1,0 +1,53 @@
+#ifndef T2M_SIM_SYNTHETIC_PATTERN_EVENTS_H
+#define T2M_SIM_SYNTHETIC_PATTERN_EVENTS_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace t2m::sim {
+
+/// Synthetic million-event workload for the streaming ingest path: a base
+/// event cycle with occasional "burst" digressions, i.e. the output of a
+/// small automaton run for `events` steps. Long, learnable, and with a
+/// window-dedup set bounded by the pattern structure rather than the trace
+/// length — exactly the regime the paper's segmentation targets.
+struct PatternEventConfig {
+  std::size_t events = 1'000'000;   ///< total events emitted
+  std::size_t pattern_length = 6;   ///< length of the base cycle
+  std::size_t bursts = 2;           ///< number of alternative digressions
+  std::size_t burst_length = 3;     ///< events per digression
+  double burst_prob = 0.02;         ///< digression probability per cycle end
+  std::uint64_t seed = 1;
+};
+
+/// Streams the symbol ids of the generated events into `emit`, one call per
+/// event, without materialising anything. Symbol id k names event "evk"
+/// (base cycle: 0..pattern_length-1; burst b: pattern_length + b*burst_length ..).
+void for_each_pattern_event(const PatternEventConfig& config,
+                            const std::function<void(std::size_t)>& emit);
+
+/// Spelling of symbol id `sym` ("ev0", "ev1", ...).
+std::string pattern_event_name(std::size_t sym);
+
+/// States of the generating automaton — an upper bound (and good initial
+/// guess) for the learned state count.
+std::size_t pattern_generator_states(const PatternEventConfig& config);
+
+/// Writes the workload as a simplified-ftrace log ("<t>.000000 <event>"),
+/// streaming — O(1) memory for any event count.
+void write_pattern_event_ftrace(std::ostream& os, const PatternEventConfig& config);
+
+/// Writes the workload in the `# var` text trace format, streaming.
+void write_pattern_event_text(std::ostream& os, const PatternEventConfig& config);
+
+/// Materialises the workload as an in-memory Trace (reference path for the
+/// differential tests and the ingest comparison bench).
+Trace generate_pattern_event_trace(const PatternEventConfig& config);
+
+}  // namespace t2m::sim
+
+#endif  // T2M_SIM_SYNTHETIC_PATTERN_EVENTS_H

@@ -11,51 +11,165 @@ namespace t2m {
 
 namespace {
 
-/// Extracts (task, event) from a full ftrace line, or (empty, event) from the
-/// simplified two-column shape. Returns false if neither shape matches.
-bool parse_line(std::string_view line, std::string& task, std::string& event) {
+/// "[000]", "[12]": a bracketed cpu number, the anchor of the full shape.
+bool is_cpu_field(std::string_view field) {
+  if (field.size() < 3 || field.front() != '[' || field.back() != ']') return false;
+  for (std::size_t i = 1; i + 1 < field.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(field[i]))) return false;
+  }
+  return true;
+}
+
+/// "12", "0.5", "100.000001": at least one digit, nothing but digits and
+/// dots. Shared by the simplified-shape timestamp check and the full-shape
+/// anchor (where the timestamp is the last field before the first ": ").
+bool is_timestamp_field(std::string_view field) {
+  bool has_digit = false;
+  for (const char c : field) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      has_digit = true;
+    } else if (c != '.') {
+      return false;
+    }
+  }
+  return has_digit;
+}
+
+/// "comm-123", "<idle>-0": the full shape's head always carries a -pid
+/// suffix; requiring it keeps simplified lines whose details fake the
+/// [cpu]/timestamp geometry from being misread as the full shape.
+bool has_pid_suffix(std::string_view head) {
+  const auto dash = head.rfind('-');
+  if (dash == std::string_view::npos || dash + 1 >= head.size()) return false;
+  for (std::size_t i = dash + 1; i < head.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(head[i]))) return false;
+  }
+  return true;
+}
+
+/// Skips leading whitespace and splits off the next token; `text` is left
+/// pointing past it. Allocation-free (the simplified parse runs once per
+/// line of a million-event stream).
+std::string_view take_ws_token(std::string_view& text) {
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  std::size_t j = i;
+  while (j < text.size() && !std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+  const std::string_view token = text.substr(i, j - i);
+  text.remove_prefix(j);
+  return token;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+bool parse_ftrace_line(std::string_view line, std::string& task, std::string& event) {
   const std::string_view trimmed = trim(line);
   if (trimmed.empty() || trimmed[0] == '#') return false;
 
-  // Full shape: "task-123 [000] d..2 12.345678: event_name: details"
+  // Full shape: "comm-123 [000] d..2 12.345678: event: details" (ftrace
+  // raw) or "comm-123 [000] 12.345678: event: details" (trace-cmd report,
+  // no flags column). The anchor is the fixed tail geometry before the
+  // first ": " — a bracketed [cpu] field third- or second-from-last with a
+  // numeric timestamp last — plus the mandatory -pid suffix on the comm
+  // head. Anchoring from the end keeps comms containing spaces or
+  // bracketed tokens ("Web Content-1234") matching, and the pid check
+  // keeps simplified lines whose details fake the tail geometry ("1.5 ev
+  // [0] d..2 2.0: note") in the simplified branch. A genuinely ambiguous
+  // line (a simplified event named "x-1" with such details) parses as the
+  // full shape; the grammars overlap there and the full shape wins.
   const auto first_colon = trimmed.find(": ");
-  if (first_colon != std::string_view::npos && trimmed.find('[') != std::string_view::npos) {
+  if (first_colon != std::string_view::npos) {
     const auto fields = split_ws(trimmed.substr(0, first_colon));
-    if (!fields.empty()) {
-      const std::string& head = fields.front();
-      const auto dash = head.rfind('-');
-      task = dash == std::string::npos ? head : head.substr(0, dash);
-      std::string_view rest = trimmed.substr(first_colon + 2);
-      const auto second_colon = rest.find(':');
-      event = std::string(second_colon == std::string_view::npos
-                              ? trim(rest)
-                              : trim(rest.substr(0, second_colon)));
-      return !event.empty();
+    const std::size_t n = fields.size();
+    std::size_t cpu_idx = 0;  // 0 = no anchor; the comm occupies index 0
+    if (n >= 3 && is_timestamp_field(fields[n - 1])) {
+      if (n >= 4 && is_cpu_field(fields[n - 3])) {
+        cpu_idx = n - 3;  // [cpu] flags timestamp
+      } else if (is_cpu_field(fields[n - 2])) {
+        cpu_idx = n - 2;  // [cpu] timestamp
+      }
+    }
+    if (cpu_idx > 0) {
+      // The comm-pid head is everything before the cpu field (spaces inside
+      // the comm are joined back with single spaces).
+      std::string head = fields.front();
+      for (std::size_t i = 1; i < cpu_idx; ++i) head += ' ' + fields[i];
+      if (has_pid_suffix(head)) {
+        task = head.substr(0, head.rfind('-'));
+        std::string_view rest = trimmed.substr(first_colon + 2);
+        const auto second_colon = rest.find(':');
+        event = std::string(second_colon == std::string_view::npos
+                                ? trim(rest)
+                                : trim(rest.substr(0, second_colon)));
+        return !event.empty();
+      }
     }
   }
 
-  // Simplified shape: "<timestamp> <event> [details]"
-  const auto fields = split_ws(trimmed);
-  if (fields.size() >= 2) {
-    // The first field must look like a number to avoid misreading data rows.
-    const std::string& ts = fields[0];
-    bool numeric = !ts.empty();
-    for (const char c : ts) {
-      if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.') {
-        numeric = false;
-        break;
-      }
+  // Simplified shape: "<timestamp> <event> [details]". The first field must
+  // look like a number ("." or "..." are data, not timestamps). Only the
+  // two leading tokens are extracted — no per-detail-field allocations on
+  // the streaming hot path.
+  std::string_view rest = trimmed;
+  const std::string_view ts = take_ws_token(rest);
+  const std::string_view ev = take_ws_token(rest);
+  if (!ev.empty() && is_timestamp_field(ts)) {
+    task.clear();
+    if (ev.find('%') == std::string_view::npos) {
+      event.assign(ev.data(), ev.size());  // reuse the caller's buffer
+    } else {
+      event = unescape_ftrace_symbol(ev);
     }
-    if (numeric) {
-      task.clear();
-      event = fields[1];
-      return true;
-    }
+    return true;
   }
   return false;
 }
 
-}  // namespace
+std::string escape_ftrace_symbol(std::string_view symbol) {
+  if (symbol.empty()) {
+    throw std::invalid_argument(
+        "ftrace: empty event symbol cannot be represented in the line format");
+  }
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(symbol.size());
+  for (const char c : symbol) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u <= ' ' || c == ':' || c == '%' || u == 0x7f) {
+      out.push_back('%');
+      out.push_back(hex[u >> 4]);
+      out.push_back(hex[u & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape_ftrace_symbol(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == '%' && i + 2 < field.size()) {
+      const int hi = hex_digit(field[i + 1]);
+      const int lo = hex_digit(field[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(field[i]);
+  }
+  return out;
+}
 
 Trace read_ftrace(std::istream& is, const std::string& task_filter) {
   Schema schema;
@@ -64,7 +178,7 @@ Trace read_ftrace(std::istream& is, const std::string& task_filter) {
 
   std::string line, task, event;
   while (std::getline(is, line)) {
-    if (!parse_line(line, task, event)) continue;
+    if (!parse_ftrace_line(line, task, event)) continue;
     if (!task_filter.empty() && task != task_filter) continue;
     const auto sym = trace.mutable_schema().sym_id_intern(ev, event);
     trace.append({Value::of_sym(sym)});
@@ -78,7 +192,8 @@ void write_ftrace(std::ostream& os, const Trace& trace) {
     throw std::invalid_argument("write_ftrace: trace must have one categorical variable");
   }
   for (std::size_t t = 0; t < trace.size(); ++t) {
-    os << t << ".000000 " << schema.format_value(0, trace.obs(t)[0]) << '\n';
+    os << t << ".000000 " << escape_ftrace_symbol(schema.format_value(0, trace.obs(t)[0]))
+       << '\n';
   }
 }
 

@@ -3,25 +3,53 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "src/trace/trace.h"
 
 namespace t2m {
 
-/// Parses a simplified ftrace-style event log into a single-variable
-/// categorical trace. Accepted line shapes (mirroring `trace-cmd report`
-/// output for sched events):
+/// Extracts (task, event) from one ftrace-style line. Returns false for
+/// comments, blank lines and lines matching neither accepted shape:
 ///
 ///   <task>-<pid> [<cpu>] <flags> <timestamp>: <event>: <details>
+///   <task>-<pid> [<cpu>] <timestamp>: <event>: <details>
 ///   <timestamp> <event> [details]
 ///
-/// Only the event name is retained; task filtering selects lines whose task
-/// field matches `task_filter` (empty = keep all). Lines that do not match
-/// either shape are skipped.
+/// Full-shape detection is anchored on the fixed tail geometry before the
+/// first ": " — a bracketed [cpu] field third- or second-from-last with a
+/// numeric timestamp last — plus the mandatory -pid suffix on the comm
+/// head. Task comms containing spaces or bracketed tokens still match,
+/// while simplified lines whose details contain '[N]', numbers and ": "
+/// are not misread as the full shape. The simplified shape requires the
+/// leading timestamp to contain at least one digit (digit-free tokens such
+/// as "." are data, not timestamps) and %XX escapes in the event field are
+/// decoded (see escape_ftrace_symbol).
+bool parse_ftrace_line(std::string_view line, std::string& task, std::string& event);
+
+/// Escapes an event symbol for the simplified `<timestamp> <event>` shape:
+/// whitespace/control bytes, ':' and '%' become %XX so the written line
+/// stays whitespace-delimited and colon-free. Throws std::invalid_argument
+/// on an empty symbol, which has no representation in the line format.
+std::string escape_ftrace_symbol(std::string_view symbol);
+
+/// Decodes %XX escapes produced by escape_ftrace_symbol. A '%' not followed
+/// by two hex digits is kept verbatim, so most files predating the escaping
+/// read back unchanged — the exception is a legacy symbol that happens to
+/// contain a valid %XX triple ("disk%2Fsda"), which is now decoded; rewrite
+/// such files once through read_ftrace/write_ftrace to normalise them.
+std::string unescape_ftrace_symbol(std::string_view field);
+
+/// Parses a simplified ftrace-style event log into a single-variable
+/// categorical trace (shapes as in parse_ftrace_line). Only the event name
+/// is retained; task filtering selects lines whose task field matches
+/// `task_filter` (empty = keep all). Lines that do not match either shape
+/// are skipped.
 Trace read_ftrace(std::istream& is, const std::string& task_filter = "");
 
-/// Writes the trace in the simplified `<timestamp> <event>` shape. The trace
-/// must have a single categorical variable.
+/// Writes the trace in the simplified `<timestamp> <event>` shape with event
+/// symbols escaped so read_ftrace round-trips them exactly. The trace must
+/// have a single categorical variable.
 void write_ftrace(std::ostream& os, const Trace& trace);
 
 }  // namespace t2m

@@ -1,0 +1,111 @@
+#include "src/trace/mmap_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define T2M_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace t2m {
+
+LineReader::LineReader(const std::string& path) {
+#ifdef T2M_HAVE_MMAP
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ >= 0) {
+    struct stat st {};
+    if (::fstat(fd_, &st) == 0 && S_ISREG(st.st_mode)) {
+      size_ = static_cast<std::size_t>(st.st_size);
+      if (size_ == 0) {
+        // Empty regular file: a zero-length mmap is invalid, but there is
+        // nothing to read; stay in "mapped" mode with an exhausted cursor.
+        data_ = "";
+        return;
+      }
+      void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+      if (map != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+        ::madvise(map, size_, MADV_SEQUENTIAL);
+#endif
+        data_ = static_cast<const char*>(map);
+        return;
+      }
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+  open_fallback(path);
+}
+
+LineReader::LineReader(std::istream& is) : stream_(&is) {}
+
+LineReader::~LineReader() {
+#ifdef T2M_HAVE_MMAP
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+void LineReader::open_fallback(const std::string& path) {
+  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*file) {
+    throw std::runtime_error("LineReader: cannot open " + path);
+  }
+  owned_stream_ = std::move(file);
+  stream_ = owned_stream_.get();
+}
+
+void LineReader::release_consumed() {
+#ifdef T2M_HAVE_MMAP
+  // Hand fully-consumed pages back to the kernel in multi-megabyte strides,
+  // so resident memory tracks the cursor instead of the file size. Pages
+  // stay in the page cache; MADV_DONTNEED only drops this mapping's
+  // references. Lines already handed out from the released region are dead
+  // by contract in fallback mode anyway (valid until the next next()), so
+  // sequential consumers are unaffected; re-reading released bytes would
+  // merely refault them in.
+  constexpr std::size_t kStride = 8u << 20;
+  if (pos_ - released_ < kStride) return;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t page_size = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  const std::size_t end = (pos_ / page_size) * page_size;  // keep the live page
+  if (end > released_) {
+    ::madvise(const_cast<char*>(data_) + released_, end - released_, MADV_DONTNEED);
+    released_ = end;
+  }
+#endif
+}
+
+bool LineReader::next(std::string_view& line) {
+  if (data_ != nullptr) {
+    if (pos_ >= size_) return false;
+    const char* begin = data_ + pos_;
+    const std::size_t remaining = size_ - pos_;
+    const char* nl = static_cast<const char*>(std::memchr(begin, '\n', remaining));
+    std::size_t len = nl != nullptr ? static_cast<std::size_t>(nl - begin) : remaining;
+    pos_ += len + (nl != nullptr ? 1 : 0);
+    bytes_read_ = pos_;
+    release_consumed();
+    if (len > 0 && begin[len - 1] == '\r') --len;
+    line = std::string_view(begin, len);
+    return true;
+  }
+  if (stream_ == nullptr || !std::getline(*stream_, line_buf_)) return false;
+  // Count the newline only when one was consumed (a final unterminated line
+  // sets eofbit), keeping bytes_read() consistent with the mmap mode.
+  bytes_read_ += line_buf_.size() + (stream_->eof() ? 0 : 1);
+  if (!line_buf_.empty() && line_buf_.back() == '\r') line_buf_.pop_back();
+  line = line_buf_;
+  return true;
+}
+
+}  // namespace t2m

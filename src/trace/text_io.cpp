@@ -9,9 +9,7 @@
 
 namespace t2m {
 
-namespace {
-
-void parse_var_decl(Schema& schema, const std::vector<std::string>& fields) {
+void parse_trace_var_decl(Schema& schema, const std::vector<std::string>& fields) {
   // fields: ["var", name, type, extra...]
   if (fields.size() < 3) throw std::invalid_argument("trace: malformed '# var' line");
   const std::string& name = fields[1];
@@ -36,8 +34,6 @@ void parse_var_decl(Schema& schema, const std::vector<std::string>& fields) {
   }
 }
 
-}  // namespace
-
 Trace read_trace_text(std::istream& is) {
   Schema schema;
   std::vector<Valuation> rows;
@@ -52,7 +48,7 @@ Trace read_trace_text(std::istream& is) {
         if (header_done) {
           throw std::invalid_argument("trace: '# var' after first data row");
         }
-        parse_var_decl(schema, fields);
+        parse_trace_var_decl(schema, fields);
       }
       continue;
     }

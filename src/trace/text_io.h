@@ -3,10 +3,16 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "src/trace/trace.h"
 
 namespace t2m {
+
+/// Applies one `# var <name> <type> [extra...]` declaration (already split
+/// into fields, `fields[0] == "var"`) to `schema`. Shared by the batch
+/// reader below and the streaming TextTracePredStream.
+void parse_trace_var_decl(Schema& schema, const std::vector<std::string>& fields);
 
 /// Self-describing text trace format:
 ///

@@ -44,13 +44,23 @@ std::string CliArgs::get_or(const std::string& flag, const std::string& fallback
 std::int64_t CliArgs::get_int_or(const std::string& flag, std::int64_t fallback) const {
   const auto v = get(flag);
   if (!v || v->empty()) return fallback;
-  return std::stoll(*v);
+  // Strict parse instead of stoll: malformed or out-of-range input becomes
+  // a diagnostic naming the flag, not an uncaught exception crash.
+  std::int64_t value = 0;
+  if (!parse_int64(*v, value)) {
+    throw std::invalid_argument("--" + flag + ": expected an integer, got '" + *v + "'");
+  }
+  return value;
 }
 
 double CliArgs::get_double_or(const std::string& flag, double fallback) const {
   const auto v = get(flag);
   if (!v || v->empty()) return fallback;
-  return std::stod(*v);
+  double value = 0.0;
+  if (!parse_double(*v, value)) {
+    throw std::invalid_argument("--" + flag + ": expected a number, got '" + *v + "'");
+  }
+  return value;
 }
 
 }  // namespace t2m

@@ -19,10 +19,24 @@ void TableWriter::add_row(std::vector<std::string> row) {
 }
 
 void TableWriter::write_csv(std::ostream& os) const {
-  const auto emit = [&os](const std::vector<std::string>& row) {
+  // RFC 4180: fields containing the separator, quotes or line breaks are
+  // quoted, with embedded quotes doubled; everything else passes verbatim.
+  const auto emit_field = [&os](const std::string& field) {
+    if (field.find_first_of(",\"\n\r") == std::string::npos) {
+      os << field;
+      return;
+    }
+    os << '"';
+    for (const char c : field) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
+  const auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i > 0) os << ',';
-      os << row[i];
+      emit_field(row[i]);
     }
     os << '\n';
   };

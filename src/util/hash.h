@@ -19,6 +19,12 @@ inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
   return hash_mix(seed ^ (v + (seed << 6) + (seed >> 2)));
 }
 
+/// Odd multiplier for polynomial rolling hashes (mod 2^64), shared by the
+/// streaming window dedups in segmentation and compliance. Collisions are
+/// resolved by full element comparison, so the constant only affects bucket
+/// spread, not correctness.
+inline constexpr std::uint64_t kPolyHashBase = 0x100000001b3ULL;
+
 /// Hash functor for vectors of integral ids (predicate windows, words).
 /// Used by the hashed-window dedup in segmentation and the compliance and
 /// forbidden-chain caches, replacing ordered std::set keys on hot paths.

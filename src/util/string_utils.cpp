@@ -1,9 +1,59 @@
 #include "src/util/string_utils.h"
 
 #include <cctype>
+#include <cerrno>
+#include <charconv>
 #include <cstdio>
+#include <cstdlib>
+#include <version>
 
 namespace t2m {
+
+namespace {
+
+/// from_chars does not accept the explicit '+' sign that stoll/stod did;
+/// strip it when a digit (or, for floats, a '.') follows so "+3" keeps
+/// parsing while "+" alone and "+-3" stay invalid.
+std::string_view strip_explicit_plus(std::string_view text, bool allow_dot) {
+  if (text.size() >= 2 && text[0] == '+' &&
+      (std::isdigit(static_cast<unsigned char>(text[1])) || (allow_dot && text[1] == '.'))) {
+    text.remove_prefix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+bool parse_int64(std::string_view text, std::int64_t& value) {
+  text = strip_explicit_plus(text, /*allow_dot=*/false);
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_double(std::string_view text, double& value) {
+  text = strip_explicit_plus(text, /*allow_dot=*/true);
+#if defined(__cpp_lib_to_chars)
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  return ec == std::errc() && ptr == end;
+#else
+  // Floating-point from_chars is missing on some standard libraries (e.g.
+  // Apple's libc++ before LLVM 20): fall back to strtod with a
+  // full-consumption and range check. strtod is laxer than from_chars —
+  // it skips leading whitespace and accepts hex literals — so reject those
+  // shapes up front to keep the strict contract identical across platforms.
+  const std::string owned(text);
+  if (owned.empty() || std::isspace(static_cast<unsigned char>(owned.front())) ||
+      owned.find_first_of("xX") != std::string::npos) {
+    return false;
+  }
+  errno = 0;
+  char* parse_end = nullptr;
+  value = std::strtod(owned.c_str(), &parse_end);
+  return errno != ERANGE && parse_end == owned.c_str() + owned.size();
+#endif
+}
 
 std::vector<std::string> split(std::string_view text, char sep) {
   std::vector<std::string> out;

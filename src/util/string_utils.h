@@ -1,13 +1,18 @@
 #ifndef T2M_UTIL_STRING_UTILS_H
 #define T2M_UTIL_STRING_UTILS_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace t2m {
 
-/// Splits `text` on `sep`, keeping empty fields.
+/// Splits `text` on `sep`, keeping empty fields. The result always has
+/// (number of separators + 1) entries; in particular split("") returns {""}
+/// — one empty field, never an empty vector. Callers that want "no fields"
+/// for empty input must test text.empty() themselves (see cli.cpp's comma
+/// lists) or use split_ws, which drops empty fields.
 std::vector<std::string> split(std::string_view text, char sep);
 
 /// Splits on any run of whitespace, dropping empty fields.
@@ -24,6 +29,16 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// Formats a double with `digits` significant decimals, trimming zeros.
 std::string format_double(double value, int digits = 3);
+
+/// Strict full-token integer parse: optional '+'/'-' sign, then digits;
+/// the entire token must be consumed ("12x" is rejected, not truncated) and
+/// out-of-range values fail. The one definition of a valid integer literal
+/// for CLI flags and trace rows. Returns false without touching errno state
+/// guarantees; `value` is unspecified on failure.
+bool parse_int64(std::string_view text, std::int64_t& value);
+
+/// Strict full-token floating-point parse; same consumption and sign rules.
+bool parse_double(std::string_view text, double& value);
 
 }  // namespace t2m
 

@@ -1,0 +1,95 @@
+#ifndef T2M_UTIL_WINDOW_DEDUP_H
+#define T2M_UTIL_WINDOW_DEDUP_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace t2m {
+
+/// One-pass dedup of the sliding length-w windows of a stream: push one
+/// element at a time; each completed window is checked against the distinct
+/// windows seen so far and materialised only when genuinely new. The
+/// mechanism shared by StreamingSegmenter (w = segmentation window) and
+/// ComplianceWindowBuilder (w = compliance length l):
+///
+/// - a w-slot ring buffer holds the current window, so nothing of the
+///   stream's past is retained beyond the distinct-window list;
+/// - a polynomial rolling hash (kPolyHashBase, mod 2^64) is updated in O(1)
+///   per element — the expiring element's contribution base^(w-1) is
+///   subtracted before the new one is shifted in;
+/// - per-hash bucket chains index into the distinct-window list, and a
+///   candidate window is compared element-wise straight out of the ring, so
+///   the common duplicate case costs one O(w) compare and zero allocations.
+///
+/// Memory: the ring + the distinct windows + one bucket entry per distinct
+/// window — O(w + dedup set), independent of stream length.
+template <typename T>
+class StreamingWindowDedup {
+public:
+  /// `w` must be positive; callers own that validation.
+  explicit StreamingWindowDedup(std::size_t w) : w_(w) {
+    ring_.resize(w);
+    for (std::size_t i = 1; i < w; ++i) drop_coeff_ *= kPolyHashBase;
+  }
+
+  void push(T value) {
+    const std::size_t slot = count_ % w_;
+    if (count_ >= w_) {
+      // Expire the element leaving the window before it is overwritten.
+      rolling_ -= drop_coeff_ * static_cast<std::uint64_t>(ring_[slot]);
+    }
+    rolling_ = rolling_ * kPolyHashBase + static_cast<std::uint64_t>(value);
+    ring_[slot] = value;
+    ++count_;
+    if (count_ < w_) return;
+    // A full window ends here: dedup against the distinct windows sharing
+    // its hash, materialise only when new.
+    auto& bucket = buckets_[hash_mix(rolling_)];
+    for (const std::uint32_t idx : bucket) {
+      if (window_equals(windows_[idx])) return;
+    }
+    bucket.push_back(static_cast<std::uint32_t>(windows_.size()));
+    std::vector<T> window(w_);
+    for (std::size_t i = 0; i < w_; ++i) window[i] = ring_[(count_ + i) % w_];
+    windows_.push_back(std::move(window));
+  }
+
+  /// Total elements pushed.
+  std::size_t pushed() const { return count_; }
+  /// Distinct windows collected so far, in first-occurrence order.
+  const std::vector<std::vector<T>>& windows() const { return windows_; }
+  /// Surrenders the distinct-window list; the dedup is spent afterwards.
+  std::vector<std::vector<T>> take_windows() { return std::move(windows_); }
+
+  /// The whole stream in push order; only valid while pushed() <= w (the
+  /// ring has not wrapped). Serves the short-stream case where the caller
+  /// wants the entire sequence as one window.
+  std::vector<T> short_prefix() const {
+    return {ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(count_)};
+  }
+
+private:
+  bool window_equals(const std::vector<T>& window) const {
+    // The current window spans pushes count_-w .. count_-1; its oldest
+    // element sits at ring index count_ % w (the next write position).
+    for (std::size_t i = 0; i < w_; ++i) {
+      if (ring_[(count_ + i) % w_] != window[i]) return false;
+    }
+    return true;
+  }
+
+  std::size_t w_;
+  std::vector<T> ring_;
+  std::size_t count_ = 0;
+  std::uint64_t rolling_ = 0;
+  std::uint64_t drop_coeff_ = 1;  ///< kPolyHashBase^(w-1)
+  std::vector<std::vector<T>> windows_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
+};
+
+}  // namespace t2m
+
+#endif  // T2M_UTIL_WINDOW_DEDUP_H

@@ -135,5 +135,146 @@ TEST(FtraceIo, ParsesSimplifiedShapeAndRoundTrips) {
   EXPECT_EQ(back.schema().format_value(0, back.obs(1)[0]), "sched_switch_in");
 }
 
+TEST(FtraceIo, RejectsDigitFreeTimestamps) {
+  // Regression: the simplified-shape "numeric timestamp" check used to
+  // accept digit-free tokens, turning data rows like ". foo" into events.
+  std::string task, event;
+  EXPECT_FALSE(parse_ftrace_line(". foo", task, event));
+  EXPECT_FALSE(parse_ftrace_line("... foo", task, event));
+  EXPECT_FALSE(parse_ftrace_line(".. sched_waking detail", task, event));
+  ASSERT_TRUE(parse_ftrace_line("0.5 sched_waking", task, event));
+  EXPECT_EQ(event, "sched_waking");
+  ASSERT_TRUE(parse_ftrace_line("12 sched_waking", task, event));
+  EXPECT_EQ(event, "sched_waking");
+}
+
+TEST(FtraceIo, SimplifiedLineWithColonDetailsIsNotFullShape) {
+  // Regression: a simplified line whose details contain both '[' and ": "
+  // used to be misparsed as the full ftrace shape (task "1.5", event
+  // "retry]"). Full-shape detection is now anchored on the [cpu] field.
+  std::string task, event;
+  ASSERT_TRUE(parse_ftrace_line("1.5 myevent [note: retry]", task, event));
+  EXPECT_TRUE(task.empty());
+  EXPECT_EQ(event, "myevent");
+
+  // The genuine full shape still parses, [cpu] anchor and all.
+  ASSERT_TRUE(
+      parse_ftrace_line("pi_stress-1234 [000] d..2 100.000001: sched_waking: c=x",
+                        task, event));
+  EXPECT_EQ(task, "pi_stress");
+  EXPECT_EQ(event, "sched_waking");
+
+  // A non-numeric bracket field before the colon is not a cpu anchor.
+  ASSERT_TRUE(parse_ftrace_line("2.0 evt [k=v] more: detail", task, event));
+  EXPECT_EQ(event, "evt");
+
+  // A bracketed number in the details is still not a full-shape anchor: the
+  // last pre-colon field must be the timestamp.
+  ASSERT_TRUE(parse_ftrace_line("3.0 evt [12] note: detail", task, event));
+  EXPECT_EQ(event, "evt");
+
+  // Even "[N] <number>:" in the details does not fake the full shape — the
+  // comm head would need a -pid suffix, which a timestamp-led simplified
+  // line cannot have.
+  ASSERT_TRUE(parse_ftrace_line("1.5 myevent [0] 2.0: detail", task, event));
+  EXPECT_TRUE(task.empty());
+  EXPECT_EQ(event, "myevent");
+  ASSERT_TRUE(parse_ftrace_line("1.5 ev [0] d..2 2.0: note", task, event));
+  EXPECT_TRUE(task.empty());
+  EXPECT_EQ(event, "ev");
+}
+
+TEST(FtraceIo, ParsesFlaglessFullShape) {
+  // `trace-cmd report` output omits the flags column; both full shapes
+  // must parse.
+  std::string task, event;
+  ASSERT_TRUE(parse_ftrace_line("pi_stress-1325 [001] 123.456789: sched_switch: x",
+                                task, event));
+  EXPECT_EQ(task, "pi_stress");
+  EXPECT_EQ(event, "sched_switch");
+}
+
+TEST(FtraceIo, FullShapeTaskCommMayContainSpaces) {
+  // Real sched traces carry comms like "Web Content"; the [cpu] anchor may
+  // sit past a multi-word comm and the events must not be dropped.
+  std::string task, event;
+  ASSERT_TRUE(parse_ftrace_line(
+      "Web Content-1234 [000] d..2 1.000000: sched_waking: comm=x", task, event));
+  EXPECT_EQ(task, "Web Content");
+  EXPECT_EQ(event, "sched_waking");
+}
+
+TEST(FtraceIo, RoundTripsHostileSymbolNames) {
+  // Regression: symbols containing whitespace or ':' were written verbatim
+  // and re-read as different (or dropped) events.
+  Schema s;
+  s.add_cat("event",
+            {"plain", "with space", "colon:name", "a:b c", "tab\tname",
+             "line\nbreak", "50%done", "%20", "trail "},
+            std::nullopt);
+  Trace trace(std::move(s));
+  for (std::int64_t i = 0; i < 9; ++i) trace.append({Value::of_sym(i)});
+
+  std::stringstream out;
+  write_ftrace(out, trace);
+  const Trace back = read_ftrace(out);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    EXPECT_EQ(back.schema().format_value(0, back.obs(t)[0]),
+              trace.schema().format_value(0, trace.obs(t)[0]))
+        << "row " << t;
+  }
+}
+
+TEST(FtraceIo, EmptySymbolIsRejectedWithClearError) {
+  Schema s;
+  s.add_cat("event", {""}, std::nullopt);
+  Trace trace(std::move(s));
+  trace.append({Value::of_sym(0)});
+  std::stringstream out;
+  EXPECT_THROW(write_ftrace(out, trace), std::invalid_argument);
+}
+
+TEST(FtraceIo, EscapeHelpersRoundTrip) {
+  EXPECT_EQ(escape_ftrace_symbol("a b:c"), "a%20b%3Ac");
+  EXPECT_EQ(unescape_ftrace_symbol("a%20b%3Ac"), "a b:c");
+  // A bare '%' that is not a valid escape stays verbatim (legacy files).
+  EXPECT_EQ(unescape_ftrace_symbol("95%"), "95%");
+  EXPECT_EQ(unescape_ftrace_symbol("%zz"), "%zz");
+}
+
+TEST(FtraceIo, SkipsGarbageAndKeepsLaterRows) {
+  // Rows after a rejected line must still be read.
+  std::stringstream ss(
+      "0.1 first\n"
+      "not a trace line at all\n"
+      "#comment\n"
+      ". broken_timestamp\n"
+      "0.2 second\n");
+  const Trace t = read_ftrace(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.schema().format_value(0, t.obs(1)[0]), "second");
+}
+
+TEST(FtraceIo, EmptyInputYieldsEmptyTrace) {
+  std::stringstream ss("");
+  const Trace t = read_ftrace(ss);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.schema().size(), 1u);
+}
+
+TEST(TextIo, EmptyAndHeaderOnlyFiles) {
+  std::stringstream empty("");
+  const Trace none = read_trace_text(empty);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.schema().size(), 0u);
+
+  std::stringstream header_only("# t2m-trace v1\n# var x int\n# var ev cat A B\n");
+  const Trace declared = read_trace_text(header_only);
+  EXPECT_TRUE(declared.empty());
+  ASSERT_EQ(declared.schema().size(), 2u);
+  EXPECT_EQ(declared.schema().var(1).symbols, (std::vector<std::string>{"A", "B"}));
+}
+
 }  // namespace
 }  // namespace t2m

@@ -101,6 +101,23 @@ TEST(TableWriter, AsciiAndCsv) {
   EXPECT_EQ(csv.str(), "name,value\nalpha,1\nb,22\n");
 }
 
+TEST(TableWriter, CsvQuotesSpecialCharacters) {
+  // Regression: fields containing ',', '"' or newlines were emitted
+  // unquoted, producing corrupt CSV. RFC 4180: quote such fields and double
+  // embedded quotes.
+  TableWriter table({"name", "value"});
+  table.add_row({"a,b", "plain"});
+  table.add_row({"say \"hi\"", "line\nbreak"});
+  table.add_row({"cr\rhere", "both\",\n"});
+  std::ostringstream csv;
+  table.write_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "name,value\n"
+            "\"a,b\",plain\n"
+            "\"say \"\"hi\"\"\",\"line\nbreak\"\n"
+            "\"cr\rhere\",\"both\"\",\n\"\n");
+}
+
 TEST(TableWriter, RejectsBadRows) {
   TableWriter table({"a", "b"});
   EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
@@ -119,6 +136,38 @@ TEST(CliArgs, FlagsAndPositionals) {
   EXPECT_DOUBLE_EQ(args.get_double_or("timeout", 0.0), 2.5);
   EXPECT_EQ(args.get_int_or("absent", 9), 9);
   EXPECT_FALSE(args.get("absent").has_value());
+}
+
+TEST(CliArgs, MalformedNumbersThrowDiagnosticsInsteadOfCrashing) {
+  // Regression: get_int_or/get_double_or called std::stoll/std::stod on the
+  // raw flag value; `--window banana` crashed with an uncaught exception.
+  // The examples and the t2m tool catch std::exception at main and print
+  // the message, so a clean invalid_argument naming the flag is the
+  // user-visible error path.
+  const char* argv[] = {"prog",        "--window",  "banana", "--timeout", "fast",
+                        "--trailing",  "12x",       "--huge", "99999999999999999999"};
+  const CliArgs args(9, argv);
+  EXPECT_THROW(args.get_int_or("window", 3), std::invalid_argument);
+  EXPECT_THROW(args.get_double_or("timeout", 0.0), std::invalid_argument);
+  // Trailing garbage is rejected, not truncated.
+  EXPECT_THROW(args.get_int_or("trailing", 0), std::invalid_argument);
+  // Out-of-range is a diagnostic too, not UB or std::out_of_range.
+  EXPECT_THROW(args.get_int_or("huge", 0), std::invalid_argument);
+  // Explicit '+' signs, which the old stoll/stod parsers accepted, still do.
+  const char* signed_argv[] = {"prog", "--window", "+5", "--timeout", "+2.5",
+                               "--plus", "+",      "--plusminus", "+-3"};
+  const CliArgs signed_args(9, signed_argv);
+  EXPECT_EQ(signed_args.get_int_or("window", 0), 5);
+  EXPECT_DOUBLE_EQ(signed_args.get_double_or("timeout", 0.0), 2.5);
+  EXPECT_THROW(signed_args.get_int_or("plus", 0), std::invalid_argument);
+  EXPECT_THROW(signed_args.get_int_or("plusminus", 0), std::invalid_argument);
+  try {
+    args.get_int_or("window", 3);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("window"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -94,6 +94,28 @@ TEST(Schema, ParseAndFormat) {
   EXPECT_EQ(schema.format_value(ev, Value::of_sym(1)), "off");
 }
 
+TEST(Schema, MalformedIntegerLiteralIsDiagnosedNotCrash) {
+  // Regression: parse_value used std::stoll, so a malformed trace row
+  // ("12x", "", out-of-range) crashed with an uncaught exception instead of
+  // the reader's clean invalid_argument error path.
+  Schema schema;
+  const VarIndex x = schema.add_int("x");
+  EXPECT_THROW(schema.parse_value(x, "banana"), std::invalid_argument);
+  EXPECT_THROW(schema.parse_value(x, "12x"), std::invalid_argument);
+  EXPECT_THROW(schema.parse_value(x, ""), std::invalid_argument);
+  EXPECT_THROW(schema.parse_value(x, "99999999999999999999"), std::invalid_argument);
+  // An explicit '+' sign, which stoll accepted, keeps parsing.
+  EXPECT_EQ(schema.parse_value(x, "+12"), Value::of_int(12));
+  EXPECT_THROW(schema.parse_value(x, "+"), std::invalid_argument);
+  try {
+    schema.parse_value(x, "12x");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("12x"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("x"), std::string::npos);
+  }
+}
+
 TEST(Schema, ModePredicates) {
   Schema numeric;
   numeric.add_int("x");

@@ -6,6 +6,11 @@
 //       [--max-conflict-factor 2.0] fail when sat_conflicts more than doubles
 //       [--min-wall 0.05]           ignore wall checks below this many seconds
 //
+// A baseline entry carrying "wall_exempt": true opts out of the wall-clock
+// gate only (used for IO-bound benches whose absolute time is dominated by
+// the recording machine's disk, e.g. stream_ingest); its conflict and
+// timeout gates still apply.
+//
 // Reads only the fixed one-record-per-line format BenchResultsJson emits;
 // this is a tripwire for our own artefacts, not a general JSON parser.
 // Wall-clock on shared CI runners is noisy, hence the absolute floor and the
@@ -29,6 +34,7 @@ struct Record {
   double wall_seconds = 0.0;
   std::uint64_t sat_conflicts = 0;
   bool timed_out = false;
+  bool wall_exempt = false;
 };
 
 std::optional<std::string> field_text(const std::string& line, const std::string& key) {
@@ -67,6 +73,7 @@ std::map<std::string, Record> load(const std::string& path) {
       rec.sat_conflicts = std::stoull(*conflicts);
     }
     if (const auto timed_out = field_text(line, "timed_out")) rec.timed_out = *timed_out == "true";
+    if (const auto exempt = field_text(line, "wall_exempt")) rec.wall_exempt = *exempt == "true";
     records[*bench] = rec;
   }
   return records;
@@ -108,7 +115,7 @@ int main(int argc, char** argv) {
       ++regressions;
       continue;
     }
-    if (base.wall_seconds >= min_wall && !base.timed_out &&
+    if (base.wall_seconds >= min_wall && !base.timed_out && !base.wall_exempt &&
         got.wall_seconds > base.wall_seconds * (1.0 + max_wall_regress)) {
       std::cerr << "WALL     " << bench << ": " << got.wall_seconds << "s vs baseline "
                 << base.wall_seconds << "s (> +" << max_wall_regress * 100 << "%)\n";
