@@ -23,6 +23,16 @@ public:
   /// new symbols into their schema as lines are consumed.
   std::optional<PredId> push(const Schema& schema, const Valuation& obs);
 
+  /// Marks the stream as a continuation of an earlier one: the next push is
+  /// treated as a step destination (yielding a PredId) instead of the
+  /// trace's first observation. The sharded-ingest merge replays per-shard
+  /// vocabularies through one global abstractor this way — the caller then
+  /// owns the all-categorical precondition the first regular push would
+  /// have checked. No-op once an observation was pushed.
+  void prime() {
+    if (observations_ == 0) observations_ = 1;
+  }
+
   /// Observations pushed so far.
   std::size_t observations() const { return observations_; }
 

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "src/automaton/ops.h"
+#include "src/parallel/thread_pool.h"
 
 namespace t2m {
 
@@ -68,62 +69,115 @@ bool ComplianceChecker::packed_usable(const Nfa& model) const {
   return true;
 }
 
+void ComplianceChecker::check_packed_range(
+    const std::vector<std::vector<std::pair<PredId, StateId>>>& adj, StateId lo,
+    StateId hi, std::unordered_set<std::uint64_t>& seen,
+    std::set<std::vector<PredId>>& invalid) const {
+  // Streaming DFS over packed keys: dedup and membership are both O(1)
+  // integer hashing; only missing words are materialised.
+  std::vector<PredId> prefix;
+  prefix.reserve(l_);
+  const auto dfs = [&](auto&& self, StateId state, std::uint64_t key) -> void {
+    if (prefix.size() == l_) {
+      if (seen.insert(key).second && packed_windows_.count(key) == 0) {
+        invalid.insert(prefix);
+      }
+      return;
+    }
+    for (const auto& [pred, dst] : adj[state]) {
+      prefix.push_back(pred);
+      self(self, dst, ((key << bits_) | static_cast<std::uint64_t>(pred)) & mask_);
+      prefix.pop_back();
+    }
+  };
+  for (StateId s = lo; s < hi; ++s) dfs(dfs, s, 0);
+}
+
+void ComplianceChecker::check_vec_range(
+    const std::vector<std::vector<std::pair<PredId, StateId>>>& adj, StateId lo,
+    StateId hi, std::unordered_set<std::vector<PredId>, VectorHash>& seen,
+    std::set<std::vector<PredId>>& invalid) const {
+  // Generic path: hashed vector keys. Taken when windows exceed 64 bits
+  // or a model predicate is outside the trace's id range.
+  std::vector<PredId> prefix;
+  prefix.reserve(l_);
+  const auto in_trace = [this](const std::vector<PredId>& word) {
+    if (!packed_) return vec_windows_.count(word) != 0;
+    std::uint64_t key = 0;
+    const std::uint64_t limit = bits_ >= 64 ? ~0ULL : (1ULL << bits_);
+    for (const PredId p : word) {
+      if (static_cast<std::uint64_t>(p) >= limit) return false;  // never seen in trace
+      key = ((key << bits_) | static_cast<std::uint64_t>(p)) & mask_;
+    }
+    return packed_windows_.count(key) != 0;
+  };
+  const auto dfs = [&](auto&& self, StateId state) -> void {
+    if (prefix.size() == l_) {
+      if (seen.insert(prefix).second && !in_trace(prefix)) {
+        invalid.insert(prefix);
+      }
+      return;
+    }
+    for (const auto& [pred, dst] : adj[state]) {
+      prefix.push_back(pred);
+      self(self, dst);
+      prefix.pop_back();
+    }
+  };
+  for (StateId s = lo; s < hi; ++s) dfs(dfs, s);
+}
+
+namespace {
+
+/// Folds per-chunk accumulators into the result in chunk (= state) order:
+/// distinct-word count is the union of the seen sets, missing words the
+/// union of the (ordered) invalid sets. One definition for both window
+/// representations, so the two DFS paths cannot drift apart.
+template <typename SeenSet>
+void merge_chunk_results(std::vector<SeenSet>& seen,
+                         std::vector<std::set<std::vector<PredId>>>& invalid,
+                         ComplianceResult& result) {
+  for (std::size_t c = 1; c < seen.size(); ++c) {
+    seen[0].insert(seen[c].begin(), seen[c].end());
+  }
+  result.model_sequences = seen[0].size();
+  result.invalid_sequences = std::move(invalid[0]);
+  for (std::size_t c = 1; c < invalid.size(); ++c) {
+    result.invalid_sequences.merge(invalid[c]);
+  }
+}
+
+}  // namespace
+
 ComplianceResult ComplianceChecker::check(const Nfa& model) const {
   ComplianceResult result;
   result.trace_sequences = trace_windows_;
 
   const auto adj = out_edges(model);
-  std::vector<PredId> prefix;
-  prefix.reserve(l_);
+  const std::size_t n_states = model.num_states();
+  const std::size_t chunks =
+      threads_ <= 1 ? 1 : std::min(threads_, std::max<std::size_t>(n_states, 1));
 
+  // Each chunk DFSes its start-state range into private accumulators; the
+  // merge is a set union in chunk (= state) order, which by set semantics
+  // yields exactly the sequential single-range result: a word reached from
+  // start states in two chunks is classified identically by both, and
+  // invalid_sequences is an ordered set either way.
+  std::vector<std::set<std::vector<PredId>>> invalid(chunks);
   if (packed_usable(model)) {
-    // Streaming DFS over packed keys: dedup and membership are both O(1)
-    // integer hashing; only missing words are materialised.
-    std::unordered_set<std::uint64_t> seen;
-    const auto dfs = [&](auto&& self, StateId state, std::uint64_t key) -> void {
-      if (prefix.size() == l_) {
-        if (seen.insert(key).second && packed_windows_.count(key) == 0) {
-          result.invalid_sequences.insert(prefix);
-        }
-        return;
-      }
-      for (const auto& [pred, dst] : adj[state]) {
-        prefix.push_back(pred);
-        self(self, dst, ((key << bits_) | static_cast<std::uint64_t>(pred)) & mask_);
-        prefix.pop_back();
-      }
-    };
-    for (StateId s = 0; s < model.num_states(); ++s) dfs(dfs, s, 0);
-    result.model_sequences = seen.size();
+    std::vector<std::unordered_set<std::uint64_t>> seen(chunks);
+    par::for_chunks(threads_, n_states, chunks,
+                    [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                      check_packed_range(adj, lo, hi, seen[c], invalid[c]);
+                    });
+    merge_chunk_results(seen, invalid, result);
   } else {
-    // Generic path: hashed vector keys. Taken when windows exceed 64 bits
-    // or a model predicate is outside the trace's id range.
-    std::unordered_set<std::vector<PredId>, VectorHash> seen;
-    const auto in_trace = [this](const std::vector<PredId>& word) {
-      if (!packed_) return vec_windows_.count(word) != 0;
-      std::uint64_t key = 0;
-      const std::uint64_t limit = bits_ >= 64 ? ~0ULL : (1ULL << bits_);
-      for (const PredId p : word) {
-        if (static_cast<std::uint64_t>(p) >= limit) return false;  // never seen in trace
-        key = ((key << bits_) | static_cast<std::uint64_t>(p)) & mask_;
-      }
-      return packed_windows_.count(key) != 0;
-    };
-    const auto dfs = [&](auto&& self, StateId state) -> void {
-      if (prefix.size() == l_) {
-        if (seen.insert(prefix).second && !in_trace(prefix)) {
-          result.invalid_sequences.insert(prefix);
-        }
-        return;
-      }
-      for (const auto& [pred, dst] : adj[state]) {
-        prefix.push_back(pred);
-        self(self, dst);
-        prefix.pop_back();
-      }
-    };
-    for (StateId s = 0; s < model.num_states(); ++s) dfs(dfs, s);
-    result.model_sequences = seen.size();
+    std::vector<std::unordered_set<std::vector<PredId>, VectorHash>> seen(chunks);
+    par::for_chunks(threads_, n_states, chunks,
+                    [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                      check_vec_range(adj, lo, hi, seen[c], invalid[c]);
+                    });
+    merge_chunk_results(seen, invalid, result);
   }
 
   result.compliant = result.invalid_sequences.empty();
@@ -139,17 +193,14 @@ void ComplianceWindowBuilder::push(PredId p) {
   dedup_.push(p);
 }
 
-ComplianceChecker ComplianceWindowBuilder::finish() {
-  ComplianceChecker checker(l_);
+ComplianceChecker ComplianceChecker::from_windows(std::size_t l, std::size_t pushed,
+                                                  std::vector<std::vector<PredId>> windows,
+                                                  PredId max_pred) {
+  ComplianceChecker checker(l);
   // Mirror the batch constructor's edge cases: l == 0 or a stream shorter
   // than l leaves an empty window set served by the generic path.
-  if (l_ == 0 || dedup_.pushed() < l_) return checker;
-  std::vector<std::vector<PredId>> windows = dedup_.take_windows();
-
-  // Every stream element is covered by at least one window once count >= l,
-  // so the maximum over pushed ids equals the batch path's maximum over the
-  // whole sequence — the packed-representation decision is identical.
-  checker.init_packing(max_pred_);
+  if (l == 0 || pushed < l) return checker;
+  checker.init_packing(max_pred);
   if (checker.packed_) {
     checker.packed_windows_.reserve(windows.size());
     for (const auto& window : windows) {
@@ -162,6 +213,14 @@ ComplianceChecker ComplianceWindowBuilder::finish() {
   checker.trace_windows_ =
       checker.packed_ ? checker.packed_windows_.size() : checker.vec_windows_.size();
   return checker;
+}
+
+ComplianceChecker ComplianceWindowBuilder::finish() {
+  // Every stream element is covered by at least one window once count >= l,
+  // so the maximum over pushed ids equals the batch path's maximum over the
+  // whole sequence — the packed-representation decision is identical.
+  const std::size_t pushed = dedup_.pushed();
+  return ComplianceChecker::from_windows(l_, pushed, dedup_.take_windows(), max_pred_);
 }
 
 ComplianceResult check_compliance(const Nfa& model, const std::vector<PredId>& seq,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <set>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/automaton/nfa.h"
@@ -35,7 +36,22 @@ class ComplianceChecker {
 public:
   ComplianceChecker(const std::vector<PredId>& seq, std::size_t l);
 
+  /// Builds a checker from an already-deduplicated window multiset, as the
+  /// sharded-ingest merge produces: `pushed` is the underlying stream length
+  /// (so the short-stream edge cases match the builder), `max_pred` the
+  /// stream's maximum predicate id (the packed-representation decision).
+  /// Byte-identical to pushing the stream through ComplianceWindowBuilder.
+  static ComplianceChecker from_windows(std::size_t l, std::size_t pushed,
+                                        std::vector<std::vector<PredId>> windows,
+                                        PredId max_pred);
+
   ComplianceResult check(const Nfa& model) const;
+
+  /// Partitions check()'s DFS by start state across this many workers
+  /// (1 = sequential). Per-chunk missing-word sets merge in state order, so
+  /// the result — including counterexample selection downstream — is
+  /// identical to the sequential check by set semantics.
+  void set_threads(std::size_t threads) { threads_ = threads; }
 
   std::size_t window_length() const { return l_; }
   /// |P_l|: number of distinct trace windows.
@@ -55,7 +71,21 @@ private:
 
   bool packed_usable(const Nfa& model) const;
 
+  /// DFS over the model's length-l paths from start states [lo, hi),
+  /// collecting the distinct words into `seen` and the words absent from
+  /// P_l into `invalid`. One call per worker chunk; the sequential path is
+  /// the single full-range call.
+  void check_packed_range(
+      const std::vector<std::vector<std::pair<PredId, StateId>>>& adj, StateId lo,
+      StateId hi, std::unordered_set<std::uint64_t>& seen,
+      std::set<std::vector<PredId>>& invalid) const;
+  void check_vec_range(const std::vector<std::vector<std::pair<PredId, StateId>>>& adj,
+                       StateId lo, StateId hi,
+                       std::unordered_set<std::vector<PredId>, VectorHash>& seen,
+                       std::set<std::vector<PredId>>& invalid) const;
+
   std::size_t l_;
+  std::size_t threads_ = 1;
   std::size_t trace_windows_ = 0;
   /// Packed representation: each window folds into one 64-bit key, built by
   /// a rolling shift over the sequence. Valid when l_ * bits_ <= 64.

@@ -21,6 +21,9 @@ AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num
                                             : std::max(num_states, options.state_capacity)),
       options_(options) {
   if (num_states_ == 0) throw std::invalid_argument("AutomatonCsp: zero states");
+  // Before any new_vars: default_phase seeds the phase array as variables
+  // are created.
+  solver_.set_config(options_.solver);
 
   // Lay out state variables: each segment of length w owns w+1 of them,
   // chained implicitly by sharing (dst of transition j is src of j+1).
@@ -373,6 +376,27 @@ sat::SolveResult AutomatonCsp::solve(const Deadline& deadline) {
     assumptions_.push_back(n == num_states_ ? sat::pos(g) : sat::neg(g));
   }
   return solver_.solve(assumptions_);
+}
+
+bool AutomatonCsp::unsat_for_all_states() const {
+  if (!persistent()) return false;
+  // With no inactive column left, Unsat may only mean "not within this
+  // capacity" — the caller's rebuild path handles that case.
+  if (num_states_ >= capacity_) return false;
+  if (solver_.in_unsat_state()) return true;  // root-level: assumption-free
+  const std::vector<sat::Lit>& core = solver_.final_conflict();
+  if (core.empty()) return false;  // last solve was not an assumption Unsat
+  // act_ was allocated as one contiguous batch, so a range test identifies
+  // guard variables; anything else in the core (an acceptance-block guard)
+  // expires on growth and voids the proof, as does any ~act_k.
+  const sat::Var act_lo = act_.front();
+  const sat::Var act_hi = act_.back();
+  for (const sat::Lit l : core) {
+    const sat::Var v = l.var();
+    if (v < act_lo || v > act_hi) return false;
+    if (l.negated()) return false;
+  }
+  return true;
 }
 
 void AutomatonCsp::block_current_model() {

@@ -78,6 +78,10 @@ struct CspOptions {
   /// instance (learned clauses, VSIDS activity, saved phases) serves the
   /// whole N-increment loop.
   std::size_t state_capacity = 0;
+  /// Search-shape knobs applied to the underlying solver before encoding
+  /// (restart schedule, phase default, random polarity — the axes the
+  /// portfolio driver diversifies per racing configuration).
+  sat::SolverConfig solver;
 };
 
 /// The automaton-existence hypothesis of Algorithm 1 (lines 18-33), encoded
@@ -128,6 +132,24 @@ public:
 
   /// Runs the solver; Unknown on deadline expiry.
   sat::SolveResult solve(const Deadline& deadline = Deadline::never());
+
+  /// Cooperative cancellation, forwarded to the solver: when the flag reads
+  /// true, the next solve() poll returns Unknown. The portfolio driver
+  /// threads one flag through every racing worker's CSPs.
+  void set_stop_flag(const std::atomic<bool>* stop) { solver_.set_stop_flag(stop); }
+
+  /// After solve() == Unsat in persistent mode: true when the verdict
+  /// provably holds for EVERY state count, so the learner can stop growing N
+  /// instead of re-solving to the budget. Sound reasoning: while a capacity
+  /// column is still inactive (N < capacity), that column's variables appear
+  /// in no at-most-one/determinism/forbidden clause — any automaton of any
+  /// size could park a state there for free — so an Unsat whose assumption
+  /// core needs no inactive-column guard (no ~act_k) and no acceptance-block
+  /// guard can only stem from width-independent facts (e.g. a forbidden
+  /// single-predicate word's unit contradiction). A root-level Unsat is the
+  /// empty-core case of the same argument. At N == capacity the verdict may
+  /// merely be width-capped, so this conservatively reports false there.
+  bool unsat_for_all_states() const;
 
   /// Excludes the current satisfying assignment (over the state variables)
   /// so the next solve() yields a structurally different automaton. Used by

@@ -4,9 +4,42 @@
 #include <optional>
 #include <set>
 
+#include "src/abstraction/event_stream.h"
+#include "src/core/portfolio.h"
+#include "src/parallel/sharded_ingest.h"
+#include "src/parallel/thread_pool.h"
+#include "src/trace/mmap_io.h"
 #include "src/util/log.h"
 
 namespace t2m {
+
+LearnStats& LearnStats::operator+=(const LearnStats& other) {
+  // Input-shape fields describe the shared artefacts — identical across
+  // workers of one run, so max is the faithful merge (and still sensible
+  // for heterogeneous merges).
+  sequence_length = std::max(sequence_length, other.sequence_length);
+  vocabulary_size = std::max(vocabulary_size, other.vocabulary_size);
+  segments = std::max(segments, other.segments);
+  encoded_transitions = std::max(encoded_transitions, other.encoded_transitions);
+  forbidden_words = std::max(forbidden_words, other.forbidden_words);
+  // Work counters add up: the aggregate is the total work the run paid for.
+  sat_calls += other.sat_calls;
+  refinements += other.refinements;
+  state_increments += other.state_increments;
+  csp_builds += other.csp_builds;
+  csp_grows += other.csp_grows;
+  core_stops += other.core_stops;
+  sat_conflicts += other.sat_conflicts;
+  sat_propagations += other.sat_propagations;
+  sat_learned_clauses += other.sat_learned_clauses;
+  sat_peak_arena_bytes = std::max(sat_peak_arena_bytes, other.sat_peak_arena_bytes);
+  acceptance_relaxed = acceptance_relaxed || other.acceptance_relaxed;
+  // Parallel workers overlap in time; their wall clocks don't add.
+  abstraction_seconds = std::max(abstraction_seconds, other.abstraction_seconds);
+  construction_seconds = std::max(construction_seconds, other.construction_seconds);
+  total_seconds = std::max(total_seconds, other.total_seconds);
+  return *this;
+}
 
 ModelLearner::ModelLearner(LearnerConfig config) : config_(std::move(config)) {}
 
@@ -35,7 +68,8 @@ LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
 
   // The trace window set is invariant across all refinement iterations:
   // compute it once and let every compliance check stream against it.
-  const ComplianceChecker compliance_checker(preds.seq, config_.compliance_length);
+  ComplianceChecker compliance_checker(preds.seq, config_.compliance_length);
+  compliance_checker.set_threads(config_.threads);
 
   // The timeout budgets the CEGIS search: the deadline starts after
   // segmentation and P_l construction, exactly as the streaming path starts
@@ -74,7 +108,8 @@ LearnResult ModelLearner::learn_from_stream(PredStream& stream) const {
   preds.seq = std::move(seq);
   std::vector<Segment> segments =
       segmenter ? segmenter->take() : whole_sequence(preds.seq);
-  const ComplianceChecker compliance_checker = window_builder.finish();
+  ComplianceChecker compliance_checker = window_builder.finish();
+  compliance_checker.set_threads(config_.threads);
   const double pass_seconds = pass_watch.elapsed_seconds();
 
   // The timeout budgets the CEGIS search, starting after ingest — matching
@@ -91,12 +126,183 @@ LearnResult ModelLearner::learn_from_stream(PredStream& stream) const {
   return result;
 }
 
+LearnResult ModelLearner::learn_from_ftrace(const std::string& path,
+                                            const std::string& task_filter) const {
+  if (config_.threads <= 1) {
+    LineReader lines(path);
+    FtracePredStream stream(lines, task_filter);
+    return learn_from_stream(stream);
+  }
+
+  const Stopwatch total;
+  const Stopwatch pass_watch;
+  par::ShardedIngestOptions options;
+  options.window = config_.window;
+  options.compliance_length = config_.compliance_length;
+  options.threads = config_.threads;
+  options.segmented = config_.segmented;
+  options.keep_sequence = config_.require_trace_acceptance || !config_.segmented;
+  options.task_filter = task_filter;
+  par::ShardedIngestResult ingest = par::sharded_ftrace_ingest_file(path, options);
+  log_debug() << "learner: sharded ingest over " << ingest.shards_used << " shard(s), "
+              << ingest.sequence_length << " steps";
+
+  std::vector<Segment> segments = config_.segmented
+                                      ? std::move(ingest.segments)
+                                      : whole_sequence(ingest.preds.seq);
+  ComplianceChecker compliance_checker = std::move(ingest.compliance);
+  compliance_checker.set_threads(config_.threads);
+  const double pass_seconds = pass_watch.elapsed_seconds();
+
+  const Deadline deadline = config_.timeout_seconds > 0
+                                ? Deadline::after_seconds(config_.timeout_seconds)
+                                : Deadline::never();
+  LearnResult result =
+      run_search(std::move(ingest.preds), ingest.sequence_length, std::move(segments),
+                 compliance_checker, ingest.schema, deadline, total);
+  result.stats.abstraction_seconds = pass_seconds;
+  result.stats.total_seconds = total.elapsed_seconds();
+  return result;
+}
+
 LearnResult ModelLearner::run_search(PredicateSequence preds, std::size_t sequence_length,
                                      std::vector<Segment> segments,
                                      const ComplianceChecker& compliance_checker,
                                      const Schema& schema, const Deadline& deadline,
                                      const Stopwatch& total) const {
+  if (config_.portfolio > 1) {
+    return run_portfolio(preds, sequence_length, segments, compliance_checker, schema,
+                         deadline, total);
+  }
+  return run_search_single(std::move(preds), sequence_length, segments,
+                           compliance_checker, schema, deadline, total);
+}
+
+LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
+                                        std::size_t sequence_length,
+                                        const std::vector<Segment>& segments,
+                                        const ComplianceChecker& compliance_checker,
+                                        const Schema& schema, const Deadline& deadline,
+                                        const Stopwatch& total) const {
+  const std::vector<PortfolioVariant> variants =
+      portfolio_configs(config_, config_.portfolio);
+  const std::size_t k = variants.size();
+
+  // The race: every worker runs the full CEGIS loop over the shared
+  // read-only artefacts with its own solver configuration. (Each lane still
+  // copies `preds` — run_search_single materialises its own result from it
+  // — a bounded K * O(|P|) cost only paid when the sequence is retained.)
+  // The first genuine verdict wins and raises the stop flag; Solver::solve
+  // polls it at every conflict, so the losers unwind quickly.
+  std::atomic<bool> race_stop{false};
+  std::atomic<int> winner{-1};
+  std::vector<LearnResult> results(k);
+  std::vector<double> walls(k, 0.0);
+
+  par::ThreadPool& pool = par::ThreadPool::global();
+  pool.ensure_size(std::min(k, par::ThreadPool::kMaxWorkers));
+  // The caller's cancellation flag is relayed into the race at three
+  // points: before the lanes launch, at each lane's start, and from the
+  // wait loop below — so cancellation works even when the relaying thread
+  // is starved on a loaded machine.
+  const std::atomic<bool>* outer_stop = config_.stop;
+  const auto relay_outer_stop = [outer_stop, &race_stop] {
+    if (outer_stop != nullptr && outer_stop->load(std::memory_order_relaxed)) {
+      race_stop.store(true, std::memory_order_release);
+    }
+  };
+  relay_outer_stop();
+  par::TaskGroup group(pool);
+  for (std::size_t i = 0; i < k; ++i) {
+    group.run([&, i] {
+      relay_outer_stop();
+      const Stopwatch wall;
+      LearnerConfig config = variants[i].config;
+      config.stop = &race_stop;
+      const ModelLearner worker(config);
+      LearnResult r = worker.run_search_single(preds, sequence_length, segments,
+                                               compliance_checker, schema, deadline,
+                                               total);
+      walls[i] = wall.elapsed_seconds();
+      // A verdict was reached only if neither the race's stop flag nor the
+      // deadline cut the lane short; a timed-out lane must not be crowned.
+      if (!r.cancelled && !r.timed_out) {
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+          race_stop.store(true, std::memory_order_release);
+        }
+      }
+      results[i] = std::move(r);
+    });
+  }
+  // Wait while relaying the caller's cancellation into the race: the lanes
+  // poll race_stop (through their solvers), so raising it here preserves
+  // the LearnerConfig::stop contract for portfolio runs too.
+  while (!group.done()) {
+    relay_outer_stop();
+    if (!pool.help_one()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  group.wait();  // synchronise and surface any lane exception
+
+  // No genuine verdict (outer stop or deadline cancelled every lane):
+  // report the first lane that at least ran to its own cutoff uncancelled.
+  std::size_t won = 0;
+  if (winner.load() >= 0) {
+    won = static_cast<std::size_t>(winner.load());
+  } else {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!results[i].cancelled) {
+        won = i;
+        break;
+      }
+    }
+  }
+  const bool have_verdict = winner.load() >= 0;
+
+  // Per-configuration breakdown from each worker's own numbers, snapshotted
+  // before any aggregation.
+  std::vector<PortfolioConfigStats> entries(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    PortfolioConfigStats& e = entries[i];
+    e.name = variants[i].name;
+    e.winner = have_verdict && i == won;
+    e.cancelled = results[i].cancelled;
+    e.finished = !results[i].cancelled && !results[i].timed_out;
+    e.states = results[i].states;
+    e.sat_calls = results[i].stats.sat_calls;
+    e.sat_conflicts = results[i].stats.sat_conflicts;
+    e.sat_propagations = results[i].stats.sat_propagations;
+    e.wall_seconds = walls[i];
+  }
+
+  LearnResult result = std::move(results[won]);
+  // Aggregate the losers' counters into the headline stats — the honest
+  // total-work number for the race.
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i != won) result.stats += results[i].stats;
+  }
+  result.stats.portfolio = std::move(entries);
+  result.stats.total_seconds = total.elapsed_seconds();
+  if (have_verdict) {
+    log_info() << "learner: portfolio winner '" << variants[won].name << "' of " << k
+               << " configurations";
+  } else {
+    log_info() << "learner: portfolio race ended with no verdict ("
+               << (result.cancelled ? "cancelled" : "timed out") << ")";
+  }
+  return result;
+}
+
+LearnResult ModelLearner::run_search_single(PredicateSequence preds,
+                                            std::size_t sequence_length,
+                                            const std::vector<Segment>& segments,
+                                            const ComplianceChecker& compliance_checker,
+                                            const Schema& schema, const Deadline& deadline,
+                                            const Stopwatch& total) const {
   LearnResult result;
+  result.schema = schema;
   result.stats.sequence_length = sequence_length;
   result.stats.vocabulary_size = preds.vocab.size();
   result.stats.segments = segments.size();
@@ -105,6 +311,10 @@ LearnResult ModelLearner::run_search(PredicateSequence preds, std::size_t sequen
   // Trace acceptance needs the materialised sequence; the streaming path
   // omits it exactly when the configuration never consults it.
   const bool check_acceptance = config_.require_trace_acceptance && !preds.seq.empty();
+
+  const auto stopped = [this] {
+    return config_.stop != nullptr && config_.stop->load(std::memory_order_relaxed);
+  };
 
   // Forbidden sequences accumulate across N: they are facts about P. Their
   // chain enumeration is N-independent, so one cache serves every CSP this
@@ -136,14 +346,28 @@ LearnResult ModelLearner::run_search(PredicateSequence preds, std::size_t sequen
     if (csp) absorb_solver_stats(*csp);
     CspOptions options;
     options.encoding = config_.encoding;
+    options.solver = config_.solver;
     options.state_capacity =
         config_.persistent_solver
             ? std::min(config_.max_states, n + config_.state_headroom)
             : 0;
     csp.emplace(segments, preds.vocab.size(), n, options);
     csp->set_chain_cache(&chain_cache);
+    csp->set_stop_flag(config_.stop);
     for (const auto& word : forbidden) csp->add_forbidden_sequence(word);
     ++result.stats.csp_builds;
+  };
+
+  // Abandons the run at the current point (deadline expiry or cooperative
+  // cancellation), reporting which of the two it was.
+  const auto abort_run = [&](bool was_stopped) {
+    absorb_solver_stats(*csp);
+    result.timed_out = true;
+    result.cancelled = was_stopped;
+    result.preds = std::move(preds);
+    result.stats.construction_seconds = construction_watch.elapsed_seconds();
+    result.stats.total_seconds = total.elapsed_seconds();
+    return std::move(result);
   };
 
   for (std::size_t n = config_.initial_states; n <= config_.max_states; ++n) {
@@ -156,25 +380,25 @@ LearnResult ModelLearner::run_search(PredicateSequence preds, std::size_t sequen
     bool next_n = false;
     std::size_t acceptance_blocks = 0;
     while (!next_n) {
-      if (deadline.expired()) {
-        absorb_solver_stats(*csp);
-        result.timed_out = true;
-        result.preds = std::move(preds);
-        result.stats.construction_seconds = construction_watch.elapsed_seconds();
-        result.stats.total_seconds = total.elapsed_seconds();
-        return result;
-      }
+      if (deadline.expired() || stopped()) return abort_run(stopped());
       ++result.stats.sat_calls;
       const sat::SolveResult sat_result = csp->solve(deadline);
       if (sat_result == sat::SolveResult::Unknown) {
-        absorb_solver_stats(*csp);
-        result.timed_out = true;
-        result.preds = std::move(preds);
-        result.stats.construction_seconds = construction_watch.elapsed_seconds();
-        result.stats.total_seconds = total.elapsed_seconds();
-        return result;
+        return abort_run(stopped());
       }
       if (sat_result == sat::SolveResult::Unsat) {
+        if (config_.core_driven_stop && csp->unsat_for_all_states()) {
+          // The assumption core names no inactive-column guard: no state
+          // count can satisfy this instance; growing N is provably futile.
+          ++result.stats.core_stops;
+          log_info() << "learner: Unsat core independent of the state count at N = "
+                     << n << "; stopping the search";
+          absorb_solver_stats(*csp);
+          result.preds = std::move(preds);
+          result.stats.construction_seconds = construction_watch.elapsed_seconds();
+          result.stats.total_seconds = total.elapsed_seconds();
+          return result;
+        }
         // No N-state automaton: grow N (Algorithm 1, lines 34-36).
         ++result.stats.state_increments;
         log_debug() << "learner: no " << n << "-state automaton, growing N";

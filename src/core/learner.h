@@ -1,6 +1,8 @@
 #ifndef T2M_CORE_LEARNER_H
 #define T2M_CORE_LEARNER_H
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,8 +54,43 @@ struct LearnerConfig {
   /// the first `state_headroom` increments are assumption flips. Growing
   /// past the headroom rebuilds the CSP once with a larger capacity.
   std::size_t state_headroom = 6;
+  /// Assumption-core-driven early stop: when a persistent-mode Unsat core
+  /// names no inactive-column guard (AutomatonCsp::unsat_for_all_states),
+  /// the instance is Unsat for every state count — stop instead of growing
+  /// to max_states blindly.
+  bool core_driven_stop = true;
+  /// Worker threads for the parallel paths: sharded ingest in
+  /// learn_from_ftrace and the partitioned compliance check. 1 = fully
+  /// sequential (byte-identical results either way; threading only changes
+  /// wall clock).
+  std::size_t threads = 1;
+  /// Portfolio CEGIS: race this many independently configured solvers
+  /// (fresh vs persistent, phase/restart/polarity variations — see
+  /// portfolio_configs) over the same artefacts and keep the first verdict,
+  /// cancelling the rest. 0/1 = single configuration.
+  std::size_t portfolio = 0;
+  /// Solver search-shape knobs applied to every CSP this learner builds;
+  /// the portfolio driver diversifies them per racing worker.
+  sat::SolverConfig solver;
+  /// Cooperative cancellation (non-owning; may be null): polled between
+  /// solver calls and inside Solver::solve at every conflict. A learn
+  /// aborted this way returns with `cancelled` (and timed_out) set.
+  const std::atomic<bool>* stop = nullptr;
   /// Trace-abstraction settings (window is taken from `window`).
   AbstractionConfig abstraction;
+};
+
+/// Outcome of one racing configuration of a portfolio learn.
+struct PortfolioConfigStats {
+  std::string name;
+  bool winner = false;
+  bool finished = false;   ///< reached a verdict before cancellation
+  bool cancelled = false;  ///< stopped by the race's stop flag
+  std::size_t states = 0;
+  std::size_t sat_calls = 0;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_propagations = 0;
+  double wall_seconds = 0.0;
 };
 
 /// Counters describing one learning run.
@@ -76,20 +113,39 @@ struct LearnStats {
   std::uint64_t sat_propagations = 0;
   std::uint64_t sat_learned_clauses = 0;
   std::size_t sat_peak_arena_bytes = 0;  ///< max clause-arena bytes of any CSP
+  /// Times the assumption-core early stop fired (0 or 1 per run): the
+  /// persistent solver proved the instance Unsat for every state count.
+  std::size_t core_stops = 0;
   /// True when the trace-acceptance strengthening was abandoned after
   /// max_acceptance_blocks sibling models (the result is still compliant).
   bool acceptance_relaxed = false;
   double abstraction_seconds = 0.0;
   double construction_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Portfolio runs: one entry per racing configuration (empty otherwise).
+  std::vector<PortfolioConfigStats> portfolio;
+
+  /// Merges another run's counters into this one, the aggregation sharded
+  /// and portfolio drivers report instead of one arbitrary worker's numbers:
+  /// work counters add up, sizes describing the (shared) input and the
+  /// wall-clock phases take the maximum (parallel runs overlap), flags OR.
+  /// The per-configuration `portfolio` breakdown is left untouched.
+  LearnStats& operator+=(const LearnStats& other);
 };
 
 struct LearnResult {
   bool success = false;
   bool timed_out = false;
+  /// The run was aborted by the cooperative stop flag (portfolio losers,
+  /// caller-driven cancellation); timed_out is also set for compatibility.
+  bool cancelled = false;
   Nfa model;                 ///< predicate names attached; valid when success
   std::size_t states = 0;    ///< the paper's N
   PredicateSequence preds;   ///< the abstraction output (vocabulary + P)
+  /// The schema `preds` was interned against. Callers of the trace/sequence
+  /// entry points already hold it; the streaming and ftrace paths build it
+  /// internally, and reporting needs it back (tools/t2m --ftrace).
+  Schema schema;
   LearnStats stats;
 };
 
@@ -117,17 +173,45 @@ public:
   /// (differential-tested in tests/test_stream_pipeline.cpp).
   LearnResult learn_from_stream(PredStream& stream) const;
 
+  /// Learns from an on-disk ftrace log. threads <= 1 runs the streaming
+  /// one-pass pipeline; threads > 1 runs the sharded parallel ingest
+  /// (src/parallel/sharded_ingest.h), which produces byte-identical
+  /// artefacts and therefore the same model — differential-tested in
+  /// tests/test_sharded_ingest.cpp.
+  LearnResult learn_from_ftrace(const std::string& path,
+                                const std::string& task_filter = "") const;
+
   const LearnerConfig& config() const { return config_; }
 
 private:
   /// The iterative SAT search + compliance refinement shared by the
-  /// in-memory and streaming entry points. `sequence_length` is |P|;
-  /// preds.seq may be empty in streaming mode (acceptance is then skipped).
+  /// in-memory and streaming entry points: dispatches to the portfolio
+  /// driver when config().portfolio > 1, else runs one configuration.
+  /// `sequence_length` is |P|; preds.seq may be empty in streaming mode
+  /// (acceptance is then skipped).
   LearnResult run_search(PredicateSequence preds, std::size_t sequence_length,
                          std::vector<Segment> segments,
                          const ComplianceChecker& compliance_checker,
                          const Schema& schema, const Deadline& deadline,
                          const Stopwatch& total) const;
+
+  /// One configuration's CEGIS loop (the pre-portfolio run_search body).
+  /// `segments` is shared read-only — portfolio lanes all encode from the
+  /// same list; `preds` is consumed into the result.
+  LearnResult run_search_single(PredicateSequence preds, std::size_t sequence_length,
+                                const std::vector<Segment>& segments,
+                                const ComplianceChecker& compliance_checker,
+                                const Schema& schema, const Deadline& deadline,
+                                const Stopwatch& total) const;
+
+  /// Races portfolio_configs(config, portfolio) over the shared artefacts:
+  /// first finished verdict wins, the rest are cancelled through an atomic
+  /// stop flag threaded into every worker's solver.
+  LearnResult run_portfolio(const PredicateSequence& preds, std::size_t sequence_length,
+                            const std::vector<Segment>& segments,
+                            const ComplianceChecker& compliance_checker,
+                            const Schema& schema, const Deadline& deadline,
+                            const Stopwatch& total) const;
 
   LearnerConfig config_;
 };

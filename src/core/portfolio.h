@@ -1,0 +1,29 @@
+#ifndef T2M_CORE_PORTFOLIO_H
+#define T2M_CORE_PORTFOLIO_H
+
+#include <string>
+#include <vector>
+
+#include "src/core/learner.h"
+
+namespace t2m {
+
+/// One racing configuration of the portfolio CEGIS driver.
+struct PortfolioVariant {
+  std::string name;
+  LearnerConfig config;
+};
+
+/// Builds the `k` solver configurations a portfolio learn races (k is
+/// clamped to at least 2 — one configuration is not a race). The first
+/// variant is the caller's own configuration; the rest diversify along the
+/// axes production SAT portfolios use: fresh-per-N vs persistent solving,
+/// restart schedule, initial phase, and seeded random polarity. Every
+/// variant is single-threaded inside (the race IS the parallelism) and has
+/// `portfolio` cleared so workers cannot recurse.
+std::vector<PortfolioVariant> portfolio_configs(const LearnerConfig& base,
+                                                std::size_t k);
+
+}  // namespace t2m
+
+#endif  // T2M_CORE_PORTFOLIO_H

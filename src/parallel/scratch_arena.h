@@ -1,0 +1,100 @@
+#ifndef T2M_PARALLEL_SCRATCH_ARENA_H
+#define T2M_PARALLEL_SCRATCH_ARENA_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace t2m::par {
+
+/// Per-thread bump allocator for transient worker buffers (merge tapes,
+/// remap tables): alloc is a pointer bump, reset() recycles everything at
+/// once, and nothing is freed mid-pass, so parallel stages do no per-task
+/// heap traffic and never contend on the global allocator. Not thread-safe
+/// by design — get one per thread via local_scratch().
+class ScratchArena {
+public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two). The
+  /// memory is valid until reset().
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    Block* b = current();
+    std::size_t offset = b ? aligned_offset(*b, b->used, align) : 0;
+    if (b == nullptr || offset + bytes > b->size) {
+      b = grow(bytes + align);
+      offset = aligned_offset(*b, 0, align);
+    }
+    b->used = offset + bytes;
+    return b->data.get() + offset;
+  }
+
+  /// Typed array of `count` default-constructible trivial elements.
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles every allocation; keeps only the largest block for reuse.
+  void reset() {
+    if (blocks_.empty()) return;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < blocks_.size(); ++i) {
+      if (blocks_[i].size > blocks_[best].size) best = i;
+    }
+    Block keep = std::move(blocks_[best]);
+    keep.used = 0;
+    blocks_.clear();
+    blocks_.push_back(std::move(keep));
+  }
+
+  /// Total bytes held across blocks.
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Block* current() { return blocks_.empty() ? nullptr : &blocks_.back(); }
+
+  /// Smallest offset >= `from` whose address in `b` satisfies `align`.
+  static std::size_t aligned_offset(const Block& b, std::size_t from, std::size_t align) {
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t aligned = (base + from + align - 1) & ~(align - 1);
+    return static_cast<std::size_t>(aligned - base);
+  }
+
+  Block* grow(std::size_t at_least) {
+    const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
+    const std::size_t size = std::max({at_least, prev * 2, std::size_t{4096}});
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size, 0});
+    return &blocks_.back();
+  }
+
+  std::vector<Block> blocks_;
+};
+
+/// The calling thread's scratch arena (thread-local, created on first use).
+/// Pool workers and external callers alike get their own instance, so
+/// chunked parallel stages can allocate scratch without synchronisation.
+inline ScratchArena& local_scratch() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace t2m::par
+
+#endif  // T2M_PARALLEL_SCRATCH_ARENA_H

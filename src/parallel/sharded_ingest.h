@@ -1,0 +1,65 @@
+#ifndef T2M_PARALLEL_SHARDED_INGEST_H
+#define T2M_PARALLEL_SHARDED_INGEST_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/abstraction/predicate.h"
+#include "src/base/schema.h"
+#include "src/core/compliance.h"
+#include "src/core/segmentation.h"
+
+namespace t2m::par {
+
+struct ShardedIngestOptions {
+  /// Segmentation window w; must be positive (as segment_sequence requires).
+  std::size_t window = 3;
+  /// Compliance-check window length l (0 = no compliance windows).
+  std::size_t compliance_length = 2;
+  /// Worker threads scanning shards concurrently.
+  std::size_t threads = 1;
+  /// Shard count; 0 derives one shard per thread. Tests pin it to exercise
+  /// cut placement on small inputs — any count yields identical artefacts.
+  std::size_t shards = 0;
+  /// Collect the segmentation window set (off for non-segmented learns,
+  /// which take the whole retained sequence as one segment instead).
+  bool segmented = true;
+  /// Retain the full interned id sequence (needed by trace acceptance and
+  /// the non-segmented encoding; costs O(events) extra memory).
+  bool keep_sequence = false;
+  /// ftrace task filter (empty = keep all), as FtracePredStream.
+  std::string task_filter;
+};
+
+/// The one-pass ingest artefacts the CEGIS search runs on. Byte-identical to
+/// the sequential streaming path (LineReader -> FtracePredStream ->
+/// StreamingSegmenter + ComplianceWindowBuilder) for every shard count — the
+/// merge reproduces the sequential first-occurrence orders exactly; see
+/// docs/parallel.md for the determinism contract.
+struct ShardedIngestResult {
+  PredicateSequence preds;  ///< vocabulary + display names (+ seq when kept)
+  Schema schema;
+  std::vector<Segment> segments;
+  ComplianceChecker compliance{std::vector<PredId>{}, 0};
+  std::size_t sequence_length = 0;  ///< |P|, whether or not seq was retained
+  std::size_t shards_used = 0;      ///< 1 when the sequential path served the call
+};
+
+/// Sharded parallel ingest of an ftrace log held in memory (normally a
+/// MappedFile view): the content is cut at line boundaries into roughly
+/// equal shards, each scanned concurrently by its own line cursor, local
+/// interner and window dedups; a deterministic sequential merge then
+/// rebuilds the global vocabulary, segment list, and compliance window set.
+/// Throws std::invalid_argument for window == 0 or a trace with fewer than
+/// two observations (mirroring the sequential pipeline's errors).
+ShardedIngestResult sharded_ftrace_ingest(std::string_view content,
+                                          const ShardedIngestOptions& options);
+
+/// Convenience wrapper: maps `path` (MappedFile) and ingests its view.
+ShardedIngestResult sharded_ftrace_ingest_file(const std::string& path,
+                                               const ShardedIngestOptions& options);
+
+}  // namespace t2m::par
+
+#endif  // T2M_PARALLEL_SHARDED_INGEST_H

@@ -1,0 +1,167 @@
+#include "src/parallel/thread_pool.h"
+
+#include <algorithm>
+
+namespace t2m::par {
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  ensure_size(std::max<std::size_t>(workers, 1));
+}
+
+ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    // Rendezvous so no worker is between its idle check and its wait.
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+  }
+  sleep_cv_.notify_all();
+  std::lock_guard<std::mutex> lk(grow_mutex_);
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ensure_size(std::size_t workers) {
+  workers = std::min(workers, kMaxWorkers);
+  if (size() >= workers) return;
+  std::lock_guard<std::mutex> lk(grow_mutex_);
+  for (std::size_t i = size(); i < workers; ++i) {
+    // Queue first, then publish the count, then start the thread: everyone
+    // indexing < worker_count_ finds an initialised queue.
+    queues_[i] = std::make_unique<WorkerQueue>();
+    worker_count_.store(i + 1, std::memory_order_release);
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(hardware_threads());
+  return pool;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t n = size();
+  const std::size_t slot = submit_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(queues_[slot]->mutex);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  {
+    // Pairs with the pending_ check a worker makes under sleep_mutex_ before
+    // waiting: either the worker is already waiting (notify reaches it) or
+    // it still holds the mutex and will re-check pending_ != 0.
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::pop_own(std::size_t index, std::function<void()>& out) {
+  WorkerQueue& q = *queues_[index];
+  std::lock_guard<std::mutex> lk(q.mutex);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  pending_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+bool ThreadPool::steal(std::size_t thief, std::function<void()>& out) {
+  const std::size_t n = size();
+  for (std::size_t d = 0; d < n; ++d) {
+    const std::size_t victim = (thief + d) % n;
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    if (q.tasks.empty()) continue;
+    out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    pending_.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::help_one() {
+  std::function<void()> task;
+  if (!steal(0, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::function<void()> task;
+  while (true) {
+    if (pop_own(index, task) || steal(index + 1, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (pending_.load(std::memory_order_acquire) != 0) continue;  // missed work
+    sleep_cv_.wait(lk);
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  // A forgotten wait() would let tasks outlive the frame they capture;
+  // drain them, dropping any task exception (wait() is where it reports).
+  try {
+    wait();
+  } catch (...) {
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_.submit([this, fn = std::move(fn)]() mutable {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (pool_.help_one()) continue;
+    // Nothing left to steal: the stragglers are running on workers. Their
+    // completion notifies under mutex_, so the pending_ re-check under the
+    // same mutex cannot miss it.
+    std::unique_lock<std::mutex> lk(mutex_);
+    if (pending_.load(std::memory_order_acquire) == 0) break;
+    cv_.wait(lk);
+  }
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void for_chunks(std::size_t threads, std::size_t n, std::size_t chunks,
+                const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  chunks = std::min(chunks == 0 ? n : chunks, n);
+  if (threads <= 1 || chunks <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) fn(c, n * c / chunks, n * (c + 1) / chunks);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  pool.ensure_size(std::min(threads, ThreadPool::kMaxWorkers));
+  TaskGroup group(pool);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    group.run([&fn, c, n, chunks] { fn(c, n * c / chunks, n * (c + 1) / chunks); });
+  }
+  group.wait();
+}
+
+}  // namespace t2m::par

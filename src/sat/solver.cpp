@@ -15,13 +15,36 @@ constexpr double kVarRescaleLimit = 1e100;
 // Clause activities are stored as 32-bit floats in the arena header, so the
 // rescale threshold must sit well inside float range.
 constexpr float kClauseRescaleLimit = 1e20f;
-constexpr std::uint64_t kRestartBase = 100;
 // GC triggers when at least this fraction of the arena is dead words.
 constexpr std::size_t kGcWasteDenominator = 5;  // 1/5 = 20%
 
 }  // namespace
 
+SolverStats& SolverStats::operator+=(const SolverStats& other) {
+  decisions += other.decisions;
+  propagations += other.propagations;
+  conflicts += other.conflicts;
+  restarts += other.restarts;
+  learned_clauses += other.learned_clauses;
+  learned_literals += other.learned_literals;
+  reduces += other.reduces;
+  gc_runs += other.gc_runs;
+  solves += other.solves;
+  assumption_unsats += other.assumption_unsats;
+  simplify_rounds += other.simplify_rounds;
+  simplify_removed += other.simplify_removed;
+  // Gauges, not counters: a summed snapshot would describe no real arena.
+  arena_bytes = std::max(arena_bytes, other.arena_bytes);
+  peak_arena_bytes = std::max(peak_arena_bytes, other.peak_arena_bytes);
+  return *this;
+}
+
 Solver::Solver() = default;
+
+void Solver::set_config(const SolverConfig& config) {
+  config_ = config;
+  polarity_rng_ = Rng(config.seed);
+}
 
 Var Solver::new_var() { return new_vars(1); }
 
@@ -29,7 +52,7 @@ Var Solver::new_vars(std::size_t count) {
   const Var first = static_cast<Var>(assign_.size());
   const std::size_t n = assign_.size() + count;
   assign_.resize(n, LBool::Undef);
-  saved_phase_.resize(n, LBool::False);
+  saved_phase_.resize(n, lbool_of(config_.default_phase));
   level_.resize(n, 0);
   reason_.resize(n, kNoReason);
   activity_.resize(n, 0.0);
@@ -406,6 +429,12 @@ Lit Solver::pick_branch_literal() {
   while (!heap_.empty()) {
     const Var v = heap_pop();
     if (value(v) == LBool::Undef) {
+      // Portfolio diversification: occasionally take a coin-flip polarity
+      // instead of the saved phase (deterministic per configured seed).
+      if (config_.random_polarity_permille != 0 &&
+          polarity_rng_.next() % 1000 < config_.random_polarity_permille) {
+        return Lit(v, (polarity_rng_.next() & 1) != 0);
+      }
       const bool negate = saved_phase_[static_cast<std::size_t>(v)] != LBool::True;
       return Lit(v, negate);
     }
@@ -450,7 +479,7 @@ void Solver::reset_branching_heuristics() {
   // at the failing decision level, and backtrack() phase-saves the trail —
   // resetting before unwinding would restore the refuted assignment.
   backtrack(0);
-  std::fill(saved_phase_.begin(), saved_phase_.end(), LBool::False);
+  std::fill(saved_phase_.begin(), saved_phase_.end(), lbool_of(config_.default_phase));
   std::fill(activity_.begin(), activity_.end(), 0.0);
   var_inc_ = 1.0;
   // With all activities equal any permutation is a valid heap; sorting
@@ -557,6 +586,9 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
   ++stats_.solves;
   final_conflict_.clear();
   if (!ok_) return SolveResult::Unsat;
+  if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
+    return SolveResult::Unknown;
+  }
   backtrack(0);
   if (propagate() != kNoReason) {
     ok_ = false;
@@ -569,7 +601,7 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
 
   std::uint64_t conflicts_total = 0;
   std::uint64_t restart_number = 0;
-  std::uint64_t restart_limit = kRestartBase * luby(restart_number);
+  std::uint64_t restart_limit = config_.restart_base * luby(restart_number);
   std::uint64_t conflicts_since_restart = 0;
   std::size_t max_learned = 4000 + num_problem_clauses_ / 2;
   std::vector<Lit> learnt;
@@ -601,6 +633,11 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
       }
       decay_activities();
 
+      // The stop flag is a relaxed load, cheap enough to poll every conflict
+      // — cancellation latency is what makes a portfolio race worth running.
+      if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
+        return SolveResult::Unknown;
+      }
       if ((conflicts_total & 255) == 0 && deadline_.expired()) return SolveResult::Unknown;
       if (conflict_budget_ != 0 && conflicts_total >= conflict_budget_) {
         return SolveResult::Unknown;
@@ -616,7 +653,7 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
     if (conflicts_since_restart >= restart_limit) {
       ++stats_.restarts;
       ++restart_number;
-      restart_limit = kRestartBase * luby(restart_number);
+      restart_limit = config_.restart_base * luby(restart_number);
       conflicts_since_restart = 0;
       backtrack(0);
       continue;

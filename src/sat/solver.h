@@ -1,6 +1,7 @@
 #ifndef T2M_SAT_SOLVER_H
 #define T2M_SAT_SOLVER_H
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "src/sat/clause_arena.h"
 #include "src/sat/cnf.h"
 #include "src/sat/watcher_list.h"
+#include "src/util/rng.h"
 #include "src/util/stopwatch.h"
 
 namespace t2m::sat {
@@ -32,6 +34,28 @@ struct SolverStats {
   std::uint64_t simplify_removed = 0;   ///< clauses removed as root-satisfied
   std::size_t arena_bytes = 0;      ///< clause arena size after last solve
   std::size_t peak_arena_bytes = 0; ///< lifetime arena high-water mark
+
+  /// Merges another solver's counters into this one: work counters add up,
+  /// high-water marks take the maximum. The aggregation the sharded and
+  /// portfolio drivers report instead of one arbitrary worker's numbers.
+  SolverStats& operator+=(const SolverStats& other);
+};
+
+/// Search-shape knobs the portfolio driver diversifies per racing solver.
+/// All defaults reproduce the historical single-configuration behaviour.
+/// Apply via Solver::set_config() before encoding: `default_phase` seeds the
+/// saved-phase array as variables are created, so flipping it later only
+/// affects variables created (or heuristics reset) afterwards.
+struct SolverConfig {
+  /// Luby restart multiplier (conflicts before the first restart).
+  std::uint64_t restart_base = 100;
+  /// Initial saved-phase polarity for fresh variables and heuristic resets.
+  bool default_phase = false;
+  /// Per-mille of decisions that take a random polarity instead of the
+  /// saved phase; 0 disables. Deterministic per seed.
+  std::uint32_t random_polarity_permille = 0;
+  /// Seed for the polarity RNG.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
 };
 
 /// Conflict-driven clause-learning SAT solver in the MiniSat lineage:
@@ -104,6 +128,16 @@ public:
   /// Cooperative limits; checked between conflicts.
   void set_deadline(Deadline deadline) { deadline_ = deadline; }
   void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+  /// Cooperative cancellation: a non-owning flag polled at every conflict
+  /// (and at solve() entry). When it reads true, solve() returns Unknown at
+  /// the next poll, leaving the solver reusable — the portfolio driver's
+  /// losing workers are cancelled this way. nullptr disables.
+  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
+
+  /// Applies search-shape knobs (see SolverConfig). Call before encoding.
+  void set_config(const SolverConfig& config);
+  const SolverConfig& config() const { return config_; }
 
   /// Model access after SolveResult::Sat.
   bool model_value(Var v) const;
@@ -197,6 +231,9 @@ private:
 
   Deadline deadline_;
   std::uint64_t conflict_budget_ = 0;  // 0 = unlimited
+  const std::atomic<bool>* stop_ = nullptr;  // cooperative cancellation
+  SolverConfig config_;
+  Rng polarity_rng_;
   std::vector<Lit> final_conflict_;    // assumption core of the last Unsat
   std::size_t simplified_up_to_ = 0;   // root trail size at the last simplify()
   SolverStats stats_;

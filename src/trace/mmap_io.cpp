@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <sstream>
 #include <stdexcept>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -15,40 +16,76 @@
 
 namespace t2m {
 
-LineReader::LineReader(const std::string& path) {
+namespace {
+
+/// Result of the shared open+map sequence both readers use.
+struct ReadonlyMapping {
+  const char* data = nullptr;  ///< non-null on success ("" for an empty file)
+  std::size_t size = 0;
+  int fd = -1;
+  bool owns_map = false;  ///< true when `data` must be munmap'd
+};
+
+/// Opens `path` and maps it read-only with sequential-access advice.
+/// Returns data == nullptr (and no open fd) when the file is not a mappable
+/// regular file — callers then take their own fallback. An empty regular
+/// file succeeds with data == "" and no mapping (a zero-length mmap is
+/// invalid, but there is nothing to read).
+ReadonlyMapping map_readonly(const std::string& path) {
+  ReadonlyMapping m;
 #ifdef T2M_HAVE_MMAP
-  fd_ = ::open(path.c_str(), O_RDONLY);
-  if (fd_ >= 0) {
-    struct stat st {};
-    if (::fstat(fd_, &st) == 0 && S_ISREG(st.st_mode)) {
-      size_ = static_cast<std::size_t>(st.st_size);
-      if (size_ == 0) {
-        // Empty regular file: a zero-length mmap is invalid, but there is
-        // nothing to read; stay in "mapped" mode with an exhausted cursor.
-        data_ = "";
-        return;
-      }
-      void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
-      if (map != MAP_FAILED) {
-#ifdef MADV_SEQUENTIAL
-        ::madvise(map, size_, MADV_SEQUENTIAL);
-#endif
-        data_ = static_cast<const char*>(map);
-        return;
-      }
+  m.fd = ::open(path.c_str(), O_RDONLY);
+  if (m.fd < 0) return m;
+  struct stat st {};
+  if (::fstat(m.fd, &st) == 0 && S_ISREG(st.st_mode)) {
+    m.size = static_cast<std::size_t>(st.st_size);
+    if (m.size == 0) {
+      m.data = "";
+      return m;
     }
-    ::close(fd_);
-    fd_ = -1;
-  }
+    void* map = ::mmap(nullptr, m.size, PROT_READ, MAP_PRIVATE, m.fd, 0);
+    if (map != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+      ::madvise(map, m.size, MADV_SEQUENTIAL);
 #endif
+      m.data = static_cast<const char*>(map);
+      m.owns_map = true;
+      return m;
+    }
+  }
+  ::close(m.fd);
+  m.fd = -1;
+  m.size = 0;
+#else
+  (void)path;
+#endif
+  return m;
+}
+
+}  // namespace
+
+LineReader::LineReader(const std::string& path) {
+  const ReadonlyMapping m = map_readonly(path);
+  if (m.data != nullptr) {
+    data_ = m.data;
+    size_ = m.size;
+    fd_ = m.fd;
+    owns_map_ = m.owns_map;
+    return;
+  }
   open_fallback(path);
 }
 
 LineReader::LineReader(std::istream& is) : stream_(&is) {}
 
+LineReader::LineReader(std::string_view region, from_memory_t)
+    // An empty view may carry a null pointer; keep data_ non-null so next()
+    // stays on the memory path and reports a clean end of input.
+    : data_(region.data() != nullptr ? region.data() : ""), size_(region.size()) {}
+
 LineReader::~LineReader() {
 #ifdef T2M_HAVE_MMAP
-  if (data_ != nullptr && size_ > 0) {
+  if (owns_map_ && size_ > 0) {
     ::munmap(const_cast<char*>(data_), size_);
   }
   if (fd_ >= 0) ::close(fd_);
@@ -66,6 +103,9 @@ void LineReader::open_fallback(const std::string& path) {
 
 void LineReader::release_consumed() {
 #ifdef T2M_HAVE_MMAP
+  // Only for mappings we own: a view region may be shared with other shard
+  // cursors and is not page-aligned to this reader's consumption.
+  if (!owns_map_) return;
   // Hand fully-consumed pages back to the kernel in multi-megabyte strides,
   // so resident memory tracks the cursor instead of the file size. Pages
   // stay in the page cache; MADV_DONTNEED only drops this mapping's
@@ -106,6 +146,33 @@ bool LineReader::next(std::string_view& line) {
   if (!line_buf_.empty() && line_buf_.back() == '\r') line_buf_.pop_back();
   line = line_buf_;
   return true;
+}
+
+MappedFile::MappedFile(const std::string& path) {
+  const ReadonlyMapping m = map_readonly(path);
+  if (m.data != nullptr) {
+    data_ = m.data;
+    size_ = m.size;
+    fd_ = m.fd;
+    owns_map_ = m.owns_map;
+    return;
+  }
+  // Fallback: slurp the file. Costs O(file) memory, but keeps the sharded
+  // path functional on platforms or file kinds mmap cannot serve.
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("MappedFile: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  fallback_ = std::move(buffer).str();
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+}
+
+MappedFile::~MappedFile() {
+#ifdef T2M_HAVE_MMAP
+  if (owns_map_ && size_ > 0) ::munmap(const_cast<char*>(data_), size_);
+  if (fd_ >= 0) ::close(fd_);
+#endif
 }
 
 }  // namespace t2m

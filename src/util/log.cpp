@@ -1,6 +1,7 @@
 #include "src/util/log.h"
 
 #include <iostream>
+#include <mutex>
 
 namespace t2m {
 
@@ -26,6 +27,9 @@ Logger& Logger::instance() {
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
+  // One line per call, serialised: concurrent workers must not shear lines.
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
   std::cerr << "[t2m " << level_tag(level) << "] " << message << '\n';
 }
 

@@ -10,9 +10,11 @@ namespace t2m {
 /// Severity levels for the library logger, ordered by verbosity.
 enum class LogLevel : std::uint8_t { Trace, Debug, Info, Warn, Error, Off };
 
-/// Minimal thread-unsafe logger writing to stderr. The learner emits
-/// progress at Debug and per-iteration statistics at Trace; benches usually
-/// run with Warn to keep tables clean.
+/// Minimal logger writing to stderr. Lines are emitted whole under a mutex,
+/// so concurrent workers (portfolio races, sharded scans) interleave at line
+/// granularity; set_level is still expected at startup, before threads run.
+/// The learner emits progress at Debug and per-iteration statistics at
+/// Trace; benches usually run with Warn to keep tables clean.
 class Logger {
 public:
   static Logger& instance();

@@ -306,5 +306,64 @@ TEST(ForbiddenChainCacheTest, SharedAcrossStateCounts) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(UnsatForAllStates, SinglePredicateForbiddenWordStopsEveryN) {
+  // A forbidden length-1 word over a predicate the segments use is encoded
+  // as a width-independent root contradiction: Unsat for every state count.
+  const std::vector<Segment> segments = {{0, 1}};
+  CspOptions options;
+  options.state_capacity = 4;
+  AutomatonCsp csp(segments, 2, 2, options);
+  csp.add_forbidden_sequence({0});
+  ASSERT_EQ(csp.solve(), sat::SolveResult::Unsat);
+  EXPECT_TRUE(csp.unsat_for_all_states());
+}
+
+TEST(UnsatForAllStates, WidthLimitedUnsatKeepsGrowing) {
+  // Segments [a] and [b] with forbidden word (a, b): at N = 1 every state
+  // variable collapses to q0, so the a-transition feeds the b-transition —
+  // Unsat. The core must name an inactive-column guard (~act_k), because
+  // N = 2 is satisfiable: no early stop.
+  const std::vector<Segment> segments = {{0}, {1}};
+  CspOptions options;
+  options.state_capacity = 3;
+  AutomatonCsp csp(segments, 2, 1, options);
+  csp.add_forbidden_sequence({0, 1});
+  ASSERT_EQ(csp.solve(), sat::SolveResult::Unsat);
+  EXPECT_FALSE(csp.unsat_for_all_states());
+  ASSERT_TRUE(csp.grow_to(2));
+  EXPECT_EQ(csp.solve(), sat::SolveResult::Sat);
+}
+
+TEST(UnsatForAllStates, ConservativeAtFullCapacity) {
+  // Same width-limited Unsat, but with no headroom column left the verdict
+  // may merely be "not within this capacity" — must not claim more.
+  const std::vector<Segment> segments = {{0}, {1}};
+  CspOptions options;
+  options.state_capacity = 1;
+  AutomatonCsp csp(segments, 2, 1, options);
+  csp.add_forbidden_sequence({0, 1});
+  ASSERT_EQ(csp.solve(), sat::SolveResult::Unsat);
+  EXPECT_FALSE(csp.unsat_for_all_states());
+}
+
+TEST(UnsatForAllStates, FreshCspNeverClaimsAllStates) {
+  // The fixed-N encoding has no guard structure; its root Unsat says
+  // nothing about other state counts.
+  const std::vector<Segment> segments = {{0}, {1}};
+  AutomatonCsp csp(segments, 2, 1);
+  csp.add_forbidden_sequence({0, 1});
+  ASSERT_EQ(csp.solve(), sat::SolveResult::Unsat);
+  EXPECT_FALSE(csp.unsat_for_all_states());
+}
+
+TEST(UnsatForAllStates, FalseWhileSatisfiable) {
+  const std::vector<Segment> segments = {{0, 1}};
+  CspOptions options;
+  options.state_capacity = 4;
+  AutomatonCsp csp(segments, 2, 2, options);
+  ASSERT_EQ(csp.solve(), sat::SolveResult::Sat);
+  EXPECT_FALSE(csp.unsat_for_all_states());
+}
+
 }  // namespace
 }  // namespace t2m

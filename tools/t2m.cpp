@@ -5,7 +5,11 @@
 //   t2m info  --trace counter.trace                      describe a trace
 //
 // `t2m learn` accepts --window, --compliance, --input <var> (repeatable via
-// comma list), --no-segment, --encoding pairwise|successor, --timeout <sec>.
+// comma list), --no-segment, --encoding pairwise|successor, --timeout <sec>,
+// --threads <n> (sharded ingest for --ftrace inputs + parallel compliance),
+// --portfolio <k> (race k solver configurations, first verdict wins), and
+// --ftrace FILE as an alternative to --trace for event logs (learned through
+// the streaming pipeline; with --threads > 1, the sharded parallel one).
 
 #include <fstream>
 #include <iostream>
@@ -33,10 +37,20 @@ int usage() {
       "usage:\n"
       "  t2m gen   --example counter|integrator|serial|usb-slot|usb-attach|rtlinux\n"
       "            [--length N] [--out FILE]\n"
-      "  t2m learn --trace FILE [--window W] [--compliance L] [--input v1,v2]\n"
+      "  t2m learn --trace FILE | --ftrace FILE\n"
+      "            [--window W] [--compliance L] [--input v1,v2]\n"
       "            [--no-segment] [--encoding pairwise|successor]\n"
-      "            [--timeout SEC] [--dot FILE] [--verbose]\n"
-      "  t2m info  --trace FILE\n";
+      "            [--timeout SEC] [--threads N] [--portfolio K]\n"
+      "            [--task NAME] [--dot FILE] [--verbose]\n"
+      "  t2m info  --trace FILE\n"
+      "\n"
+      "  --threads N    parallel runtime width: N-way sharded ingest for\n"
+      "                 --ftrace inputs plus a compliance check partitioned\n"
+      "                 by start state; results are byte-identical to the\n"
+      "                 sequential paths (docs/parallel.md)\n"
+      "  --portfolio K  race K solver configurations over the same encoding\n"
+      "                 and keep the first verdict, cancelling the rest\n"
+      "  --task NAME    keep only this task's events (--ftrace inputs)\n";
   return 2;
 }
 
@@ -82,14 +96,16 @@ int cmd_gen(const t2m::CliArgs& args) {
 
 int cmd_learn(const t2m::CliArgs& args) {
   const auto path = args.get("trace");
-  if (!path) return usage();
-  const t2m::Trace trace = t2m::read_trace_file(*path);
+  const auto ftrace_path = args.get("ftrace");
+  if (!path && !ftrace_path) return usage();
 
   t2m::LearnerConfig config;
   config.window = static_cast<std::size_t>(args.get_int_or("window", 3));
   config.compliance_length = static_cast<std::size_t>(args.get_int_or("compliance", 2));
   config.segmented = !args.has("no-segment");
   config.timeout_seconds = args.get_double_or("timeout", 0.0);
+  config.threads = static_cast<std::size_t>(args.get_int_or("threads", 1));
+  config.portfolio = static_cast<std::size_t>(args.get_int_or("portfolio", 0));
   if (args.get_or("encoding", "successor") == "pairwise") {
     config.encoding = t2m::DeterminismEncoding::Pairwise;
   }
@@ -98,8 +114,15 @@ int cmd_learn(const t2m::CliArgs& args) {
   }
 
   const t2m::ModelLearner learner(config);
-  const t2m::LearnResult result = learner.learn(trace);
-  std::cout << t2m::format_learn_report(result, trace.schema());
+  t2m::LearnResult result;
+  if (ftrace_path) {
+    // Event logs go through the streaming pipeline — with --threads > 1 the
+    // sharded parallel one (byte-identical artefacts either way).
+    result = learner.learn_from_ftrace(*ftrace_path, args.get_or("task", ""));
+  } else {
+    result = learner.learn(t2m::read_trace_file(*path));
+  }
+  std::cout << t2m::format_learn_report(result, result.schema);
   if (!result.success) return 1;
 
   const auto dot = args.get("dot");
