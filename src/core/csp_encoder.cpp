@@ -1,16 +1,205 @@
 #include "src/core/csp_encoder.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 
+#include "src/parallel/scratch_arena.h"
+#include "src/parallel/thread_pool.h"
+#include "src/sat/var_remap.h"
 #include "src/util/log.h"
 
 namespace t2m {
 
 namespace {
+
 constexpr std::uint32_t kNoDecodedState = std::numeric_limits<std::uint32_t>::max();
+
+/// One worker chunk's clause output. Literal payloads live in the chunk's
+/// own bump arena (no allocator contention between workers); the entry list
+/// preserves emission order for the deterministic splice.
+struct ChunkBuf {
+  par::ScratchArena arena;
+  struct Entry {
+    const sat::Lit* lits;
+    std::uint32_t len;
+    bool tainted;
+  };
+  std::vector<Entry> entries;
+  std::atomic<bool> ready{false};
+  /// Worker stopped early on the shared soft budget; the splice rebuilds the
+  /// chunk synchronously if it still needs it (see run_emission).
+  bool truncated = false;
+
+  void emit(std::initializer_list<sat::Lit> lits, bool tainted = false) {
+    emit_span({lits.begin(), lits.size()}, tainted);
+  }
+  void emit_span(std::span<const sat::Lit> lits, bool tainted = false) {
+    sat::Lit* out = arena.alloc_array<sat::Lit>(lits.size());
+    std::copy(lits.begin(), lits.end(), out);
+    // Workers do no solver-dependent normalisation (the live root state
+    // changes while earlier chunks splice), but sorting is pure — it feeds
+    // Solver::add_clause_presorted.
+    std::sort(out, out + lits.size());
+    entries.push_back({out, static_cast<std::uint32_t>(lits.size()), tainted});
+  }
+  void clear() {
+    entries.clear();
+    arena.reset();
+  }
+};
+
+/// Chunked clause emission with a deterministic splice.
+///
+/// `build(item, buf)` must be a pure function of the item index (no solver
+/// reads): workers run chunks of the item space [0, n_items) concurrently,
+/// and the main thread splices finished chunks into the solver strictly in
+/// chunk-index order, normalising against the live root-level assignment as
+/// it goes. Item order within a chunk and chunk order together reproduce the
+/// serial order exactly, so the clause database is byte-identical at every
+/// thread count — chunk boundaries only decide who builds what.
+///
+/// The clause budget is enforced exactly at the splice (one check per
+/// clause); workers additionally watch a shared approximate counter so a
+/// hopeless over-budget emission stops buffering early instead of
+/// materialising gigabytes. A chunk truncated by that soft stop is rebuilt
+/// synchronously if the splice reaches it still under budget (possible when
+/// many buffered clauses were root-satisfied and not counted).
+///
+/// Returns false when the budget was hit; the caller marks the CSP
+/// overflowed.
+template <typename BuildFn>
+bool run_emission(sat::Solver& solver, std::size_t max_clauses, std::size_t threads,
+                  std::size_t n_items, const BuildFn& build) {
+  if (n_items == 0) return true;
+  const std::size_t soft_cap = max_clauses + max_clauses / 4 + 16384;
+
+  const auto splice = [&](const ChunkBuf& buf) -> bool {
+    for (const ChunkBuf::Entry& e : buf.entries) {
+      if (solver.num_clauses() >= max_clauses) return false;
+      solver.add_clause_presorted({e.lits, e.len}, e.tainted);
+    }
+    return true;
+  };
+
+  if (threads <= 1 || n_items == 1) {
+    // Same item walk, spliced incrementally so memory stays bounded even
+    // when the emission is destined to overflow.
+    ChunkBuf buf;
+    for (std::size_t i = 0; i < n_items; ++i) {
+      build(i, buf);
+      if (buf.entries.size() >= 65536 ||
+          solver.num_clauses() + buf.entries.size() > soft_cap) {
+        if (!splice(buf)) return false;
+        buf.clear();
+      }
+    }
+    return splice(buf);
+  }
+
+  const std::size_t chunks = std::min(n_items, threads * 4);
+  const std::size_t per_chunk = (n_items + chunks - 1) / chunks;
+  std::vector<std::unique_ptr<ChunkBuf>> bufs(chunks);
+  for (auto& b : bufs) b = std::make_unique<ChunkBuf>();
+
+  std::atomic<std::size_t> approx_total{solver.num_clauses()};
+  par::ThreadPool& pool = par::ThreadPool::global();
+  pool.ensure_size(threads);
+
+  // Deferred watcher attachment: the splice thread only root-filters and
+  // allocates each clause (Solver::add_clause_deferred); the watcher pushes —
+  // the cache-hostile half of a serial add — happen at flush points, sharded
+  // across the pool by literal code. Shards own disjoint watcher lists and
+  // each list is filled in clause order, so the flushed state is identical to
+  // immediate attachment. Flushes are forced whenever the root assignment is
+  // about to advance (a spliced clause filtered down to a unit), and once at
+  // the end; every exit path below flushes before returning.
+  std::vector<sat::ClauseRef> pending;
+  const auto flush_pending = [&solver, &pool, &pending, threads] {
+    if (pending.empty()) return;
+    // Small flushes (the unit-triggered ones early in an emission) are not
+    // worth a fork-join; the big final flush uses the whole pool. Every
+    // shard scans all of `pending`, so sharding beyond the machine's real
+    // core count only multiplies that scan.
+    const std::size_t shards = std::min(
+        {threads, par::hardware_threads(), 1 + pending.size() / 16384});
+    if (shards <= 1) {
+      solver.attach_shard(pending, 0, 1);
+    } else {
+      par::TaskGroup attach(pool);
+      for (std::size_t s = 1; s < shards; ++s) {
+        attach.run([&solver, &pending, s, shards] {
+          solver.attach_shard(pending, s, shards);
+        });
+      }
+      solver.attach_shard(pending, 0, shards);
+      attach.wait();
+    }
+    pending.clear();
+  };
+  const auto splice_deferred = [&](const ChunkBuf& buf) -> bool {
+    for (const ChunkBuf::Entry& e : buf.entries) {
+      if (solver.num_clauses() >= max_clauses) return false;
+      const std::span<const sat::Lit> lits{e.lits, e.len};
+      if (!solver.add_clause_deferred(lits, e.tainted, pending)) {
+        flush_pending();
+        solver.add_clause_presorted(lits, e.tainted);
+      }
+    }
+    return true;
+  };
+
+  par::TaskGroup group(pool);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    ChunkBuf* buf = bufs[c].get();
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(n_items, begin + per_chunk);
+    group.run([&build, &approx_total, buf, begin, end, soft_cap] {
+      std::size_t counted = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        build(i, *buf);
+        const std::size_t delta = buf->entries.size() - counted;
+        counted = buf->entries.size();
+        if (approx_total.fetch_add(delta, std::memory_order_relaxed) + delta > soft_cap) {
+          buf->truncated = true;
+          break;
+        }
+      }
+      buf->ready.store(true, std::memory_order_release);
+    });
+  }
+
+  // Pipelined splice: consume chunk c while later chunks are still being
+  // built, helping the pool whenever c isn't ready yet.
+  bool ok = true;
+  for (std::size_t c = 0; c < chunks && ok; ++c) {
+    while (!bufs[c]->ready.load(std::memory_order_acquire)) {
+      if (!pool.help_one()) {
+        if (group.done()) break;  // a task died; group.wait() rethrows below
+        std::this_thread::yield();
+      }
+    }
+    if (!bufs[c]->ready.load(std::memory_order_acquire)) break;
+    if (bufs[c]->truncated) {
+      ChunkBuf full;
+      const std::size_t begin = c * per_chunk;
+      const std::size_t end = std::min(n_items, begin + per_chunk);
+      for (std::size_t i = begin; i < end; ++i) build(i, full);
+      ok = splice_deferred(full);
+    } else {
+      ok = splice_deferred(*bufs[c]);
+    }
+    bufs[c].reset();  // release the chunk's arena before later chunks land
+  }
+  flush_pending();
+  group.wait();
+  return ok;
+}
+
 }  // namespace
 
 AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num_preds,
@@ -54,25 +243,13 @@ AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num
     }
   }
 
-  // At-least-one over the full block width. In persistent mode the guard
-  // binaries (act_k | ~x) restrict it to the active columns under the
-  // per-solve assumptions; in fixed mode the width IS the state count.
-  std::vector<sat::Lit> alo(capacity_);
-  for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
-    for (std::size_t k = 0; k < capacity_; ++k) alo[k] = state_lit(sv, k);
-    solver_.add_clause(alo);
-    if (is_persistent) {
-      // Guard binaries only for columns that can ever be inactive: N only
-      // grows, so the first num_states_ columns never need deactivating.
-      for (std::size_t k = num_states_; k < capacity_; ++k) {
-        solver_.add_binary(sat::pos(act_[k]), ~state_lit(sv, k));
-      }
-    }
-  }
-
   transitions_with_pred_.resize(num_preds_);
   for (std::size_t i = 0; i < preds_of_transition_.size(); ++i) {
     transitions_with_pred_.at(preds_of_transition_[i]).push_back(i);
+  }
+  trans_order_.reserve(preds_of_transition_.size());
+  for (const auto& group : transitions_with_pred_) {
+    for (const std::size_t t : group) trans_order_.push_back(static_cast<std::uint32_t>(t));
   }
 
   // Successor aux blocks span the full capacity so their layout survives
@@ -85,6 +262,50 @@ AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num
     }
   }
 
+  // Frozen-variable contract (docs/preprocessing.md): every variable the
+  // encoder reads back (state bits), assumes (guards), or re-mentions in
+  // later emissions (guards, successor blocks in persistent mode) must never
+  // be eliminated by the preprocessor. Successor blocks of a fixed-N CSP are
+  // internal after construction and stay eliminable.
+  const auto freeze_range = [this](sat::Var base, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      solver_.freeze(base + static_cast<sat::Var>(i));
+    }
+  };
+  freeze_range(blocks_base, num_state_vars_ * capacity_);
+  if (is_persistent) {
+    freeze_range(act_.front(), capacity_);
+    for (std::size_t p = 0; p < num_preds_; ++p) {
+      if (succ_base_[p] != kVarUndef) freeze_range(succ_base_[p], capacity_ * capacity_);
+    }
+  }
+
+  // At-least-one over the full block width (tainted: it is the one clause
+  // of the encoding whose literal set depends on the capacity, so nothing
+  // derived from it may be re-seeded into a differently-sized rebuild). In
+  // persistent mode the guard binaries (act_k | ~x) restrict it to the
+  // active columns under the per-solve assumptions; in fixed mode the width
+  // IS the state count.
+  const std::size_t cap = capacity_;
+  const std::size_t n0 = num_states_;
+  if (!run_emission(solver_, options_.max_clauses, options_.threads, num_state_vars_,
+                    [&](std::size_t sv, ChunkBuf& buf) {
+                      sat::Lit* alo = buf.arena.alloc_array<sat::Lit>(cap);
+                      for (std::size_t k = 0; k < cap; ++k) alo[k] = state_lit(sv, k);
+                      buf.emit_span({alo, cap}, /*tainted=*/true);
+                      if (!act_.empty()) {
+                        // Guard binaries only for columns that can ever be
+                        // inactive: N only grows, so the first n0 columns
+                        // never need deactivating.
+                        for (std::size_t k = n0; k < cap; ++k) {
+                          buf.emit({sat::pos(act_[k]), ~state_lit(sv, k)});
+                        }
+                      }
+                    })) {
+    set_overflowed("one-hot at-least-one");
+    return;
+  }
+
   if (options_.pin_initial && num_state_vars_ > 0) {
     solver_.add_unit(state_lit(0, 0));
   }
@@ -94,6 +315,11 @@ AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num
 
 sat::Lit AutomatonCsp::state_lit(std::size_t sv, std::size_t k) const {
   return sat::pos(block_base_.at(sv) + static_cast<sat::Var>(k));
+}
+
+void AutomatonCsp::set_overflowed(const char* where) {
+  overflowed_ = true;
+  log_warn() << "AutomatonCsp: clause budget exceeded (" << where << "); giving up";
 }
 
 bool AutomatonCsp::grow_to(std::size_t n) {
@@ -112,18 +338,18 @@ bool AutomatonCsp::grow_to(std::size_t n) {
 }
 
 void AutomatonCsp::activate_columns(std::size_t lo, std::size_t hi) {
-  // At-most-one pairs whose larger column is new.
-  for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
-    if (!clause_budget_ok()) {
-      overflowed_ = true;
-      log_warn() << "AutomatonCsp: clause budget exceeded (one-hot encoding)";
-      return;
-    }
-    for (std::size_t j = std::max<std::size_t>(lo, 1); j < hi; ++j) {
-      for (std::size_t i = 0; i < j; ++i) {
-        solver_.add_binary(~state_lit(sv, i), ~state_lit(sv, j));
-      }
-    }
+  if (overflowed_) return;
+  // At-most-one pairs whose larger column is new, chunked by state variable.
+  if (!run_emission(solver_, options_.max_clauses, options_.threads, num_state_vars_,
+                    [&](std::size_t sv, ChunkBuf& buf) {
+                      for (std::size_t j = std::max<std::size_t>(lo, 1); j < hi; ++j) {
+                        for (std::size_t i = 0; i < j; ++i) {
+                          buf.emit({~state_lit(sv, i), ~state_lit(sv, j)});
+                        }
+                      }
+                    })) {
+    set_overflowed("one-hot at-most-one");
+    return;
   }
 
   switch (options_.encoding) {
@@ -137,15 +363,18 @@ void AutomatonCsp::activate_columns(std::size_t lo, std::size_t hi) {
   if (overflowed_) return;
 
   // Column extensions of everything the refinement loop accumulated so far
-  // (no-ops during construction, when both containers are still empty).
+  // (no-ops during construction, when the containers are still empty). Order
+  // is fixed: star blocks, star conflict binaries, direct forbidden pairs,
+  // then equality variables in insertion order.
+  encode_star_columns(lo, hi);
+  if (overflowed_) return;
   for (const auto& word : forbidden_pairs_) {
     encode_forbidden_pair(chains_for(word), lo, hi);
     if (overflowed_) return;
   }
-  for (const auto& [key, e] : equality_cache_) {
-    if (!clause_budget_ok()) {
-      overflowed_ = true;
-      log_warn() << "AutomatonCsp: clause budget exceeded (equality extension)";
+  for (const auto& [key, e] : equality_list_) {
+    if (solver_.num_clauses() >= options_.max_clauses) {
+      set_overflowed("equality extension");
       return;
     }
     encode_equality_columns(e, key / num_state_vars_, key % num_state_vars_, lo, hi);
@@ -156,32 +385,38 @@ void AutomatonCsp::encode_determinism_pairwise(std::size_t lo, std::size_t hi) {
   // For every pair of transitions sharing a predicate: equal sources force
   // equal destinations. Clauses (~srcA=k | ~srcB=k | ~dstA=k1 | ~dstB=k2)
   // for k1 != k2 -- the paper's "wrong transition" condition, line 29.
-  // Only tuples touching a column in [lo, hi) are new.
-  for (const auto& group : transitions_with_pred_) {
-    for (std::size_t a_i = 0; a_i < group.size(); ++a_i) {
-      if (!clause_budget_ok()) {
-        overflowed_ = true;
-        log_warn() << "AutomatonCsp: clause budget exceeded (pairwise encoding of "
-                   << preds_of_transition_.size() << " transitions); giving up";
-        return;
-      }
-      for (std::size_t b_i = a_i + 1; b_i < group.size(); ++b_i) {
-        const std::size_t a = group[a_i];
-        const std::size_t b = group[b_i];
-        if (src_var_[a] == src_var_[b] && dst_var_[a] == dst_var_[b]) continue;
-        for (std::size_t k = 0; k < hi; ++k) {
-          for (std::size_t k1 = 0; k1 < hi; ++k1) {
-            for (std::size_t k2 = 0; k2 < hi; ++k2) {
-              if (k1 == k2) continue;
-              if (k < lo && k1 < lo && k2 < lo) continue;  // already emitted
-              solver_.add_clause({~state_lit(src_var_[a], k), ~state_lit(src_var_[b], k),
-                                  ~state_lit(dst_var_[a], k1),
-                                  ~state_lit(dst_var_[b], k2)});
-            }
-          }
-        }
-      }
+  // Only tuples touching a column in [lo, hi) are new. Chunked over the
+  // flattened (group, first-transition) item space; each item emits the
+  // pairs of one transition against its group successors.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> items;  // (pred, a_i)
+  for (std::size_t p = 0; p < transitions_with_pred_.size(); ++p) {
+    const std::size_t n = transitions_with_pred_[p].size();
+    for (std::size_t a_i = 0; a_i + 1 < n; ++a_i) {
+      items.emplace_back(static_cast<std::uint32_t>(p), static_cast<std::uint32_t>(a_i));
     }
+  }
+  if (!run_emission(
+          solver_, options_.max_clauses, options_.threads, items.size(),
+          [&](std::size_t idx, ChunkBuf& buf) {
+            const auto& group = transitions_with_pred_[items[idx].first];
+            const std::size_t a_i = items[idx].second;
+            const std::size_t a = group[a_i];
+            for (std::size_t b_i = a_i + 1; b_i < group.size(); ++b_i) {
+              const std::size_t b = group[b_i];
+              if (src_var_[a] == src_var_[b] && dst_var_[a] == dst_var_[b]) continue;
+              for (std::size_t k = 0; k < hi; ++k) {
+                for (std::size_t k1 = 0; k1 < hi; ++k1) {
+                  for (std::size_t k2 = 0; k2 < hi; ++k2) {
+                    if (k1 == k2) continue;
+                    if (k < lo && k1 < lo && k2 < lo) continue;  // already emitted
+                    buf.emit({~state_lit(src_var_[a], k), ~state_lit(src_var_[b], k),
+                              ~state_lit(dst_var_[a], k1), ~state_lit(dst_var_[b], k2)});
+                  }
+                }
+              }
+            }
+          })) {
+    set_overflowed("pairwise encoding");
   }
 }
 
@@ -189,36 +424,47 @@ void AutomatonCsp::encode_determinism_successor(std::size_t lo, std::size_t hi) 
   // succ(k, p): one-hot successor state of state k under predicate p. Any
   // transition with predicate p leaving state k must land on succ(k, p);
   // at-most-one on the block enforces determinism in O(m N^2) clauses.
+  std::vector<std::uint32_t> used_preds;
   for (std::size_t p = 0; p < num_preds_; ++p) {
-    if (transitions_with_pred_[p].empty()) continue;
-    if (!clause_budget_ok()) {
-      overflowed_ = true;
-      log_warn() << "AutomatonCsp: clause budget exceeded (successor encoding)";
-      return;
-    }
-    const sat::Var succ_base = succ_base_[p];
-    const auto succ = [&](std::size_t k, std::size_t k2) {
-      return sat::pos(succ_base + static_cast<sat::Var>(k * capacity_ + k2));
-    };
-    for (std::size_t k = 0; k < hi; ++k) {
-      // at-most-one successor per (k, p); for sources already active only
-      // the pairs reaching into the new columns are missing.
-      for (std::size_t j = k < lo ? lo : 1; j < hi; ++j) {
-        for (std::size_t i = 0; i < j; ++i) {
-          solver_.add_binary(~succ(k, i), ~succ(k, j));
-        }
-      }
-    }
-    for (const std::size_t t : transitions_with_pred_[p]) {
-      for (std::size_t k = 0; k < hi; ++k) {
-        for (std::size_t k2 = 0; k2 < hi; ++k2) {
-          if (k < lo && k2 < lo) continue;  // already emitted
-          // (src=k & dst=k2) -> succ(k, k2)
-          solver_.add_ternary(~state_lit(src_var_[t], k), ~state_lit(dst_var_[t], k2),
-                              succ(k, k2));
-        }
-      }
-    }
+    if (!transitions_with_pred_[p].empty()) used_preds.push_back(static_cast<std::uint32_t>(p));
+  }
+  // Phase 1: at-most-one per (source state, predicate) successor block; for
+  // sources already active only the pairs reaching into the new columns are
+  // missing.
+  if (!run_emission(solver_, options_.max_clauses, options_.threads, used_preds.size(),
+                    [&](std::size_t pi, ChunkBuf& buf) {
+                      const sat::Var succ_base = succ_base_[used_preds[pi]];
+                      const auto succ = [&](std::size_t k, std::size_t k2) {
+                        return sat::pos(succ_base + static_cast<sat::Var>(k * capacity_ + k2));
+                      };
+                      for (std::size_t k = 0; k < hi; ++k) {
+                        for (std::size_t j = k < lo ? lo : 1; j < hi; ++j) {
+                          for (std::size_t i = 0; i < j; ++i) {
+                            buf.emit({~succ(k, i), ~succ(k, j)});
+                          }
+                        }
+                      }
+                    })) {
+    set_overflowed("successor at-most-one");
+    return;
+  }
+  // Phase 2: the transition links, chunked over the flattened transition
+  // order (by predicate, then group order).
+  if (!run_emission(solver_, options_.max_clauses, options_.threads, trans_order_.size(),
+                    [&](std::size_t ti, ChunkBuf& buf) {
+                      const std::size_t t = trans_order_[ti];
+                      const sat::Var succ_base = succ_base_[preds_of_transition_[t]];
+                      for (std::size_t k = 0; k < hi; ++k) {
+                        for (std::size_t k2 = 0; k2 < hi; ++k2) {
+                          if (k < lo && k2 < lo) continue;  // already emitted
+                          // (src=k & dst=k2) -> succ(k, k2)
+                          buf.emit({~state_lit(src_var_[t], k), ~state_lit(dst_var_[t], k2),
+                                    sat::pos(succ_base +
+                                             static_cast<sat::Var>(k * capacity_ + k2))});
+                        }
+                      }
+                    })) {
+    set_overflowed("successor encoding");
   }
 }
 
@@ -241,9 +487,70 @@ sat::Var AutomatonCsp::equality_var(std::size_t sv_a, std::size_t sv_b) {
   const auto it = equality_cache_.find(key);
   if (it != equality_cache_.end()) return it->second;
   const sat::Var e = solver_.new_var();
+  solver_.freeze(e);  // re-mentioned by grow-time column extension
   encode_equality_columns(e, sv_a, sv_b, 0, num_states_);
   equality_cache_.emplace(key, e);
+  equality_list_.emplace_back(key, e);
   return e;
+}
+
+std::size_t AutomatonCsp::star_block(PredId pred, bool src_side) {
+  const std::uint32_t key = static_cast<std::uint32_t>(pred) * 2 + (src_side ? 1 : 0);
+  const auto it = star_index_.find(key);
+  if (it != star_index_.end()) return it->second;
+
+  StarBlock blk;
+  blk.pred = pred;
+  blk.src_side = src_side;
+  for (const std::size_t t : transitions_with_pred_.at(pred)) {
+    blk.svs.push_back(static_cast<std::uint32_t>(src_side ? src_var_[t] : dst_var_[t]));
+  }
+  std::sort(blk.svs.begin(), blk.svs.end());
+  blk.svs.erase(std::unique(blk.svs.begin(), blk.svs.end()), blk.svs.end());
+  blk.base = solver_.new_vars(capacity_);
+  for (std::size_t k = 0; k < capacity_; ++k) {
+    solver_.freeze(blk.base + static_cast<sat::Var>(k));
+  }
+  // Membership binaries over the active columns: z_k is set whenever any
+  // member state variable uses column k. One direction suffices — z is only
+  // consumed negatively by the conflict binaries, so a spuriously-true z
+  // can always be avoided by the solver; setting z exactly to the
+  // disjunction witnesses satisfiability both ways.
+  for (const std::uint32_t sv : blk.svs) {
+    for (std::size_t k = 0; k < num_states_; ++k) {
+      solver_.add_binary(~state_lit(sv, k), sat::pos(blk.base + static_cast<sat::Var>(k)));
+    }
+  }
+  const std::size_t idx = star_blocks_.size();
+  star_blocks_.push_back(std::move(blk));
+  star_index_.emplace(key, idx);
+  return idx;
+}
+
+void AutomatonCsp::encode_star_columns(std::size_t lo, std::size_t hi) {
+  for (const StarBlock& blk : star_blocks_) {
+    if (solver_.num_clauses() >= options_.max_clauses) {
+      set_overflowed("star membership extension");
+      return;
+    }
+    for (const std::uint32_t sv : blk.svs) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        solver_.add_binary(~state_lit(sv, k), sat::pos(blk.base + static_cast<sat::Var>(k)));
+      }
+    }
+  }
+  for (const auto& [a, b] : star_words_) {
+    if (solver_.num_clauses() >= options_.max_clauses) {
+      set_overflowed("star conflict extension");
+      return;
+    }
+    const sat::Var za = star_blocks_[a].base;
+    const sat::Var zb = star_blocks_[b].base;
+    for (std::size_t k = lo; k < hi; ++k) {
+      solver_.add_binary(sat::neg(za + static_cast<sat::Var>(k)),
+                         sat::neg(zb + static_cast<sat::Var>(k)));
+    }
+  }
 }
 
 const std::vector<ForbiddenChainCache::Chain>& AutomatonCsp::chains_for(
@@ -285,9 +592,7 @@ const std::vector<ForbiddenChainCache::Chain>& AutomatonCsp::chains_for(
   recurse(0);
   if (truncated) {
     cache.erase(word);  // a partial chain set must not be shared
-    overflowed_ = true;
-    log_warn() << "AutomatonCsp: clause budget exceeded (forbidden-word chain "
-                  "enumeration); giving up";
+    set_overflowed("forbidden-word chain enumeration");
     static const std::vector<ForbiddenChainCache::Chain> kNoChains;
     return kNoChains;
   }
@@ -298,20 +603,16 @@ void AutomatonCsp::encode_forbidden_pair(
     const std::vector<ForbiddenChainCache::Chain>& chains, std::size_t lo,
     std::size_t hi) {
   // No transition labelled word[0] may feed one labelled word[1]:
-  // for all pairs (a, b): dst(a) != src(b).
-  std::size_t since_check = 0;
-  for (const ForbiddenChainCache::Chain& adj : chains) {
-    if (++since_check >= 4096) {
-      since_check = 0;
-      if (!clause_budget_ok()) {
-        overflowed_ = true;
-        log_warn() << "AutomatonCsp: clause budget exceeded (forbidden pair)";
-        return;
-      }
-    }
-    for (std::size_t k = lo; k < hi; ++k) {
-      solver_.add_binary(~state_lit(adj[0].first, k), ~state_lit(adj[0].second, k));
-    }
+  // for all pairs (a, b): dst(a) != src(b). Chunked by chain.
+  if (!run_emission(solver_, options_.max_clauses,
+                    chains.size() >= 4096 ? options_.threads : 1, chains.size(),
+                    [&](std::size_t ci, ChunkBuf& buf) {
+                      const ForbiddenChainCache::Chain& adj = chains[ci];
+                      for (std::size_t k = lo; k < hi; ++k) {
+                        buf.emit({~state_lit(adj[0].first, k), ~state_lit(adj[0].second, k)});
+                      }
+                    })) {
+    set_overflowed("forbidden pair");
   }
 }
 
@@ -328,14 +629,35 @@ void AutomatonCsp::add_forbidden_sequence(const std::vector<PredId>& word) {
     }
     return;
   }
-  const std::vector<ForbiddenChainCache::Chain>& chains = chains_for(word);
   if (word.size() == 2) {
+    const std::size_t na = transitions_with_pred_.at(word[0]).size();
+    const std::size_t nb = transitions_with_pred_.at(word[1]).size();
+    if (na == 0 || nb == 0) return;  // no such path exists, nothing to forbid
+    // Star compression pays off as soon as the pair product beats the
+    // (amortisable) membership cost; below that the direct binaries are
+    // smaller and need no aux vars. Crucially the star path never
+    // materialises the |A|x|B| chain product at all — on an unsegmented
+    // trace that product alone can exceed the whole clause budget.
+    if (options_.compress_forbidden && na * nb >= na + nb + 2) {
+      const std::size_t a = star_block(word[0], /*src_side=*/false);
+      const std::size_t b = star_block(word[1], /*src_side=*/true);
+      const sat::Var za = star_blocks_[a].base;
+      const sat::Var zb = star_blocks_[b].base;
+      for (std::size_t k = 0; k < num_states_; ++k) {
+        solver_.add_binary(sat::neg(za + static_cast<sat::Var>(k)),
+                           sat::neg(zb + static_cast<sat::Var>(k)));
+      }
+      star_words_.emplace_back(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b));
+      return;
+    }
+    const std::vector<ForbiddenChainCache::Chain>& chains = chains_for(word);
     encode_forbidden_pair(chains, 0, num_states_);
     // Overflowed words are not recorded: grow_to would only re-run a chain
     // enumeration already known to be too large.
     if (!overflowed_) forbidden_pairs_.push_back(word);
     return;
   }
+  const std::vector<ForbiddenChainCache::Chain>& chains = chains_for(word);
   // General case: for every chain of transitions labelled by `word`, at
   // least one consecutive dst/src pair must differ. Auxiliary equality
   // variables keep this polynomial per chain. The clause itself is
@@ -346,9 +668,8 @@ void AutomatonCsp::add_forbidden_sequence(const std::vector<PredId>& word) {
   for (const ForbiddenChainCache::Chain& adj : chains) {
     if (++since_check >= 1024) {
       since_check = 0;
-      if (!clause_budget_ok()) {
-        overflowed_ = true;
-        log_warn() << "AutomatonCsp: clause budget exceeded (forbidden word)";
+      if (solver_.num_clauses() >= options_.max_clauses) {
+        set_overflowed("forbidden word");
         return;
       }
     }
@@ -361,8 +682,64 @@ void AutomatonCsp::add_forbidden_sequence(const std::vector<PredId>& word) {
   }
 }
 
+std::size_t AutomatonCsp::reseed_from(const AutomatonCsp& old) {
+  // Only meaningful across a capacity rebuild over the same segment layout.
+  if (old.num_state_vars_ != num_state_vars_ || old.num_preds_ != num_preds_ ||
+      old.preds_of_transition_.size() != preds_of_transition_.size()) {
+    return 0;
+  }
+  sat::VarRemap remap;
+  const std::size_t kmin = std::min(old.capacity_, capacity_);
+  for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {
+    for (std::size_t k = 0; k < kmin; ++k) {
+      remap.map(old.block_base_[sv] + static_cast<sat::Var>(k),
+                block_base_[sv] + static_cast<sat::Var>(k));
+    }
+  }
+  for (std::size_t k = 0; k < std::min({old.act_.size(), act_.size()}); ++k) {
+    remap.map(old.act_[k], act_[k]);
+  }
+  for (std::size_t p = 0; p < num_preds_; ++p) {
+    if (old.succ_base_[p] == kVarUndef || succ_base_[p] == kVarUndef) continue;
+    for (std::size_t k = 0; k < kmin; ++k) {
+      for (std::size_t k2 = 0; k2 < kmin; ++k2) {
+        remap.map(old.succ_base_[p] + static_cast<sat::Var>(k * old.capacity_ + k2),
+                  succ_base_[p] + static_cast<sat::Var>(k * capacity_ + k2));
+      }
+    }
+  }
+  for (const auto& [key, e_old] : old.equality_list_) {
+    const auto it = equality_cache_.find(key);
+    if (it != equality_cache_.end()) remap.map(e_old, it->second);
+  }
+  for (const auto& [key, old_idx] : old.star_index_) {
+    const auto it = star_index_.find(key);
+    if (it == star_index_.end()) continue;
+    const sat::Var old_base = old.star_blocks_[old_idx].base;
+    const sat::Var new_base = star_blocks_[it->second].base;
+    for (std::size_t k = 0; k < kmin; ++k) {
+      remap.map(old_base + static_cast<sat::Var>(k), new_base + static_cast<sat::Var>(k));
+    }
+  }
+  // Acceptance-block guards are deliberately unmapped: their clauses are
+  // model exclusions for a specific (state count, solver) pair.
+
+  std::size_t imported = 0;
+  sat::Clause mapped;
+  for (const sat::Clause& c : old.solver_.export_clauses(/*max_lbd=*/2)) {
+    if (!remap.map_clause(c, mapped)) continue;
+    solver_.add_clause(mapped);
+    ++imported;
+  }
+  return imported;
+}
+
 sat::SolveResult AutomatonCsp::solve(const Deadline& deadline) {
   if (overflowed_) return sat::SolveResult::Unknown;
+  if (needs_preprocess_) {
+    needs_preprocess_ = false;
+    if (options_.preprocess) solver_.preprocess(options_.preprocess_opts);
+  }
   solver_.set_deadline(deadline);
   decoded_valid_ = false;
   if (!persistent()) return solver_.solve();
@@ -404,7 +781,10 @@ void AutomatonCsp::block_current_model() {
   clause.reserve(num_state_vars_ + 1);
   if (persistent()) {
     auto [it, inserted] = block_guard_.try_emplace(num_states_, kVarUndef);
-    if (inserted) it->second = solver_.new_var();
+    if (inserted) {
+      it->second = solver_.new_var();
+      solver_.freeze(it->second);  // assumed at every later solve
+    }
     clause.push_back(sat::neg(it->second));
   }
   for (std::size_t sv = 0; sv < num_state_vars_; ++sv) {

@@ -8,6 +8,7 @@
 
 #include "src/automaton/nfa.h"
 #include "src/core/segmentation.h"
+#include "src/sat/preprocessor.h"
 #include "src/sat/solver.h"
 #include "src/util/hash.h"
 #include "src/util/stopwatch.h"
@@ -82,6 +83,21 @@ struct CspOptions {
   /// (restart schedule, phase default, random polarity — the axes the
   /// portfolio driver diversifies per racing configuration).
   sat::SolverConfig solver;
+  /// Worker threads for clause emission. Chunk boundaries never change the
+  /// clause order (chunks are spliced into the solver in index order), so
+  /// the encoding is byte-identical at every thread count.
+  std::size_t threads = 1;
+  /// Star-compress length-2 forbidden words: instead of one binary clause
+  /// per (transition-of-p, transition-of-q) pair and column, introduce
+  /// shared per-(predicate, side) flag variables z so each word costs one
+  /// binary per column plus group-membership binaries amortised across
+  /// words. Turns the |A|x|B| chain product into |A|+|B|+1.
+  bool compress_forbidden = true;
+  /// Run SatELite-style preprocessing (subsumption, self-subsuming
+  /// resolution, bounded variable elimination) on the encoded CNF before
+  /// the first solve. Structural variables are frozen automatically.
+  bool preprocess = false;
+  sat::PreprocessOptions preprocess_opts;
 };
 
 /// The automaton-existence hypothesis of Algorithm 1 (lines 18-33), encoded
@@ -164,6 +180,24 @@ public:
   /// the state count reports the paper's N.
   Nfa extract_model() const;
 
+  /// True once any emission path hit the clause budget: the encoding is
+  /// incomplete and solve() reports Unknown. The learner surfaces this as
+  /// LearnResult::budget_exceeded rather than a timeout.
+  bool overflowed() const { return overflowed_; }
+
+  /// Imports the re-usable learned clauses of a previous (smaller-capacity)
+  /// CSP over the same segment layout: width-independent (untainted) learned
+  /// clauses and root facts are renamed through a VarRemap built from the
+  /// structural correspondence (state bits, guards, successor slots,
+  /// equality and star variables); clauses mentioning anything without a
+  /// counterpart are dropped. Call after re-adding the forbidden words, so
+  /// the equality/star layouts exist. Returns the number imported.
+  std::size_t reseed_from(const AutomatonCsp& old);
+
+  /// Structural hash of the emitted problem clauses + root facts (see
+  /// Solver::clause_fingerprint); proves emission determinism in tests.
+  std::uint64_t encoding_fingerprint() const { return solver_.clause_fingerprint(); }
+
   std::size_t num_states() const { return num_states_; }
   std::size_t state_capacity() const { return capacity_; }
   bool persistent() const { return !act_.empty(); }
@@ -191,6 +225,12 @@ private:
   void encode_determinism_successor(std::size_t lo, std::size_t hi);
   void encode_forbidden_pair(const std::vector<ForbiddenChainCache::Chain>& chains,
                              std::size_t lo, std::size_t hi);
+  /// Star-compression support: index of the z-flag block for the given
+  /// predicate/side (creating it, with its membership binaries over the
+  /// active columns, on first use).
+  std::size_t star_block(PredId pred, bool src_side);
+  void encode_star_columns(std::size_t lo, std::size_t hi);
+  void set_overflowed(const char* where);
   /// Emits the equality semantics of `e` over columns [lo, hi).
   void encode_equality_columns(sat::Var e, std::size_t sv_a, std::size_t sv_b,
                                std::size_t lo, std::size_t hi);
@@ -228,12 +268,34 @@ private:
   std::vector<sat::Var> succ_base_;
   /// Length-2 forbidden words already encoded, re-extended at grow time.
   /// (Longer words reduce to equality variables, which are extended via
-  /// equality_cache_; their chain clause itself is width-independent.)
+  /// the equality list; their chain clause itself is width-independent.)
   std::vector<std::vector<PredId>> forbidden_pairs_;
+  /// Flattened transition order (by predicate, then group order): the item
+  /// space of the chunked determinism emission.
+  std::vector<std::uint32_t> trans_order_;
+  /// Star-compression flag blocks: one capacity_-wide one-per-column var
+  /// block per (predicate, side) that ever appeared in a compressed
+  /// forbidden pair. `svs` is the deduplicated member state-variable list.
+  struct StarBlock {
+    PredId pred;
+    bool src_side;
+    sat::Var base;
+    std::vector<std::uint32_t> svs;
+  };
+  std::vector<StarBlock> star_blocks_;
+  std::unordered_map<std::uint32_t, std::size_t> star_index_;  // pred*2+side
+  /// Compressed forbidden pairs as (dst-block, src-block) index pairs; their
+  /// per-column conflict binaries are re-extended at grow time.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> star_words_;
   /// Per-state-count guard variable for acceptance-blocking clauses.
   std::unordered_map<std::size_t, sat::Var> block_guard_;
   /// Memoised equality aux vars, keyed by sv_a * num_state_vars_ + sv_b.
+  /// The map answers lookups; the vector preserves insertion order so
+  /// grow-time extension is deterministic.
   std::unordered_map<std::uint64_t, sat::Var> equality_cache_;
+  std::vector<std::pair<std::uint64_t, sat::Var>> equality_list_;
+  /// Preprocessing runs lazily at the next solve() after construction.
+  bool needs_preprocess_ = true;
   /// Shared cross-N chain cache (optional); falls back to a local one.
   ForbiddenChainCache* chain_cache_ = nullptr;
   ForbiddenChainCache local_chain_cache_;

@@ -1,6 +1,7 @@
 #include "src/core/learner.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <set>
 
@@ -28,6 +29,7 @@ LearnStats& LearnStats::operator+=(const LearnStats& other) {
   state_increments += other.state_increments;
   csp_builds += other.csp_builds;
   csp_grows += other.csp_grows;
+  reseeded_clauses += other.reseeded_clauses;
   core_stops += other.core_stops;
   sat_conflicts += other.sat_conflicts;
   sat_propagations += other.sat_propagations;
@@ -225,8 +227,9 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
                                                total);
       walls[i] = wall.elapsed_seconds();
       // A verdict was reached only if neither the race's stop flag nor the
-      // deadline cut the lane short; a timed-out lane must not be crowned.
-      if (!r.cancelled && !r.timed_out) {
+      // deadline cut the lane short; a timed-out or budget-overflowed lane
+      // must not be crowned (another configuration may still fit).
+      if (!r.cancelled && !r.timed_out && !r.budget_exceeded) {
         int expected = -1;
         if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
           race_stop.store(true, std::memory_order_release);
@@ -269,7 +272,8 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
     e.name = variants[i].name;
     e.winner = have_verdict && i == won;
     e.cancelled = results[i].cancelled;
-    e.finished = !results[i].cancelled && !results[i].timed_out;
+    e.finished =
+        !results[i].cancelled && !results[i].timed_out && !results[i].budget_exceeded;
     e.states = results[i].states;
     e.sat_calls = results[i].stats.sat_calls;
     e.sat_conflicts = results[i].stats.sat_conflicts;
@@ -338,23 +342,35 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
   };
 
   const Stopwatch construction_watch;
-  std::optional<AutomatonCsp> csp;
+  std::unique_ptr<AutomatonCsp> csp;
   // (Re)builds the CSP at state count n. Persistent mode allocates headroom
   // columns beyond n so subsequent increments are in-place grows; the shared
-  // chain cache keeps re-adding the accumulated forbidden words cheap.
+  // chain cache keeps re-adding the accumulated forbidden words cheap, and
+  // the retired CSP's width-independent learned clauses are carried over
+  // (reseed_from) before it is dropped.
   const auto build_csp = [&](std::size_t n) {
-    if (csp) absorb_solver_stats(*csp);
+    std::unique_ptr<AutomatonCsp> old = std::move(csp);
+    if (old) absorb_solver_stats(*old);
     CspOptions options;
     options.encoding = config_.encoding;
     options.solver = config_.solver;
+    options.threads = config_.threads;
+    options.compress_forbidden = config_.compress_forbidden;
+    options.preprocess = config_.preprocess;
+    if (config_.max_clauses > 0) options.max_clauses = config_.max_clauses;
     options.state_capacity =
         config_.persistent_solver
             ? std::min(config_.max_states, n + config_.state_headroom)
             : 0;
-    csp.emplace(segments, preds.vocab.size(), n, options);
+    csp = std::make_unique<AutomatonCsp>(segments, preds.vocab.size(), n, options);
     csp->set_chain_cache(&chain_cache);
     csp->set_stop_flag(config_.stop);
+    // Forbidden words before reseeding: the import needs the new CSP's
+    // equality/star variable layout in place to rename against.
     for (const auto& word : forbidden) csp->add_forbidden_sequence(word);
+    if (old && config_.persistent_solver && !csp->overflowed()) {
+      result.stats.reseeded_clauses += csp->reseed_from(*old);
+    }
     ++result.stats.csp_builds;
   };
 
@@ -384,6 +400,16 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
       ++result.stats.sat_calls;
       const sat::SolveResult sat_result = csp->solve(deadline);
       if (sat_result == sat::SolveResult::Unknown) {
+        if (csp->overflowed()) {
+          // The encoding itself overran the clause budget: a verdict about
+          // the instance's size at this configuration, not a timeout.
+          absorb_solver_stats(*csp);
+          result.budget_exceeded = true;
+          result.preds = std::move(preds);
+          result.stats.construction_seconds = construction_watch.elapsed_seconds();
+          result.stats.total_seconds = total.elapsed_seconds();
+          return result;
+        }
         return abort_run(stopped());
       }
       if (sat_result == sat::SolveResult::Unsat) {

@@ -72,6 +72,18 @@ struct LearnerConfig {
   /// Solver search-shape knobs applied to every CSP this learner builds;
   /// the portfolio driver diversifies them per racing worker.
   sat::SolverConfig solver;
+  /// Star-compress length-2 forbidden words (CspOptions::compress_forbidden):
+  /// shared per-(predicate, side) flag variables instead of the quadratic
+  /// per-transition-pair binaries. The lever that keeps unsegmented long
+  /// traces inside the clause budget.
+  bool compress_forbidden = true;
+  /// Run SatELite-style preprocessing (subsumption, self-subsuming
+  /// resolution, bounded variable elimination) on each CSP's CNF before its
+  /// first solve (CspOptions::preprocess).
+  bool preprocess = false;
+  /// Clause budget per CSP; 0 keeps the CspOptions default. Overrunning it
+  /// ends the learn with LearnResult::budget_exceeded.
+  std::size_t max_clauses = 0;
   /// Cooperative cancellation (non-owning; may be null): polled between
   /// solver calls and inside Solver::solve at every conflict. A learn
   /// aborted this way returns with `cancelled` (and timed_out) set.
@@ -107,6 +119,9 @@ struct LearnStats {
   // live solver versus paying for a fresh encoding.
   std::size_t csp_builds = 0;  ///< CSP constructions (fresh path: one per N)
   std::size_t csp_grows = 0;   ///< in-place state-count growths (persistent path)
+  /// Learned clauses carried across capacity rebuilds via
+  /// AutomatonCsp::reseed_from (persistent path only).
+  std::size_t reseeded_clauses = 0;
   // Aggregated over every CSP solver the run constructed (the perf
   // trajectory counters the bench JSON emitter records).
   std::uint64_t sat_conflicts = 0;
@@ -139,6 +154,10 @@ struct LearnResult {
   /// The run was aborted by the cooperative stop flag (portfolio losers,
   /// caller-driven cancellation); timed_out is also set for compatibility.
   bool cancelled = false;
+  /// The CSP encoding overran its clause budget: the instance is intractable
+  /// at this budget, which is a verdict about the encoding size — distinct
+  /// from timed_out (a wall-clock accident of the machine).
+  bool budget_exceeded = false;
   Nfa model;                 ///< predicate names attached; valid when success
   std::size_t states = 0;    ///< the paper's N
   PredicateSequence preds;   ///< the abstraction output (vocabulary + P)

@@ -33,6 +33,10 @@ SolverStats& SolverStats::operator+=(const SolverStats& other) {
   assumption_unsats += other.assumption_unsats;
   simplify_rounds += other.simplify_rounds;
   simplify_removed += other.simplify_removed;
+  preprocess_rounds += other.preprocess_rounds;
+  subsumed_clauses += other.subsumed_clauses;
+  strengthened_lits += other.strengthened_lits;
+  eliminated_vars += other.eliminated_vars;
   // Gauges, not counters: a summed snapshot would describe no real arena.
   arena_bytes = std::max(arena_bytes, other.arena_bytes);
   peak_arena_bytes = std::max(peak_arena_bytes, other.peak_arena_bytes);
@@ -58,6 +62,10 @@ Var Solver::new_vars(std::size_t count) {
   activity_.resize(n, 0.0);
   heap_index_.resize(n, -1);
   seen_.resize(n, 0);
+  frozen_.resize(n, 0);
+  eliminated_.resize(n, 0);
+  root_taint_.resize(n, 0);
+  elim_model_.resize(n, LBool::Undef);
   watches_.resize(2 * n);
   heap_.reserve(n);
   for (Var v = first; v < static_cast<Var>(n); ++v) {
@@ -68,14 +76,14 @@ Var Solver::new_vars(std::size_t count) {
   return first;
 }
 
-ClauseRef Solver::alloc_clause(std::span<const Lit> lits, bool learned) {
-  const ClauseRef cref = arena_.alloc(lits, learned);
+ClauseRef Solver::alloc_clause(std::span<const Lit> lits, bool learned, bool tainted) {
+  const ClauseRef cref = arena_.alloc(lits, learned, tainted);
   stats_.arena_bytes = arena_.size_bytes();
   stats_.peak_arena_bytes = arena_.peak_bytes();
   return cref;
 }
 
-bool Solver::add_clause(std::span<const Lit> lits) {
+bool Solver::add_clause(std::span<const Lit> lits, bool tainted) {
   if (!ok_) return false;
   // Incremental use: always add at the root level.
   if (decision_level() > 0) backtrack(0);
@@ -92,29 +100,110 @@ bool Solver::add_clause(std::span<const Lit> lits) {
     if (l.is_undef() || static_cast<std::size_t>(l.var()) >= assign_.size()) {
       throw std::invalid_argument("Solver::add_clause: literal over unknown variable");
     }
+    if (is_eliminated(l.var())) {
+      throw std::logic_error("Solver::add_clause: literal over eliminated variable");
+    }
     if (l == prev) continue;
     if (!prev.is_undef() && l == ~prev) return true;  // tautology
     const LBool v = value(l);
     if (v == LBool::True) return true;  // already satisfied at root
     if (v == LBool::False) {
+      // Dropping a root-false literal resolves the clause with that root
+      // fact, so the stored clause inherits the fact's width-taint.
+      if (root_tainted(l.var())) tainted = true;
       prev = l;
-      continue;  // root-false literal dropped
+      continue;
     }
     norm.push_back(l);
     prev = l;
   }
+  return finish_add_clause(norm, tainted);
+}
 
-  if (norm.empty()) {
+bool Solver::add_clause_presorted(std::span<const Lit> lits, bool tainted) {
+  if (!ok_) return false;
+  if (decision_level() > 0) backtrack(0);
+  // The caller guarantees sorted, duplicate-free, non-tautological input
+  // (the parallel emission workers construct clauses that way), so only the
+  // root-assignment filter from add_clause() remains.
+  Clause& norm = add_norm_scratch_;
+  norm.clear();
+  for (const Lit l : lits) {
+    if (l.is_undef() || static_cast<std::size_t>(l.var()) >= assign_.size()) {
+      throw std::invalid_argument("Solver::add_clause_presorted: unknown variable");
+    }
+    const LBool v = value(l);
+    if (v == LBool::True) return true;
+    if (v == LBool::False) {
+      if (root_tainted(l.var())) tainted = true;
+      continue;
+    }
+    norm.push_back(l);
+  }
+  return finish_add_clause(norm, tainted);
+}
+
+bool Solver::add_clause_deferred(std::span<const Lit> lits, bool tainted,
+                                 std::vector<ClauseRef>& pending) {
+  if (!ok_) return true;  // nothing to do, nothing to flush
+  if (decision_level() > 0) return false;  // rare: immediate path backtracks
+  Clause& norm = add_norm_scratch_;
+  norm.clear();
+  for (const Lit l : lits) {
+    if (l.is_undef() || static_cast<std::size_t>(l.var()) >= assign_.size()) {
+      throw std::invalid_argument("Solver::add_clause_deferred: unknown variable");
+    }
+    const LBool v = value(l);
+    if (v == LBool::True) return true;
+    if (v == LBool::False) {
+      if (root_tainted(l.var())) tainted = true;
+      continue;
+    }
+    norm.push_back(l);
+  }
+  // A unit or empty remainder advances the root assignment, which would
+  // invalidate the deferred-attach invariant (every pending clause's
+  // literals are unassigned): make the caller flush and re-add immediately.
+  if (norm.size() <= 1) return false;
+  const ClauseRef cref = alloc_clause(norm, /*learned=*/false, tainted);
+  problem_clauses_.push_back(cref);
+  ++num_problem_clauses_;
+  pending.push_back(cref);
+  return true;
+}
+
+void Solver::attach_shard(std::span<const ClauseRef> refs, std::size_t shard,
+                          std::size_t num_shards) {
+  // Contiguous block partition of the literal space (not code % num_shards):
+  // neighbouring WatcherLists share cache lines, so an interleaved partition
+  // would false-share on almost every concurrent push.
+  const std::size_t n = watches_.size();
+  const auto owner = [n, num_shards](std::size_t code) {
+    return code * num_shards / n;
+  };
+  for (const ClauseRef cref : refs) {
+    const Lit l0 = arena_.lit(cref, 0);
+    const Lit l1 = arena_.lit(cref, 1);
+    const ClauseRef ref = arena_.size(cref) == 2 ? (cref | kBinaryTag) : cref;
+    const auto c0 = static_cast<std::size_t>((~l0).code());
+    const auto c1 = static_cast<std::size_t>((~l1).code());
+    if (owner(c0) == shard) watches_[c0].push_back(Watcher{ref, l1});
+    if (owner(c1) == shard) watches_[c1].push_back(Watcher{ref, l0});
+  }
+}
+
+bool Solver::finish_add_clause(std::span<const Lit> lits, bool tainted) {
+  if (lits.empty()) {
     ok_ = false;
     return false;
   }
-  if (norm.size() == 1) {
-    enqueue(norm[0], kNoReason);
+  if (lits.size() == 1) {
+    if (tainted) root_taint_[static_cast<std::size_t>(lits[0].var())] = 1;
+    enqueue(lits[0], kNoReason);
     ok_ = (propagate() == kNoReason);
     return ok_;
   }
-
-  const ClauseRef cref = alloc_clause(norm, /*learned=*/false);
+  const ClauseRef cref = alloc_clause(lits, /*learned=*/false, tainted);
   problem_clauses_.push_back(cref);
   ++num_problem_clauses_;
   attach_clause(cref);
@@ -151,6 +240,19 @@ void Solver::enqueue(Lit l, ClauseRef reason) {
   level_[v] = decision_level();
   reason_[v] = reason;
   trail_.push_back(l);
+  // Root-level facts are permanent; record whether this one's derivation
+  // used a width-tainted clause so conflict analysis can consult it after
+  // simplify() clears the root reasons. Callers enqueueing at the root with
+  // kNoReason set root_taint_ themselves beforehand.
+  if (trail_lim_.empty() && reason != kNoReason && !root_taint_[v]) {
+    bool t = arena_.tainted(reason);
+    const std::size_t size = arena_.size(reason);
+    for (std::size_t i = 0; i < size && !t; ++i) {
+      const Var qv = arena_.lit(reason, i).var();
+      if (qv != l.var() && root_tainted(qv)) t = true;
+    }
+    if (t) root_taint_[v] = 1;
+  }
 }
 
 ClauseRef Solver::propagate() {
@@ -276,6 +378,7 @@ std::uint32_t Solver::compute_lbd(std::span<const Lit> lits) {
 void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level) {
   learnt.clear();
   learnt.push_back(Lit::undef());  // slot for the asserting literal
+  analyze_taint_ = false;
 
   int counter = 0;
   Lit p = Lit::undef();
@@ -285,12 +388,18 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrac
   do {
     assert(reason != kNoReason);
     if (arena_.learned(reason)) bump_clause(reason);
+    if (arena_.tainted(reason)) analyze_taint_ = true;
     const std::size_t size = arena_.size(reason);
     const std::size_t start = p.is_undef() ? 0 : 1;
     for (std::size_t i = start; i < size; ++i) {
       const Lit q = arena_.lit(reason, i);
       const auto qv = static_cast<std::size_t>(q.var());
-      if (seen_[qv] || level_of(q.var()) == 0) continue;
+      if (seen_[qv] || level_of(q.var()) == 0) {
+        // Skipping a level-0 literal resolves against that root fact, so the
+        // learnt clause inherits its width-taint.
+        if (level_of(q.var()) == 0 && root_taint_[qv] != 0) analyze_taint_ = true;
+        continue;
+      }
       seen_[qv] = 1;
       bump_var(q.var());
       if (level_of(q.var()) >= decision_level()) {
@@ -378,6 +487,9 @@ bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
   analyze_stack_.clear();
   analyze_stack_.push_back(l);
   std::vector<Var> cleared;
+  // Taint picked up on this walk only matters if the literal really is
+  // redundant (only then are these reasons resolved into the learnt clause).
+  bool taint = false;
   while (!analyze_stack_.empty()) {
     const Lit cur = analyze_stack_.back();
     analyze_stack_.pop_back();
@@ -386,11 +498,15 @@ bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
       for (const Var v : cleared) seen_[static_cast<std::size_t>(v)] = 0;
       return false;
     }
+    if (arena_.tainted(r)) taint = true;
     const std::size_t size = arena_.size(r);
     for (std::size_t i = 1; i < size; ++i) {
       const Lit q = arena_.lit(r, i);
       const auto qv = static_cast<std::size_t>(q.var());
-      if (seen_[qv] || level_of(q.var()) == 0) continue;
+      if (seen_[qv] || level_of(q.var()) == 0) {
+        if (level_of(q.var()) == 0 && root_taint_[qv] != 0) taint = true;
+        continue;
+      }
       const bool level_plausible =
           (abstract_levels & (1u << (static_cast<std::uint32_t>(level_of(q.var())) & 31u))) != 0;
       if (reason_[qv] != kNoReason && level_plausible) {
@@ -406,6 +522,7 @@ bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
   // Keep the transient marks: they are cleared by the caller's loop only for
   // kept literals, so clear them here for safety.
   for (const Var v : cleared) seen_[static_cast<std::size_t>(v)] = 0;
+  if (taint) analyze_taint_ = true;
   return true;
 }
 
@@ -428,6 +545,7 @@ void Solver::backtrack(int target_level) {
 Lit Solver::pick_branch_literal() {
   while (!heap_.empty()) {
     const Var v = heap_pop();
+    if (is_eliminated(v)) continue;  // decided by reconstruct_model() instead
     if (value(v) == LBool::Undef) {
       // Portfolio diversification: occasionally take a coin-flip polarity
       // instead of the saved phase (deterministic per configured seed).
@@ -620,9 +738,12 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
       analyze(conflict, learnt, backtrack_level);
       backtrack(backtrack_level);
       if (learnt.size() == 1) {
+        if (analyze_taint_) {
+          root_taint_[static_cast<std::size_t>(learnt[0].var())] = 1;
+        }
         enqueue(learnt[0], kNoReason);
       } else {
-        const ClauseRef cref = alloc_clause(learnt, /*learned=*/true);
+        const ClauseRef cref = alloc_clause(learnt, /*learned=*/true, analyze_taint_);
         arena_.set_activity(cref, static_cast<float>(clause_inc_));
         arena_.set_lbd(cref, compute_lbd(learnt));
         learnts_.push_back(cref);
@@ -678,11 +799,18 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
 
     if (next.is_undef()) {
       // Every assigned variable sits on the trail exactly once, so a full
-      // trail means a total assignment — skip draining the order heap.
-      if (trail_.size() == num_vars()) return SolveResult::Sat;
+      // trail means a total assignment (eliminated variables never get
+      // assigned by search) — skip draining the order heap.
+      if (trail_.size() == num_vars() - num_eliminated_) {
+        reconstruct_model();
+        return SolveResult::Sat;
+      }
       ++stats_.decisions;
       next = pick_branch_literal();
-      if (next.is_undef()) return SolveResult::Sat;  // all variables assigned
+      if (next.is_undef()) {
+        reconstruct_model();
+        return SolveResult::Sat;  // all variables assigned
+      }
     }
 
     trail_lim_.push_back(trail_.size());
@@ -692,8 +820,109 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
 
 bool Solver::model_value(Var v) const {
   const LBool val = assign_.at(static_cast<std::size_t>(v));
-  if (val == LBool::Undef) throw std::logic_error("Solver::model_value: unassigned var");
+  if (val == LBool::Undef) {
+    if (is_eliminated(v)) {
+      const LBool rec = elim_model_.at(static_cast<std::size_t>(v));
+      if (rec != LBool::Undef) return rec == LBool::True;
+    }
+    throw std::logic_error("Solver::model_value: unassigned var");
+  }
   return val == LBool::True;
+}
+
+void Solver::freeze(Var v) {
+  if (v < 0 || static_cast<std::size_t>(v) >= assign_.size()) {
+    throw std::invalid_argument("Solver::freeze: unknown variable");
+  }
+  if (is_eliminated(v)) {
+    throw std::logic_error("Solver::freeze: variable already eliminated");
+  }
+  frozen_[static_cast<std::size_t>(v)] = 1;
+}
+
+void Solver::reconstruct_model() {
+  if (elim_stash_.empty()) return;
+  const auto lit_satisfied = [this](Lit l) {
+    const auto v = static_cast<std::size_t>(l.var());
+    const LBool b = assign_[v] != LBool::Undef ? assign_[v] : elim_model_[v];
+    return l.negated() ? b == LBool::False : b == LBool::True;
+  };
+  // Replay eliminations in reverse: each record's clauses mention only the
+  // eliminated variable itself, live variables, and variables eliminated
+  // later (already reconstructed by the time we get here). Setting v true
+  // exactly when some positive-occurrence clause is otherwise false cannot
+  // break a negative-occurrence clause: if both a positive and a negative
+  // clause were otherwise false, their resolvent (added at elimination time)
+  // would be false under the reduced model — contradiction.
+  for (auto it = elim_stash_.rbegin(); it != elim_stash_.rend(); ++it) {
+    const auto v = static_cast<std::size_t>(it->var);
+    elim_model_[v] = LBool::False;
+    for (const Clause& c : it->clauses) {
+      bool positive = false;
+      bool satisfied = false;
+      for (const Lit l : c) {
+        if (l.var() == it->var) {
+          positive = !l.negated();
+          continue;
+        }
+        if (lit_satisfied(l)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied && positive) {
+        elim_model_[v] = LBool::True;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<Clause> Solver::export_clauses(std::uint32_t max_lbd) const {
+  std::vector<Clause> out;
+  // Root facts first: permanent, width-independent unless tainted.
+  for (const Lit l : trail_) {
+    if (level_of(l.var()) != 0) break;  // trail is level-ordered
+    if (root_tainted(l.var())) continue;
+    out.push_back(Clause{l});
+  }
+  for (const ClauseRef c : learnts_) {
+    if (arena_.deleted(c) || arena_.tainted(c)) continue;
+    if (arena_.lbd(c) > max_lbd) continue;
+    Clause lits;
+    const std::size_t size = arena_.size(c);
+    lits.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) lits.push_back(arena_.lit(c, i));
+    out.push_back(std::move(lits));
+  }
+  return out;
+}
+
+std::uint64_t Solver::clause_fingerprint() const {
+  // FNV-1a over the structural content: variable count, the root trail in
+  // assignment order, and every live problem clause's header + literals in
+  // database order. Order-sensitive by design — byte-identical emission is
+  // the property under test.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(num_vars());
+  for (const Lit l : trail_) {
+    if (level_of(l.var()) != 0) break;
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.code())));
+  }
+  for (const ClauseRef c : problem_clauses_) {
+    if (arena_.deleted(c)) continue;
+    const std::size_t size = arena_.size(c);
+    mix(size);
+    mix(arena_.tainted(c) ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i) {
+      mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(arena_.lit(c, i).code())));
+    }
+  }
+  return h;
 }
 
 // --- activity-ordered max-heap ------------------------------------------

@@ -14,6 +14,9 @@
 
 namespace t2m::sat {
 
+class Preprocessor;
+struct PreprocessOptions;
+
 /// Outcome of a solve() call. Unknown is returned when the deadline or
 /// conflict budget ran out before a decision was reached.
 enum class SolveResult : std::uint8_t { Sat, Unsat, Unknown };
@@ -32,6 +35,10 @@ struct SolverStats {
   std::uint64_t assumption_unsats = 0;  ///< Unsat verdicts from a failed assumption
   std::uint64_t simplify_rounds = 0;    ///< root-level simplification passes
   std::uint64_t simplify_removed = 0;   ///< clauses removed as root-satisfied
+  std::uint64_t preprocess_rounds = 0;  ///< Preprocessor passes run
+  std::uint64_t subsumed_clauses = 0;   ///< clauses removed by subsumption
+  std::uint64_t strengthened_lits = 0;  ///< literals removed by self-subsumption
+  std::uint64_t eliminated_vars = 0;    ///< variables removed by BVE
   std::size_t arena_bytes = 0;      ///< clause arena size after last solve
   std::size_t peak_arena_bytes = 0; ///< lifetime arena high-water mark
 
@@ -87,11 +94,43 @@ public:
   std::size_t num_learned() const { return learnts_.size(); }
 
   /// Adds a clause; returns false if the instance is already unsatisfiable
-  /// at the root level (e.g. conflicting unit clauses).
-  bool add_clause(std::span<const Lit> lits);
+  /// at the root level (e.g. conflicting unit clauses). `tainted` marks the
+  /// clause width-dependent (see ClauseArena): conflicts derived from it
+  /// propagate the mark, and export_clauses() refuses tainted clauses.
+  bool add_clause(std::span<const Lit> lits, bool tainted = false);
   bool add_clause(std::initializer_list<Lit> lits) {
     return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
   }
+
+  /// add_clause for callers that already sorted the literals and removed
+  /// duplicates/tautologies (the parallel emission workers): skips the sort
+  /// and dedup but still filters against the live root-level assignment, so
+  /// splicing stays correct when earlier spliced clauses produced units.
+  bool add_clause_presorted(std::span<const Lit> lits, bool tainted = false);
+
+  /// Bulk-add path for the parallel emission splice: like
+  /// add_clause_presorted(), but a clause that keeps >= 2 literals after the
+  /// root-assignment filter is allocated WITHOUT attaching its watchers —
+  /// its ClauseRef is appended to `pending` instead. The caller must attach
+  /// everything in `pending` (attach_shard() over a full shard partition)
+  /// before the root assignment next advances and before solving. Returns
+  /// false — having done nothing — exactly when this clause needs the
+  /// ordinary immediate path (it filters down to a unit or empty clause, or
+  /// a backtrack to the root is required): the caller then flushes `pending`
+  /// and re-adds the clause via add_clause_presorted(). The solver state
+  /// after deferred adds + flush is identical to the same sequence of
+  /// immediate add_clause_presorted() calls.
+  bool add_clause_deferred(std::span<const Lit> lits, bool tainted,
+                           std::vector<ClauseRef>& pending);
+
+  /// Attaches the watchers of `refs` (clauses allocated by
+  /// add_clause_deferred) that fall into `shard`. A watcher list is owned by
+  /// shard `literal_code % num_shards`, so calls with distinct shards touch
+  /// disjoint lists and may run concurrently — the only solver mutation
+  /// permitted in parallel. Each list still receives its watchers in clause
+  /// order, reproducing the serial attach order exactly.
+  void attach_shard(std::span<const ClauseRef> refs, std::size_t shard,
+                    std::size_t num_shards);
 
   /// Convenience helpers for the encoders.
   bool add_unit(Lit a) { return add_clause({a}); }
@@ -142,6 +181,30 @@ public:
   /// Model access after SolveResult::Sat.
   bool model_value(Var v) const;
 
+  /// Marks a variable untouchable by the preprocessor: it is never
+  /// eliminated and clauses are never resolved on it. The encoders freeze
+  /// every variable whose value they read back or assume.
+  void freeze(Var v);
+  bool is_frozen(Var v) const {
+    return static_cast<std::size_t>(v) < frozen_.size() &&
+           frozen_[static_cast<std::size_t>(v)] != 0;
+  }
+  bool is_eliminated(Var v) const {
+    return static_cast<std::size_t>(v) < eliminated_.size() &&
+           eliminated_[static_cast<std::size_t>(v)] != 0;
+  }
+  std::size_t num_eliminated() const { return num_eliminated_; }
+
+  /// Exports problem + learned clauses suitable for re-seeding a rebuilt
+  /// solver: learned clauses with LBD <= `max_lbd` and root-level facts,
+  /// skipping anything tainted by a width-dependent input clause.
+  std::vector<Clause> export_clauses(std::uint32_t max_lbd) const;
+
+  /// A cheap structural fingerprint of the clause database (order-sensitive
+  /// hash over every live clause's literals plus the root trail). Used by
+  /// tests to prove parallel emission is byte-identical to serial.
+  std::uint64_t clause_fingerprint() const;
+
   const SolverStats& stats() const { return stats_; }
 
   /// True if the solver is known unsatisfiable regardless of assumptions.
@@ -151,7 +214,14 @@ public:
   /// at least `kGcWasteFraction` of it is dead). Exposed for tests.
   void garbage_collect();
 
+  /// Runs the SatELite-style preprocessor (subsumption, self-subsuming
+  /// resolution, bounded variable elimination) at the root level. Must be
+  /// called with no assumptions in force; frozen variables are untouched.
+  /// Returns false if preprocessing proved the instance unsatisfiable.
+  bool preprocess(const PreprocessOptions& opts);
+
 private:
+  friend class Preprocessor;
   static constexpr ClauseRef kNoReason = kClauseRefUndef;
   /// Watcher refs of binary clauses carry this tag: propagation then runs
   /// entirely on the watcher (blocker = the other literal) without touching
@@ -165,8 +235,10 @@ private:
   }
   LBool value(Var v) const { return assign_[static_cast<std::size_t>(v)]; }
 
-  ClauseRef alloc_clause(std::span<const Lit> lits, bool learned);
+  ClauseRef alloc_clause(std::span<const Lit> lits, bool learned,
+                         bool tainted = false);
   void attach_clause(ClauseRef cref);
+  bool finish_add_clause(std::span<const Lit> lits, bool tainted);
   void enqueue(Lit l, ClauseRef reason);
   ClauseRef propagate();
   void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level);
@@ -236,6 +308,34 @@ private:
   Rng polarity_rng_;
   std::vector<Lit> final_conflict_;    // assumption core of the last Unsat
   std::size_t simplified_up_to_ = 0;   // root trail size at the last simplify()
+
+  // --- preprocessing state ---
+  std::vector<char> frozen_;      // per-var: never eliminated
+  std::vector<char> eliminated_;  // per-var: removed by BVE
+  std::size_t num_eliminated_ = 0;
+  /// Clauses of each eliminated variable, stashed in elimination order so
+  /// reconstruct_model() can extend a model of the reduced formula to the
+  /// original one by replaying them in reverse.
+  struct ElimRecord {
+    Var var;
+    std::vector<Clause> clauses;  // every original clause mentioning var
+  };
+  std::vector<ElimRecord> elim_stash_;
+  /// Values reconstructed for eliminated variables after a Sat verdict.
+  /// Kept apart from assign_: they are model-specific, not entailed facts,
+  /// so they must not participate in propagation.
+  std::vector<LBool> elim_model_;
+  void reconstruct_model();
+
+  // --- width-taint tracking ---
+  /// Per-var: the root-level fact on this variable was derived (transitively)
+  /// from a tainted clause. Consulted when analyze() skips level-0 literals.
+  std::vector<char> root_taint_;
+  bool analyze_taint_ = false;  // accumulator for the conflict being analyzed
+  bool root_tainted(Var v) const {
+    return root_taint_[static_cast<std::size_t>(v)] != 0;
+  }
+
   SolverStats stats_;
 };
 

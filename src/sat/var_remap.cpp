@@ -1,0 +1,29 @@
+#include "src/sat/var_remap.h"
+
+#include <stdexcept>
+
+namespace t2m::sat {
+
+void VarRemap::map(Var from, Var to) {
+  if (from < 0 || to < 0) {
+    throw std::invalid_argument("VarRemap::map: negative variable");
+  }
+  if (static_cast<std::size_t>(from) >= to_.size()) {
+    to_.resize(static_cast<std::size_t>(from) + 1, -1);
+  }
+  if (to_[static_cast<std::size_t>(from)] < 0) ++mapped_;
+  to_[static_cast<std::size_t>(from)] = to;
+}
+
+bool VarRemap::map_clause(std::span<const Lit> in, Clause& out) const {
+  out.clear();
+  out.reserve(in.size());
+  for (const Lit l : in) {
+    const Lit m = map_lit(l);
+    if (m.is_undef()) return false;
+    out.push_back(m);
+  }
+  return true;
+}
+
+}  // namespace t2m::sat

@@ -1,0 +1,48 @@
+#ifndef T2M_SAT_VAR_REMAP_H
+#define T2M_SAT_VAR_REMAP_H
+
+#include <span>
+#include <vector>
+
+#include "src/sat/cnf.h"
+
+namespace t2m::sat {
+
+/// A partial variable renaming between two solver instances, used to carry
+/// exported clauses across a capacity rebuild: the encoder registers every
+/// variable of the old solver that has a structural counterpart in the new
+/// one (same state bit, same activation guard, same successor slot, ...),
+/// and clauses mentioning any unregistered variable are dropped rather than
+/// guessed at.
+class VarRemap {
+public:
+  /// Registers `from` (old solver) -> `to` (new solver).
+  void map(Var from, Var to);
+
+  bool has(Var from) const {
+    return from >= 0 && static_cast<std::size_t>(from) < to_.size() &&
+           to_[static_cast<std::size_t>(from)] >= 0;
+  }
+  /// Mapped variable, or -1 when unregistered.
+  Var map_var(Var from) const {
+    return has(from) ? to_[static_cast<std::size_t>(from)] : -1;
+  }
+  Lit map_lit(Lit l) const {
+    const Var v = map_var(l.var());
+    return v < 0 ? Lit::undef() : Lit(v, l.negated());
+  }
+
+  /// Maps a whole clause; returns false (leaving `out` unspecified) when any
+  /// literal's variable is unregistered.
+  bool map_clause(std::span<const Lit> in, Clause& out) const;
+
+  std::size_t size() const { return mapped_; }
+
+private:
+  std::vector<Var> to_;  // indexed by old var; -1 = unregistered
+  std::size_t mapped_ = 0;
+};
+
+}  // namespace t2m::sat
+
+#endif  // T2M_SAT_VAR_REMAP_H

@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/automaton/dot.h"
 #include "src/core/csp_encoder.h"
+#include "src/core/learner.h"
+#include "src/trace/recorder.h"
 
 namespace t2m {
 namespace {
@@ -363,6 +370,209 @@ TEST(UnsatForAllStates, FalseWhileSatisfiable) {
   AutomatonCsp csp(segments, 2, 2, options);
   ASSERT_EQ(csp.solve(), sat::SolveResult::Sat);
   EXPECT_FALSE(csp.unsat_for_all_states());
+}
+
+/// A segment system large enough that the chunked emission actually spans
+/// multiple chunks per phase, with predicates frequent enough to trigger the
+/// star-compression threshold for forbidden pairs.
+std::vector<Segment> bulky_segments() {
+  std::vector<Segment> segments;
+  std::uint64_t state = 12345;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::size_t>(state >> 33);
+  };
+  for (std::size_t s = 0; s < 40; ++s) {
+    Segment seg;
+    for (std::size_t j = 0; j < 4; ++j) seg.push_back(next() % 4);
+    segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+/// Builds the CSP with every clause-emitting path exercised (construction,
+/// forbidden words of both shapes, star compression, growth) at the given
+/// thread count and returns the clause-database fingerprint.
+std::uint64_t fingerprint_at(std::size_t threads, DeterminismEncoding enc) {
+  const std::vector<Segment> segments = bulky_segments();
+  CspOptions options;
+  options.encoding = enc;
+  options.threads = threads;
+  options.state_capacity = 6;
+  AutomatonCsp csp(segments, 4, 3, options);
+  csp.add_forbidden_sequence({0, 1});     // star-compressed (frequent preds)
+  csp.add_forbidden_sequence({1, 2, 3});  // equality-variable path
+  EXPECT_TRUE(csp.grow_to(5));
+  csp.add_forbidden_sequence({2, 3});
+  EXPECT_TRUE(csp.grow_to(6));
+  EXPECT_FALSE(csp.overflowed());
+  return csp.encoding_fingerprint();
+}
+
+TEST(ParallelEmission, ByteIdenticalAtEveryThreadCount) {
+  for (const DeterminismEncoding enc :
+       {DeterminismEncoding::Pairwise, DeterminismEncoding::Successor}) {
+    const std::uint64_t serial = fingerprint_at(1, enc);
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      EXPECT_EQ(fingerprint_at(threads, enc), serial)
+          << "threads=" << threads
+          << " enc=" << (enc == DeterminismEncoding::Pairwise ? "pairwise" : "successor");
+    }
+  }
+}
+
+TEST(ParallelEmission, SameVerdictAsSerial) {
+  const std::vector<Segment> segments = bulky_segments();
+  for (const std::size_t threads : {1u, 4u}) {
+    CspOptions options;
+    options.threads = threads;
+    AutomatonCsp csp(segments, 4, 4, options);
+    csp.add_forbidden_sequence({0, 1});
+    const sat::SolveResult r = csp.solve();
+    ASSERT_NE(r, sat::SolveResult::Unknown);
+    if (r == sat::SolveResult::Sat) validate_model(csp.extract_model(), segments);
+  }
+}
+
+TEST(StarCompression, AgreesWithDirectEncoding) {
+  // Star-compressed and direct forbidden pairs must agree on the verdict at
+  // every state count (equisatisfiability of the z-flag formulation).
+  const std::vector<Segment> segments = bulky_segments();
+  for (std::size_t n = 2; n <= 5; ++n) {
+    CspOptions star_options;
+    star_options.compress_forbidden = true;
+    AutomatonCsp star(segments, 4, n, star_options);
+    CspOptions direct_options;
+    direct_options.compress_forbidden = false;
+    AutomatonCsp direct(segments, 4, n, direct_options);
+    for (auto* csp : {&star, &direct}) {
+      csp->add_forbidden_sequence({0, 1});
+      csp->add_forbidden_sequence({2, 2});
+    }
+    const sat::SolveResult sr = star.solve();
+    EXPECT_EQ(sr, direct.solve()) << "N=" << n;
+    if (sr == sat::SolveResult::Sat) {
+      // The star model must genuinely avoid the forbidden pairs.
+      const Nfa m = star.extract_model();
+      validate_model(m, segments);
+      for (const Transition& t1 : m.transitions()) {
+        for (const Transition& t2 : m.transitions()) {
+          if (t1.pred == 0 && t2.pred == 1) EXPECT_NE(t1.dst, t2.src);
+          if (t1.pred == 2 && t2.pred == 2) EXPECT_NE(t1.dst, t2.src);
+        }
+      }
+    }
+  }
+}
+
+TEST(StarCompression, CompressesFrequentPairs) {
+  // The whole point: with frequent predicates on both sides the star
+  // encoding must emit strictly fewer clauses than the direct product.
+  const std::vector<Segment> segments = bulky_segments();
+  CspOptions star_options;
+  AutomatonCsp star(segments, 4, 4, star_options);
+  CspOptions direct_options;
+  direct_options.compress_forbidden = false;
+  AutomatonCsp direct(segments, 4, 4, direct_options);
+  const std::size_t star_before = star.num_clauses();
+  const std::size_t direct_before = direct.num_clauses();
+  star.add_forbidden_sequence({0, 1});
+  direct.add_forbidden_sequence({0, 1});
+  EXPECT_LT(star.num_clauses() - star_before, direct.num_clauses() - direct_before);
+}
+
+TEST(ClauseBudget, OverflowIsDetectedDuringEmission) {
+  // A budget far below the encoding size must be caught mid-emission (not
+  // after materialising everything) and reported via overflowed(); solve()
+  // then answers Unknown.
+  const std::vector<Segment> segments = bulky_segments();
+  CspOptions options;
+  options.max_clauses = 64;
+  for (const std::size_t threads : {1u, 4u}) {
+    options.threads = threads;
+    AutomatonCsp csp(segments, 4, 4, options);
+    EXPECT_TRUE(csp.overflowed()) << "threads=" << threads;
+    EXPECT_EQ(csp.solve(), sat::SolveResult::Unknown);
+    EXPECT_LE(csp.num_clauses(), options.max_clauses + 1) << "overshot the budget";
+  }
+}
+
+TEST(ClauseBudget, LearnerReportsBudgetExceeded) {
+  // End to end: a learner whose CSP overruns the clause budget must report
+  // budget_exceeded — distinct from a wall-clock timeout.
+  LearnerConfig config;
+  config.max_clauses = 64;
+  config.persistent_solver = false;
+  const std::vector<std::string> events = {"a", "b", "a", "b", "c", "a", "b",
+                                           "c", "a", "c", "b", "a", "c", "b"};
+  TraceRecorder rec;
+  std::vector<std::string> symbols = {"__start", "a", "b", "c"};
+  const VarIndex ev = rec.declare_cat("ev", std::move(symbols), "__start");
+  rec.commit();
+  for (const auto& e : events) {
+    rec.set_sym(ev, e);
+    rec.commit();
+  }
+  const LearnResult r = ModelLearner(config).learn(rec.take());
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.budget_exceeded);
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST(ReseedAcrossRebuilds, ImportsClausesAndPreservesVerdicts) {
+  // A capacity rebuild with reseed_from must (a) import something — at
+  // minimum the root facts — and (b) agree with a fresh CSP at every N.
+  const std::vector<Segment> segments = bulky_segments();
+  CspOptions small_options;
+  small_options.state_capacity = 3;
+  auto old_csp = std::make_unique<AutomatonCsp>(segments, 4, 2, small_options);
+  old_csp->add_forbidden_sequence({0, 1});
+  old_csp->add_forbidden_sequence({1, 2, 3});
+  // Burn some search so learned clauses exist to export.
+  (void)old_csp->solve();
+  EXPECT_TRUE(old_csp->grow_to(3));
+  (void)old_csp->solve();
+
+  CspOptions big_options;
+  big_options.state_capacity = 6;
+  AutomatonCsp rebuilt(segments, 4, 3, big_options);
+  rebuilt.add_forbidden_sequence({0, 1});
+  rebuilt.add_forbidden_sequence({1, 2, 3});
+  const std::size_t imported = rebuilt.reseed_from(*old_csp);
+  EXPECT_GT(imported, 0u);
+  old_csp.reset();
+
+  for (std::size_t n = 3; n <= 6; ++n) {
+    ASSERT_TRUE(n == 3 || rebuilt.grow_to(n));
+    AutomatonCsp fresh(segments, 4, n);
+    fresh.add_forbidden_sequence({0, 1});
+    fresh.add_forbidden_sequence({1, 2, 3});
+    const sat::SolveResult got = rebuilt.solve();
+    EXPECT_EQ(got, fresh.solve()) << "N=" << n;
+    if (got == sat::SolveResult::Sat) {
+      validate_model(rebuilt.extract_model(), segments);
+    }
+  }
+}
+
+TEST(Preprocessing, PersistentGrowStaysSoundAfterPreprocess) {
+  // Preprocessing runs at the first solve; grow_to afterwards re-mentions
+  // frozen structural variables — the combination must keep matching the
+  // fresh reference (this is the frozen-variable contract end to end).
+  const std::vector<Segment> segments = bulky_segments();
+  CspOptions options;
+  options.state_capacity = 6;
+  options.preprocess = true;
+  AutomatonCsp csp(segments, 4, 2, options);
+  csp.add_forbidden_sequence({0, 1});
+  for (std::size_t n = 2; n <= 6; ++n) {
+    ASSERT_TRUE(n == 2 || csp.grow_to(n));
+    AutomatonCsp fresh(segments, 4, n);
+    fresh.add_forbidden_sequence({0, 1});
+    const sat::SolveResult got = csp.solve();
+    EXPECT_EQ(got, fresh.solve()) << "N=" << n;
+    if (got == sat::SolveResult::Sat) validate_model(csp.extract_model(), segments);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,259 @@
+// Differential tests of the SatELite-style preprocessor: preprocessing may
+// reshape the clause database arbitrarily, but the solver's verdict and any
+// model's validity against the ORIGINAL clauses are invariants — checked on
+// hundreds of random CNFs and on real learn runs (rtlinux scheduler and USB
+// attach traces), plus the clause-count reduction the star compression and
+// preprocessing are responsible for on the rtlinux encoding.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/abstraction/abstraction.h"
+#include "src/core/compliance.h"
+#include "src/core/csp_encoder.h"
+#include "src/core/learner.h"
+#include "src/core/segmentation.h"
+#include "src/sat/preprocessor.h"
+#include "src/sat/solver.h"
+#include "src/sim/rtlinux/workloads.h"
+#include "src/sim/xhci/ring_interface.h"
+#include "src/util/rng.h"
+
+namespace t2m {
+namespace {
+
+using sat::Lit;
+using sat::SolveResult;
+
+struct RandomCnf {
+  std::size_t num_vars = 0;
+  std::vector<sat::Clause> clauses;
+};
+
+RandomCnf random_cnf(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomCnf cnf;
+  cnf.num_vars = 5 + rng.below(21);  // 5..25
+  // Around the ~4.3 clause/var satisfiability threshold half the time, well
+  // under it otherwise, so both verdicts occur frequently.
+  const std::size_t num_clauses =
+      rng.chance(0.5) ? cnf.num_vars * 4 + rng.below(cnf.num_vars)
+                      : 2 + rng.below(cnf.num_vars * 2);
+  for (std::size_t i = 0; i < num_clauses; ++i) {
+    sat::Clause c;
+    const std::size_t len = 1 + rng.below(4);  // 1..4, units included
+    for (std::size_t j = 0; j < len; ++j) {
+      const auto v = static_cast<sat::Var>(rng.below(cnf.num_vars));
+      c.push_back(rng.chance(0.5) ? sat::pos(v) : sat::neg(v));
+    }
+    cnf.clauses.push_back(std::move(c));
+  }
+  return cnf;
+}
+
+/// Solves `cnf`, optionally preprocessing first (freezing the given vars).
+/// Returns the verdict; on Sat additionally asserts the model satisfies
+/// every ORIGINAL clause — for eliminated variables this exercises the
+/// stash-replay model reconstruction.
+SolveResult solve_cnf(const RandomCnf& cnf, bool preprocess,
+                      const std::vector<sat::Var>& frozen) {
+  sat::Solver s;
+  s.new_vars(static_cast<sat::Var>(cnf.num_vars));
+  for (const sat::Clause& c : cnf.clauses) s.add_clause(c);
+  for (const sat::Var v : frozen) s.freeze(v);
+  if (preprocess) s.preprocess(sat::PreprocessOptions{});
+  const SolveResult r = s.solve();
+  if (r == SolveResult::Sat) {
+    for (const sat::Clause& c : cnf.clauses) {
+      bool satisfied = false;
+      for (const Lit l : c) {
+        if (s.model_value(l.var()) != l.negated()) {
+          satisfied = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(satisfied) << "model violates an original clause";
+    }
+  }
+  return r;
+}
+
+class PreprocessorDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessorDifferential, VerdictAndModelValidityPreserved) {
+  // 130 CNFs per shard x 4 shards = 520 random instances.
+  const std::uint64_t base = static_cast<std::uint64_t>(GetParam()) * 1000;
+  for (std::uint64_t i = 0; i < 130; ++i) {
+    const RandomCnf cnf = random_cnf(base + i);
+    // Freeze a few variables — the learner freezes everything it reads back,
+    // so the differential must hold with and without frozen vars present.
+    std::vector<sat::Var> frozen;
+    if (i % 3 == 0) {
+      for (sat::Var v = 0; v < static_cast<sat::Var>(cnf.num_vars); v += 4) {
+        frozen.push_back(v);
+      }
+    }
+    const SolveResult plain = solve_cnf(cnf, false, frozen);
+    const SolveResult preprocessed = solve_cnf(cnf, true, frozen);
+    ASSERT_EQ(plain, preprocessed) << "seed=" << base + i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, PreprocessorDifferential, ::testing::Range(0, 4));
+
+TEST(Preprocessor, EliminatesVariablesOnEasyStructure) {
+  // A variable chain a -> b -> c -> ... with nothing frozen: BVE must
+  // actually fire (this guards against the pass silently doing nothing).
+  sat::Solver s;
+  const sat::Var base = s.new_vars(16);
+  for (sat::Var v = 0; v + 1 < 16; ++v) {
+    s.add_clause(std::vector<Lit>{sat::neg(base + v), sat::pos(base + v + 1)});
+  }
+  s.freeze(base);
+  s.freeze(base + 15);
+  ASSERT_TRUE(s.preprocess(sat::PreprocessOptions{}));
+  EXPECT_GT(s.num_eliminated(), 0u);
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+  // Reconstructed values must respect the chain when the endpoints force it.
+  EXPECT_EQ(s.stats().eliminated_vars, s.num_eliminated());
+}
+
+TEST(Preprocessor, FrozenVariablesSurvive) {
+  sat::Solver s;
+  const sat::Var base = s.new_vars(8);
+  for (sat::Var v = 0; v + 1 < 8; ++v) {
+    s.add_clause(std::vector<Lit>{sat::neg(base + v), sat::pos(base + v + 1)});
+  }
+  for (sat::Var v = 0; v < 8; ++v) s.freeze(base + v);
+  ASSERT_TRUE(s.preprocess(sat::PreprocessOptions{}));
+  EXPECT_EQ(s.num_eliminated(), 0u);
+  for (sat::Var v = 0; v < 8; ++v) EXPECT_FALSE(s.is_eliminated(base + v));
+}
+
+TEST(Preprocessor, SubsumptionRemovesImpliedClauses) {
+  sat::Solver s;
+  const sat::Var v = s.new_vars(4);
+  for (sat::Var x = 0; x < 4; ++x) s.freeze(v + x);  // isolate subsumption
+  s.add_clause(std::vector<Lit>{sat::pos(v), sat::pos(v + 1)});
+  s.add_clause(std::vector<Lit>{sat::pos(v), sat::pos(v + 1), sat::pos(v + 2)});
+  s.add_clause(std::vector<Lit>{sat::pos(v), sat::pos(v + 1), sat::neg(v + 3)});
+  const std::size_t before = s.num_clauses();
+  ASSERT_TRUE(s.preprocess(sat::PreprocessOptions{}));
+  EXPECT_LT(s.num_clauses(), before);
+  EXPECT_GT(s.stats().subsumed_clauses, 0u);
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Preprocessor, DetectsRootUnsat) {
+  sat::Solver s;
+  const sat::Var v = s.new_vars(2);
+  s.add_clause(std::vector<Lit>{sat::pos(v), sat::pos(v + 1)});
+  s.add_clause(std::vector<Lit>{sat::pos(v), sat::neg(v + 1)});
+  s.add_clause(std::vector<Lit>{sat::neg(v), sat::pos(v + 1)});
+  s.add_clause(std::vector<Lit>{sat::neg(v), sat::neg(v + 1)});
+  s.preprocess(sat::PreprocessOptions{});
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+// ---------------------------------------------------------------------------
+// Real learn runs: preprocessing must not change the learner-visible outcome.
+// Different (equally valid) sibling models are permitted — what is invariant
+// is the verdict and the minimal compliant state count (the philosophy of
+// tests/test_persistent_diff.cpp).
+
+void expect_same_learn_outcome(const Trace& trace, const char* what) {
+  LearnerConfig config;
+  config.persistent_solver = false;  // preprocessing runs per fresh CSP
+  LearnerConfig with = config;
+  with.preprocess = true;
+  const LearnResult plain = ModelLearner(config).learn(trace);
+  const LearnResult preprocessed = ModelLearner(with).learn(trace);
+  ASSERT_EQ(plain.success, preprocessed.success) << what;
+  ASSERT_TRUE(plain.success) << what;
+  EXPECT_EQ(plain.states, preprocessed.states) << what;
+  EXPECT_TRUE(preprocessed.model.deterministic_per_predicate()) << what;
+  // Both models must satisfy the same compliance window set.
+  ComplianceChecker checker(plain.preds.seq, config.compliance_length);
+  EXPECT_TRUE(checker.check(plain.model).compliant) << what;
+  EXPECT_TRUE(checker.check(preprocessed.model).compliant) << what;
+  EXPECT_TRUE(preprocessed.model.accepts(preprocessed.preds.seq)) << what;
+}
+
+TEST(PreprocessorLearnDifferential, RtlinuxScheduler) {
+  expect_same_learn_outcome(sim::generate_full_coverage_sched_trace(4000), "rtlinux");
+}
+
+TEST(PreprocessorLearnDifferential, UsbAttach) {
+  expect_same_learn_outcome(sim::generate_usb_attach_trace(), "usb-attach");
+}
+
+// ---------------------------------------------------------------------------
+// The Table-1 lever, measured: on the rtlinux (Linux scheduler) encoding
+// with its CEGIS-discovered forbidden words, star compression plus
+// preprocessing must shrink the clause count by >= 30% relative to the
+// direct encoding — with the verdict unchanged.
+
+TEST(PreprocessorReduction, RtlinuxEncodingShrinksAtLeast30Percent) {
+  const Trace trace = sim::generate_full_coverage_sched_trace(20165);
+  AbstractionConfig abs_config;
+  const PredicateSequence preds = abstract_trace(trace, abs_config);
+  const std::vector<Segment> segments = segment_sequence(preds.seq, 3);
+  const ComplianceChecker checker(preds.seq, 2);
+
+  // Collect the forbidden words a CEGIS run discovers, using the compressed
+  // configuration to drive the loop.
+  std::set<std::vector<PredId>> forbidden;
+  Nfa model(1, 0);
+  {
+    CspOptions options;
+    AutomatonCsp csp(segments, preds.vocab.size(), 8, options);
+    for (;;) {
+      ASSERT_EQ(csp.solve(), SolveResult::Sat);
+      model = csp.extract_model();
+      const ComplianceResult compliance = checker.check(model);
+      if (compliance.compliant) break;
+      std::size_t added = 0;
+      for (const auto& word : compliance.invalid_sequences) {
+        if (forbidden.insert(word).second) {
+          csp.add_forbidden_sequence(word);
+          ++added;
+        }
+      }
+      ASSERT_GT(added, 0u) << "refinement stalled";
+      ASSERT_LT(forbidden.size(), 4096u) << "runaway refinement";
+    }
+  }
+  ASSERT_GT(forbidden.size(), 0u) << "no forbidden words: reduction unmeasurable";
+
+  // Direct reference: no star compression, no preprocessing.
+  CspOptions direct_options;
+  direct_options.compress_forbidden = false;
+  AutomatonCsp direct(segments, preds.vocab.size(), 8, direct_options);
+  for (const auto& word : forbidden) direct.add_forbidden_sequence(word);
+  ASSERT_EQ(direct.solve(), SolveResult::Sat);
+  const std::size_t direct_clauses = direct.num_clauses();
+
+  // Production: star compression + preprocessing (solve() triggers it).
+  CspOptions production_options;
+  production_options.preprocess = true;
+  AutomatonCsp production(segments, preds.vocab.size(), 8, production_options);
+  for (const auto& word : forbidden) production.add_forbidden_sequence(word);
+  ASSERT_EQ(production.solve(), SolveResult::Sat);
+  const std::size_t production_clauses = production.num_clauses();
+
+  EXPECT_LE(production_clauses, direct_clauses - direct_clauses * 3 / 10)
+      << "direct=" << direct_clauses << " production=" << production_clauses;
+
+  // Both models are valid for the same instance.
+  const Nfa direct_model = direct.extract_model();
+  const Nfa production_model = production.extract_model();
+  EXPECT_TRUE(direct_model.deterministic_per_predicate());
+  EXPECT_TRUE(production_model.deterministic_per_predicate());
+  EXPECT_TRUE(checker.check(direct_model).compliant);
+  EXPECT_TRUE(checker.check(production_model).compliant);
+}
+
+}  // namespace
+}  // namespace t2m

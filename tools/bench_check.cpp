@@ -34,8 +34,14 @@ struct Record {
   double wall_seconds = 0.0;
   std::uint64_t sat_conflicts = 0;
   bool timed_out = false;
+  bool budget_exceeded = false;
   bool wall_exempt = false;
 };
+
+/// A run that was cut short — by the clock or by the clause budget. Its wall
+/// time and conflict count describe the cutoff, not the workload, so neither
+/// is comparable against (or as) a baseline.
+bool incomplete(const Record& r) { return r.timed_out || r.budget_exceeded; }
 
 std::optional<std::string> field_text(const std::string& line, const std::string& key) {
   const std::string needle = "\"" + key + "\": ";
@@ -73,6 +79,9 @@ std::map<std::string, Record> load(const std::string& path) {
       rec.sat_conflicts = std::stoull(*conflicts);
     }
     if (const auto timed_out = field_text(line, "timed_out")) rec.timed_out = *timed_out == "true";
+    if (const auto budget = field_text(line, "budget_exceeded")) {
+      rec.budget_exceeded = *budget == "true";
+    }
     if (const auto exempt = field_text(line, "wall_exempt")) rec.wall_exempt = *exempt == "true";
     records[*bench] = rec;
   }
@@ -110,20 +119,31 @@ int main(int argc, char** argv) {
     }
     const Record& got = it->second;
     ++checked;
-    if (got.timed_out && !base.timed_out) {
+    // The two cut-short verdicts are distinct regressions: a timeout blames
+    // the machine/budgeted clock, a budget overflow blames the encoding size
+    // — a bench that newly reports either against a completed baseline fails
+    // with the matching tag.
+    if (got.budget_exceeded && !incomplete(base)) {
+      std::cerr << "BUDGET   " << bench << " (clause budget exceeded; baseline completed)\n";
+      ++regressions;
+      continue;
+    }
+    if (got.timed_out && !incomplete(base)) {
       std::cerr << "TIMEOUT  " << bench << " (baseline completed)\n";
       ++regressions;
       continue;
     }
-    if (base.wall_seconds >= min_wall && !base.timed_out && !base.wall_exempt &&
+    if (base.wall_seconds >= min_wall && !incomplete(base) && !incomplete(got) &&
+        !base.wall_exempt &&
         got.wall_seconds > base.wall_seconds * (1.0 + max_wall_regress)) {
       std::cerr << "WALL     " << bench << ": " << got.wall_seconds << "s vs baseline "
                 << base.wall_seconds << "s (> +" << max_wall_regress * 100 << "%)\n";
       ++regressions;
     }
     // Conflict counts are only comparable between completed runs: a run cut
-    // off by its timeout has done as much search as the machine allowed.
-    if (!base.timed_out && !got.timed_out && base.sat_conflicts >= 100 &&
+    // off by its timeout or clause budget has done as much search as the
+    // machine (or the budget) allowed.
+    if (!incomplete(base) && !incomplete(got) && base.sat_conflicts >= 100 &&
         static_cast<double>(got.sat_conflicts) >
             static_cast<double>(base.sat_conflicts) * max_conflict_factor) {
       std::cerr << "CONFLICT " << bench << ": " << got.sat_conflicts << " vs baseline "
