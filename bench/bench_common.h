@@ -89,6 +89,7 @@ inline LearnerConfig table_config(const BenchCase& c, bool segmented,
 /// "0.123", ">30 (timeout)" or "intractable (clause budget)".
 inline std::string runtime_cell(const LearnResult& r, double timeout_seconds) {
   if (r.success) return format_double(r.stats.total_seconds);
+  if (r.resource_exhausted) return "out of memory";
   if (r.budget_exceeded) return "intractable (clause budget)";
   if (r.timed_out) return ">" + format_double(timeout_seconds) + " (timeout)";
   return "no model";
@@ -104,6 +105,12 @@ struct BenchRecord {
   /// property of the instance + configuration, not of the machine's speed —
   /// bench_check treats it as its own verdict, distinct from a timeout.
   bool budget_exceeded = false;
+  /// The run hit the memory cap or an allocation failed — the memory
+  /// sibling of budget_exceeded; bench_check treats it as incomplete.
+  bool resource_exhausted = false;
+  /// The reported model is the best-so-far from an aborted run, not a full
+  /// verdict (LearnResult::salvaged).
+  bool salvaged = false;
   /// Excuse this record from the wall-clock regression gate (loaded-machine
   /// benchmarks whose wall time is advisory, e.g. thread-scaling entries).
   bool wall_exempt = false;
@@ -128,6 +135,8 @@ public:
     rec.success = r.success;
     rec.timed_out = r.timed_out;
     rec.budget_exceeded = r.budget_exceeded;
+    rec.resource_exhausted = r.resource_exhausted;
+    rec.salvaged = r.salvaged;
     rec.wall_exempt = wall_exempt;
     rec.states = r.states;
     rec.sat_calls = r.stats.sat_calls;
@@ -152,6 +161,8 @@ public:
          << ", \"success\": " << (r.success ? "true" : "false")
          << ", \"timed_out\": " << (r.timed_out ? "true" : "false")
          << ", \"budget_exceeded\": " << (r.budget_exceeded ? "true" : "false")
+         << ", \"resource_exhausted\": " << (r.resource_exhausted ? "true" : "false")
+         << ", \"salvaged\": " << (r.salvaged ? "true" : "false")
          << ", \"wall_exempt\": " << (r.wall_exempt ? "true" : "false")
          << ", \"states\": " << r.states
          << ", \"sat_calls\": " << r.sat_calls

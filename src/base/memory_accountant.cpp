@@ -1,0 +1,56 @@
+#include "src/base/memory_accountant.h"
+
+#include <string>
+
+#include "src/util/failpoint.h"
+
+namespace t2m {
+
+MemoryAccountant& MemoryAccountant::global() {
+  static MemoryAccountant* a = new MemoryAccountant();
+  return *a;
+}
+
+namespace {
+
+std::string overrun_message(std::size_t bytes, std::size_t used,
+                            std::size_t limit) {
+  return "memory cap exceeded: charge of " + std::to_string(bytes) +
+         " bytes would push tracked usage past " + std::to_string(limit) +
+         " (currently " + std::to_string(used) + ")";
+}
+
+}  // namespace
+
+void MemoryAccountant::charge(std::size_t bytes) {
+  if (!try_charge(bytes)) {
+    throw_status(ErrorCode::resource_exhausted,
+                 overrun_message(bytes, used(), limit()));
+  }
+}
+
+bool MemoryAccountant::try_charge(std::size_t bytes) {
+  if (T2M_FAILPOINT("mem.charge")) return false;
+  std::size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t cap = limit_.load(std::memory_order_relaxed);
+  if (cap != 0 && now > cap) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  // Peak update may lose a race to a concurrent higher charge; that is fine —
+  // peak is a diagnostic, not a correctness value.
+  std::size_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryAccountant::reset_for_test() {
+  used_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  limit_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace t2m

@@ -1,0 +1,72 @@
+#include "src/base/status.h"
+
+#include <cstring>
+#include <exception>
+#include <new>
+
+namespace t2m {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::ok: return "ok";
+    case ErrorCode::io_error: return "io_error";
+    case ErrorCode::parse_error: return "parse_error";
+    case ErrorCode::resource_exhausted: return "resource_exhausted";
+    case ErrorCode::deadline_exceeded: return "deadline_exceeded";
+    case ErrorCode::internal: return "internal";
+  }
+  return "internal";
+}
+
+int error_code_exit_status(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::ok: return 0;
+    case ErrorCode::io_error: return 10;
+    case ErrorCode::parse_error: return 11;
+    case ErrorCode::resource_exhausted: return 12;
+    case ErrorCode::deadline_exceeded: return 13;
+    case ErrorCode::internal: return 14;
+  }
+  return 14;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::string errno_message(const std::string& what, const std::string& path,
+                          int errno_value) {
+  std::string out = what;
+  if (!path.empty()) {
+    out += " ";
+    out += path;
+  }
+  out += " (";
+  out += std::strerror(errno_value);
+  out += ")";
+  return out;
+}
+
+Status status_from_current_exception() {
+  try {
+    throw;
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("allocation failed (std::bad_alloc)");
+  } catch (const std::invalid_argument& e) {
+    return Status::ParseError(e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  } catch (...) {
+    return Status::Internal("unknown exception");
+  }
+}
+
+}  // namespace t2m

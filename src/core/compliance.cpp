@@ -4,9 +4,29 @@
 #include <bit>
 
 #include "src/automaton/ops.h"
+#include "src/base/status.h"
 #include "src/parallel/thread_pool.h"
 
 namespace t2m {
+
+namespace {
+
+/// Amortised deadline poll shared by both DFS paths: reads the clock every
+/// 4096th leaf word and throws the structured timeout that cancels the
+/// whole check (the parallel path rethrows it from TaskGroup::wait()).
+struct DeadlinePoll {
+  const Deadline& deadline;
+  std::uint64_t ticks = 0;
+  void operator()() {
+    if ((ticks++ & 4095u) != 0 || !deadline.is_finite()) return;
+    if (deadline.expired()) {
+      throw_status(ErrorCode::deadline_exceeded,
+                   "compliance check exceeded the learn deadline");
+    }
+  }
+};
+
+}  // namespace
 
 void ComplianceChecker::init_packing(PredId max_pred) {
   bits_ = std::max(1u, static_cast<std::uint32_t>(std::bit_width(
@@ -77,8 +97,10 @@ void ComplianceChecker::check_packed_range(
   // integer hashing; only missing words are materialised.
   std::vector<PredId> prefix;
   prefix.reserve(l_);
+  DeadlinePoll poll{deadline_};
   const auto dfs = [&](auto&& self, StateId state, std::uint64_t key) -> void {
     if (prefix.size() == l_) {
+      poll();
       if (seen.insert(key).second && packed_windows_.count(key) == 0) {
         invalid.insert(prefix);
       }
@@ -111,8 +133,10 @@ void ComplianceChecker::check_vec_range(
     }
     return packed_windows_.count(key) != 0;
   };
+  DeadlinePoll poll{deadline_};
   const auto dfs = [&](auto&& self, StateId state) -> void {
     if (prefix.size() == l_) {
+      poll();
       if (seen.insert(prefix).second && !in_trace(prefix)) {
         invalid.insert(prefix);
       }

@@ -9,6 +9,7 @@
 
 #include "src/automaton/nfa.h"
 #include "src/util/hash.h"
+#include "src/util/stopwatch.h"
 #include "src/util/window_dedup.h"
 
 namespace t2m {
@@ -53,6 +54,12 @@ public:
   /// identical to the sequential check by set semantics.
   void set_threads(std::size_t threads) { threads_ = threads; }
 
+  /// Cooperative wall-clock bound on check(): the DFS polls it every few
+  /// thousand leaf words and throws StatusError(deadline_exceeded) when it
+  /// expires. On the parallel path the throw cancels the chunk and
+  /// TaskGroup::wait() rethrows it from check(). Defaults to never expiring.
+  void set_deadline(const Deadline& deadline) { deadline_ = deadline; }
+
   std::size_t window_length() const { return l_; }
   /// |P_l|: number of distinct trace windows.
   std::size_t trace_sequences() const { return trace_windows_; }
@@ -86,6 +93,7 @@ private:
 
   std::size_t l_;
   std::size_t threads_ = 1;
+  Deadline deadline_;
   std::size_t trace_windows_ = 0;
   /// Packed representation: each window folds into one 64-bit key, built by
   /// a rolling shift over the sequence. Valid when l_ * bits_ <= 64.

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/base/status.h"
 #include "src/parallel/scratch_arena.h"
 #include "src/parallel/thread_pool.h"
 #include "src/sat/var_remap.h"
@@ -74,9 +75,22 @@ struct ChunkBuf {
 /// overflowed.
 template <typename BuildFn>
 bool run_emission(sat::Solver& solver, std::size_t max_clauses, std::size_t threads,
-                  std::size_t n_items, const BuildFn& build) {
+                  std::size_t n_items, const Deadline& deadline,
+                  const BuildFn& build) {
   if (n_items == 0) return true;
   const std::size_t soft_cap = max_clauses + max_clauses / 4 + 16384;
+
+  // Amortised deadline poll shared by workers and the serial walk: one clock
+  // read per 64 items. An expiry throws deadline_exceeded — from a worker it
+  // is rethrown at the fork-join; either way the half-built CSP is discarded
+  // by the learner, which converts the escape into its timed-out verdict.
+  const auto check_deadline = [&deadline](std::size_t i) {
+    if (!deadline.is_finite() || (i & 63u) != 0) return;
+    if (deadline.expired()) {
+      throw_status(ErrorCode::deadline_exceeded,
+                   "clause emission exceeded the learn deadline");
+    }
+  };
 
   const auto splice = [&](const ChunkBuf& buf) -> bool {
     for (const ChunkBuf::Entry& e : buf.entries) {
@@ -91,6 +105,7 @@ bool run_emission(sat::Solver& solver, std::size_t max_clauses, std::size_t thre
     // when the emission is destined to overflow.
     ChunkBuf buf;
     for (std::size_t i = 0; i < n_items; ++i) {
+      check_deadline(i);
       build(i, buf);
       if (buf.entries.size() >= 65536 ||
           solver.num_clauses() + buf.entries.size() > soft_cap) {
@@ -158,9 +173,10 @@ bool run_emission(sat::Solver& solver, std::size_t max_clauses, std::size_t thre
     ChunkBuf* buf = bufs[c].get();
     const std::size_t begin = c * per_chunk;
     const std::size_t end = std::min(n_items, begin + per_chunk);
-    group.run([&build, &approx_total, buf, begin, end, soft_cap] {
+    group.run([&build, &approx_total, &check_deadline, buf, begin, end, soft_cap] {
       std::size_t counted = 0;
       for (std::size_t i = begin; i < end; ++i) {
+        check_deadline(i);
         build(i, *buf);
         const std::size_t delta = buf->entries.size() - counted;
         counted = buf->entries.size();
@@ -289,6 +305,7 @@ AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num
   const std::size_t cap = capacity_;
   const std::size_t n0 = num_states_;
   if (!run_emission(solver_, options_.max_clauses, options_.threads, num_state_vars_,
+                    options_.deadline,
                     [&](std::size_t sv, ChunkBuf& buf) {
                       sat::Lit* alo = buf.arena.alloc_array<sat::Lit>(cap);
                       for (std::size_t k = 0; k < cap; ++k) alo[k] = state_lit(sv, k);
@@ -341,6 +358,7 @@ void AutomatonCsp::activate_columns(std::size_t lo, std::size_t hi) {
   if (overflowed_) return;
   // At-most-one pairs whose larger column is new, chunked by state variable.
   if (!run_emission(solver_, options_.max_clauses, options_.threads, num_state_vars_,
+                    options_.deadline,
                     [&](std::size_t sv, ChunkBuf& buf) {
                       for (std::size_t j = std::max<std::size_t>(lo, 1); j < hi; ++j) {
                         for (std::size_t i = 0; i < j; ++i) {
@@ -397,6 +415,7 @@ void AutomatonCsp::encode_determinism_pairwise(std::size_t lo, std::size_t hi) {
   }
   if (!run_emission(
           solver_, options_.max_clauses, options_.threads, items.size(),
+          options_.deadline,
           [&](std::size_t idx, ChunkBuf& buf) {
             const auto& group = transitions_with_pred_[items[idx].first];
             const std::size_t a_i = items[idx].second;
@@ -432,6 +451,7 @@ void AutomatonCsp::encode_determinism_successor(std::size_t lo, std::size_t hi) 
   // sources already active only the pairs reaching into the new columns are
   // missing.
   if (!run_emission(solver_, options_.max_clauses, options_.threads, used_preds.size(),
+                    options_.deadline,
                     [&](std::size_t pi, ChunkBuf& buf) {
                       const sat::Var succ_base = succ_base_[used_preds[pi]];
                       const auto succ = [&](std::size_t k, std::size_t k2) {
@@ -451,6 +471,7 @@ void AutomatonCsp::encode_determinism_successor(std::size_t lo, std::size_t hi) 
   // Phase 2: the transition links, chunked over the flattened transition
   // order (by predicate, then group order).
   if (!run_emission(solver_, options_.max_clauses, options_.threads, trans_order_.size(),
+                    options_.deadline,
                     [&](std::size_t ti, ChunkBuf& buf) {
                       const std::size_t t = trans_order_[ti];
                       const sat::Var succ_base = succ_base_[preds_of_transition_[t]];
@@ -606,6 +627,7 @@ void AutomatonCsp::encode_forbidden_pair(
   // for all pairs (a, b): dst(a) != src(b). Chunked by chain.
   if (!run_emission(solver_, options_.max_clauses,
                     chains.size() >= 4096 ? options_.threads : 1, chains.size(),
+                    options_.deadline,
                     [&](std::size_t ci, ChunkBuf& buf) {
                       const ForbiddenChainCache::Chain& adj = chains[ci];
                       for (std::size_t k = lo; k < hi; ++k) {
@@ -738,7 +760,15 @@ sat::SolveResult AutomatonCsp::solve(const Deadline& deadline) {
   if (overflowed_) return sat::SolveResult::Unknown;
   if (needs_preprocess_) {
     needs_preprocess_ = false;
-    if (options_.preprocess) solver_.preprocess(options_.preprocess_opts);
+    if (options_.preprocess) {
+      // The preprocessor shares this solve call's deadline: an expired (or
+      // near-expired) deadline degrades to a shorter, still-sound
+      // preprocessing pass instead of an unguarded stall before the search
+      // even starts.
+      sat::PreprocessOptions opts = options_.preprocess_opts;
+      opts.deadline = deadline;
+      solver_.preprocess(opts);
+    }
   }
   solver_.set_deadline(deadline);
   decoded_valid_ = false;

@@ -98,6 +98,14 @@ struct CspOptions {
   /// the first solve. Structural variables are frozen automatically.
   bool preprocess = false;
   sat::PreprocessOptions preprocess_opts;
+  /// Cooperative wall-clock bound on clause emission (construction and
+  /// grow_to): workers and the splice poll it, and an expiry throws a
+  /// structured deadline_exceeded StatusError — the learner converts that
+  /// into its timed-out verdict (salvaging the best model so far) instead of
+  /// letting a huge encoding blow straight through the run's time budget.
+  /// Defaults to never expiring. Distinct from solve()'s per-call deadline,
+  /// which bounds the search itself.
+  Deadline deadline;
 };
 
 /// The automaton-existence hypothesis of Algorithm 1 (lines 18-33), encoded

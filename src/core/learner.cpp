@@ -6,13 +6,58 @@
 #include <set>
 
 #include "src/abstraction/event_stream.h"
+#include "src/base/memory_accountant.h"
 #include "src/core/portfolio.h"
 #include "src/parallel/sharded_ingest.h"
 #include "src/parallel/thread_pool.h"
 #include "src/trace/mmap_io.h"
+#include "src/util/failpoint.h"
 #include "src/util/log.h"
 
 namespace t2m {
+
+namespace {
+
+/// Applies LearnerConfig::max_memory_bytes to the global accountant for the
+/// duration of one public learn call, restoring the previous cap on exit
+/// (nesting-safe: learn() delegating to learn_from_sequence() re-applies the
+/// same cap and restores it in LIFO order).
+class ScopedMemoryLimit {
+public:
+  explicit ScopedMemoryLimit(std::size_t limit)
+      : prev_(MemoryAccountant::global().limit()) {
+    if (limit > 0) MemoryAccountant::global().set_limit(limit);
+  }
+  ~ScopedMemoryLimit() { MemoryAccountant::global().set_limit(prev_); }
+  ScopedMemoryLimit(const ScopedMemoryLimit&) = delete;
+  ScopedMemoryLimit& operator=(const ScopedMemoryLimit&) = delete;
+
+private:
+  std::size_t prev_;
+};
+
+/// Folds a structured failure into the verdict the public entry points
+/// return instead of unwinding: deadline expiry reports as a timeout,
+/// allocation pressure as resource exhaustion; every other code keeps its
+/// taxonomy in `status` with no verdict flag beyond !success.
+LearnResult failure_result(Status status) {
+  LearnResult result;
+  switch (status.code()) {
+    case ErrorCode::deadline_exceeded:
+      result.timed_out = true;
+      break;
+    case ErrorCode::resource_exhausted:
+      result.resource_exhausted = true;
+      break;
+    default:
+      break;
+  }
+  log_warn() << "learner: run failed: " << status.to_string();
+  result.status = std::move(status);
+  return result;
+}
+
+}  // namespace
 
 LearnStats& LearnStats::operator+=(const LearnStats& other) {
   // Input-shape fields describe the shared artefacts — identical across
@@ -46,125 +91,165 @@ LearnStats& LearnStats::operator+=(const LearnStats& other) {
 ModelLearner::ModelLearner(LearnerConfig config) : config_(std::move(config)) {}
 
 LearnResult ModelLearner::learn(const Trace& trace, AbstractionMode mode) const {
+  const ScopedMemoryLimit mem_limit(config_.max_memory_bytes);
   const Stopwatch total;
-  AbstractionConfig abs_config = config_.abstraction;
-  abs_config.window = config_.window;
+  try {
+    AbstractionConfig abs_config = config_.abstraction;
+    abs_config.window = config_.window;
 
-  const Stopwatch abstraction_watch;
-  PredicateSequence preds = abstract_trace(trace, abs_config, mode);
-  const double abstraction_seconds = abstraction_watch.elapsed_seconds();
+    const Stopwatch abstraction_watch;
+    PredicateSequence preds = abstract_trace(trace, abs_config, mode);
+    const double abstraction_seconds = abstraction_watch.elapsed_seconds();
 
-  LearnResult result = learn_from_sequence(std::move(preds), trace.schema());
-  result.stats.abstraction_seconds = abstraction_seconds;
-  result.stats.total_seconds = total.elapsed_seconds();
-  return result;
+    LearnResult result = learn_from_sequence(std::move(preds), trace.schema());
+    result.stats.abstraction_seconds = abstraction_seconds;
+    result.stats.total_seconds = total.elapsed_seconds();
+    return result;
+  } catch (const StatusError& e) {
+    return failure_result(e.status());
+  } catch (const std::bad_alloc&) {
+    return failure_result(Status::ResourceExhausted("allocation failed during learn"));
+  }
 }
 
 LearnResult ModelLearner::learn_from_sequence(PredicateSequence preds,
                                               const Schema& schema) const {
+  const ScopedMemoryLimit mem_limit(config_.max_memory_bytes);
   const Stopwatch total;
-  const std::size_t sequence_length = preds.length();
-  std::vector<Segment> segments = config_.segmented
-                                      ? segment_sequence(preds.seq, config_.window)
-                                      : whole_sequence(preds.seq);
+  try {
+    const std::size_t sequence_length = preds.length();
+    std::vector<Segment> segments = config_.segmented
+                                        ? segment_sequence(preds.seq, config_.window)
+                                        : whole_sequence(preds.seq);
 
-  // The trace window set is invariant across all refinement iterations:
-  // compute it once and let every compliance check stream against it.
-  ComplianceChecker compliance_checker(preds.seq, config_.compliance_length);
-  compliance_checker.set_threads(config_.threads);
+    // The trace window set is invariant across all refinement iterations:
+    // compute it once and let every compliance check stream against it.
+    ComplianceChecker compliance_checker(preds.seq, config_.compliance_length);
+    compliance_checker.set_threads(config_.threads);
 
-  // The timeout budgets the CEGIS search: the deadline starts after
-  // segmentation and P_l construction, exactly as the streaming path starts
-  // it after its ingest pass, so both paths give the search the same budget
-  // on the same trace.
-  const Deadline deadline = config_.timeout_seconds > 0
-                                ? Deadline::after_seconds(config_.timeout_seconds)
-                                : Deadline::never();
-  return run_search(std::move(preds), sequence_length, std::move(segments),
-                    compliance_checker, schema, deadline, total);
+    // The timeout budgets the CEGIS search: the deadline starts after
+    // segmentation and P_l construction, exactly as the streaming path starts
+    // it after its ingest pass, so both paths give the search the same budget
+    // on the same trace.
+    const Deadline deadline = config_.timeout_seconds > 0
+                                  ? Deadline::after_seconds(config_.timeout_seconds)
+                                  : Deadline::never();
+    return run_search(std::move(preds), sequence_length, std::move(segments),
+                      compliance_checker, schema, deadline, total);
+  } catch (const StatusError& e) {
+    return failure_result(e.status());
+  } catch (const std::bad_alloc&) {
+    return failure_result(Status::ResourceExhausted("allocation failed during learn"));
+  }
 }
 
 LearnResult ModelLearner::learn_from_stream(PredStream& stream) const {
+  const ScopedMemoryLimit mem_limit(config_.max_memory_bytes);
   const Stopwatch total;
+  try {
+    // One pass: every pulled id goes simultaneously into the window segmenter
+    // and the compliance window builder, so P_l and the segment set come from
+    // the same stream the abstraction interns its predicates on. The full id
+    // sequence is retained only when a downstream consumer needs it.
+    const bool keep_sequence = config_.require_trace_acceptance || !config_.segmented;
+    const Stopwatch pass_watch;
+    // Non-segmented runs take their single segment from the retained sequence;
+    // feeding the segmenter would only burn CPU and memory on a discarded set.
+    std::optional<StreamingSegmenter> segmenter;
+    if (config_.segmented) segmenter.emplace(config_.window);
+    ComplianceWindowBuilder window_builder(config_.compliance_length);
+    std::vector<PredId> seq;
+    std::size_t sequence_length = 0;
+    while (const auto id = stream.next()) {
+      if (segmenter) segmenter->push(*id);
+      window_builder.push(*id);
+      if (keep_sequence) seq.push_back(*id);
+      ++sequence_length;
+    }
+    PredicateSequence preds = stream.take_preds();
+    preds.seq = std::move(seq);
+    std::vector<Segment> segments =
+        segmenter ? segmenter->take() : whole_sequence(preds.seq);
+    ComplianceChecker compliance_checker = window_builder.finish();
+    compliance_checker.set_threads(config_.threads);
+    const double pass_seconds = pass_watch.elapsed_seconds();
 
-  // One pass: every pulled id goes simultaneously into the window segmenter
-  // and the compliance window builder, so P_l and the segment set come from
-  // the same stream the abstraction interns its predicates on. The full id
-  // sequence is retained only when a downstream consumer needs it.
-  const bool keep_sequence = config_.require_trace_acceptance || !config_.segmented;
-  const Stopwatch pass_watch;
-  // Non-segmented runs take their single segment from the retained sequence;
-  // feeding the segmenter would only burn CPU and memory on a discarded set.
-  std::optional<StreamingSegmenter> segmenter;
-  if (config_.segmented) segmenter.emplace(config_.window);
-  ComplianceWindowBuilder window_builder(config_.compliance_length);
-  std::vector<PredId> seq;
-  std::size_t sequence_length = 0;
-  while (const auto id = stream.next()) {
-    if (segmenter) segmenter->push(*id);
-    window_builder.push(*id);
-    if (keep_sequence) seq.push_back(*id);
-    ++sequence_length;
+    // The timeout budgets the CEGIS search, starting after ingest — matching
+    // learn_from_sequence, whose deadline starts after segmentation and P_l
+    // construction — so both paths give the search the same budget.
+    const Deadline deadline = config_.timeout_seconds > 0
+                                  ? Deadline::after_seconds(config_.timeout_seconds)
+                                  : Deadline::never();
+
+    LearnResult result = run_search(std::move(preds), sequence_length, std::move(segments),
+                                    compliance_checker, stream.schema(), deadline, total);
+    result.stats.abstraction_seconds = pass_seconds;
+    result.stats.total_seconds = total.elapsed_seconds();
+    return result;
+  } catch (const StatusError& e) {
+    return failure_result(e.status());
+  } catch (const std::bad_alloc&) {
+    return failure_result(Status::ResourceExhausted("allocation failed during learn"));
   }
-  PredicateSequence preds = stream.take_preds();
-  preds.seq = std::move(seq);
-  std::vector<Segment> segments =
-      segmenter ? segmenter->take() : whole_sequence(preds.seq);
-  ComplianceChecker compliance_checker = window_builder.finish();
-  compliance_checker.set_threads(config_.threads);
-  const double pass_seconds = pass_watch.elapsed_seconds();
-
-  // The timeout budgets the CEGIS search, starting after ingest — matching
-  // learn_from_sequence, whose deadline starts after segmentation and P_l
-  // construction — so both paths give the search the same budget.
-  const Deadline deadline = config_.timeout_seconds > 0
-                                ? Deadline::after_seconds(config_.timeout_seconds)
-                                : Deadline::never();
-
-  LearnResult result = run_search(std::move(preds), sequence_length, std::move(segments),
-                                  compliance_checker, stream.schema(), deadline, total);
-  result.stats.abstraction_seconds = pass_seconds;
-  result.stats.total_seconds = total.elapsed_seconds();
-  return result;
 }
 
 LearnResult ModelLearner::learn_from_ftrace(const std::string& path,
                                             const std::string& task_filter) const {
   if (config_.threads <= 1) {
-    LineReader lines(path);
-    FtracePredStream stream(lines, task_filter);
-    return learn_from_stream(stream);
+    const ScopedMemoryLimit mem_limit(config_.max_memory_bytes);
+    try {
+      LineReader lines(path);
+      FtracePredStream stream(lines, task_filter);
+      return learn_from_stream(stream);
+    } catch (const StatusError& e) {
+      return failure_result(e.status());
+    } catch (const std::bad_alloc&) {
+      return failure_result(Status::ResourceExhausted("allocation failed during learn"));
+    }
   }
 
+  const ScopedMemoryLimit mem_limit(config_.max_memory_bytes);
   const Stopwatch total;
-  const Stopwatch pass_watch;
-  par::ShardedIngestOptions options;
-  options.window = config_.window;
-  options.compliance_length = config_.compliance_length;
-  options.threads = config_.threads;
-  options.segmented = config_.segmented;
-  options.keep_sequence = config_.require_trace_acceptance || !config_.segmented;
-  options.task_filter = task_filter;
-  par::ShardedIngestResult ingest = par::sharded_ftrace_ingest_file(path, options);
-  log_debug() << "learner: sharded ingest over " << ingest.shards_used << " shard(s), "
-              << ingest.sequence_length << " steps";
+  try {
+    const Stopwatch pass_watch;
+    par::ShardedIngestOptions options;
+    options.window = config_.window;
+    options.compliance_length = config_.compliance_length;
+    options.threads = config_.threads;
+    options.segmented = config_.segmented;
+    options.keep_sequence = config_.require_trace_acceptance || !config_.segmented;
+    options.task_filter = task_filter;
+    // The ingest gets its own full-timeout deadline so a pathological scan
+    // or merge cannot hang past the configured budget; the search deadline
+    // below still starts after ingest, matching the other entry points.
+    options.deadline = config_.timeout_seconds > 0
+                           ? Deadline::after_seconds(config_.timeout_seconds)
+                           : Deadline::never();
+    par::ShardedIngestResult ingest = par::sharded_ftrace_ingest_file(path, options);
+    log_debug() << "learner: sharded ingest over " << ingest.shards_used << " shard(s), "
+                << ingest.sequence_length << " steps";
 
-  std::vector<Segment> segments = config_.segmented
-                                      ? std::move(ingest.segments)
-                                      : whole_sequence(ingest.preds.seq);
-  ComplianceChecker compliance_checker = std::move(ingest.compliance);
-  compliance_checker.set_threads(config_.threads);
-  const double pass_seconds = pass_watch.elapsed_seconds();
+    std::vector<Segment> segments = config_.segmented
+                                        ? std::move(ingest.segments)
+                                        : whole_sequence(ingest.preds.seq);
+    ComplianceChecker compliance_checker = std::move(ingest.compliance);
+    compliance_checker.set_threads(config_.threads);
+    const double pass_seconds = pass_watch.elapsed_seconds();
 
-  const Deadline deadline = config_.timeout_seconds > 0
-                                ? Deadline::after_seconds(config_.timeout_seconds)
-                                : Deadline::never();
-  LearnResult result =
-      run_search(std::move(ingest.preds), ingest.sequence_length, std::move(segments),
-                 compliance_checker, ingest.schema, deadline, total);
-  result.stats.abstraction_seconds = pass_seconds;
-  result.stats.total_seconds = total.elapsed_seconds();
-  return result;
+    const Deadline deadline = config_.timeout_seconds > 0
+                                  ? Deadline::after_seconds(config_.timeout_seconds)
+                                  : Deadline::never();
+    LearnResult result =
+        run_search(std::move(ingest.preds), ingest.sequence_length, std::move(segments),
+                   compliance_checker, ingest.schema, deadline, total);
+    result.stats.abstraction_seconds = pass_seconds;
+    result.stats.total_seconds = total.elapsed_seconds();
+    return result;
+  } catch (const StatusError& e) {
+    return failure_result(e.status());
+  } catch (const std::bad_alloc&) {
+    return failure_result(Status::ResourceExhausted("allocation failed during learn"));
+  }
 }
 
 LearnResult ModelLearner::run_search(PredicateSequence preds, std::size_t sequence_length,
@@ -214,28 +299,49 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
     }
   };
   relay_outer_stop();
+  std::vector<Status> lane_errors(k);  // non-ok when the lane body threw
   par::TaskGroup group(pool);
   for (std::size_t i = 0; i < k; ++i) {
     group.run([&, i] {
       relay_outer_stop();
       const Stopwatch wall;
-      LearnerConfig config = variants[i].config;
-      config.stop = &race_stop;
-      const ModelLearner worker(config);
-      LearnResult r = worker.run_search_single(preds, sequence_length, segments,
-                                               compliance_checker, schema, deadline,
-                                               total);
-      walls[i] = wall.elapsed_seconds();
-      // A verdict was reached only if neither the race's stop flag nor the
-      // deadline cut the lane short; a timed-out or budget-overflowed lane
-      // must not be crowned (another configuration may still fit).
-      if (!r.cancelled && !r.timed_out && !r.budget_exceeded) {
-        int expected = -1;
-        if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
-          race_stop.store(true, std::memory_order_release);
+      // Lane fault isolation: an error unwinding one lane (including an
+      // injected one) records a per-lane Status and leaves the race — it
+      // must not take down the siblings or the process. A failed lane is
+      // never crowned; the winner CAS below stays single-shot.
+      try {
+        T2M_INJECT_STATUS("portfolio.lane", ErrorCode::internal,
+                          "injected portfolio lane failure");
+        LearnerConfig config = variants[i].config;
+        config.stop = &race_stop;
+        const ModelLearner worker(config);
+        LearnResult r = worker.run_search_single(preds, sequence_length, segments,
+                                                 compliance_checker, schema, deadline,
+                                                 total);
+        // A verdict was reached only if neither the race's stop flag nor
+        // the deadline cut the lane short; a timed-out, budget-overflowed
+        // or memory-starved lane must not be crowned (another configuration
+        // may still fit).
+        if (!r.cancelled && !r.timed_out && !r.budget_exceeded &&
+            !r.resource_exhausted) {
+          int expected = -1;
+          if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+            race_stop.store(true, std::memory_order_release);
+          }
         }
+        results[i] = std::move(r);
+      } catch (const StatusError& e) {
+        lane_errors[i] = e.status();
+      } catch (const std::exception& e) {
+        lane_errors[i] = Status::Internal(std::string("portfolio lane failed: ") + e.what());
+      } catch (...) {
+        lane_errors[i] = Status::Internal("portfolio lane failed with an unknown exception");
       }
-      results[i] = std::move(r);
+      if (!lane_errors[i].ok()) {
+        log_warn() << "learner: portfolio lane '" << variants[i].name
+                   << "' failed: " << lane_errors[i].to_string();
+      }
+      walls[i] = wall.elapsed_seconds();
     });
   }
   // Wait while relaying the caller's cancellation into the race: the lanes
@@ -250,15 +356,30 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
   group.wait();  // synchronise and surface any lane exception
 
   // No genuine verdict (outer stop or deadline cancelled every lane):
-  // report the first lane that at least ran to its own cutoff uncancelled.
+  // report the first healthy lane that at least ran to its own cutoff
+  // uncancelled — a salvaged partial model beats an empty result.
   std::size_t won = 0;
+  bool found_fallback = false;
   if (winner.load() >= 0) {
     won = static_cast<std::size_t>(winner.load());
+    found_fallback = true;
   } else {
     for (std::size_t i = 0; i < k; ++i) {
-      if (!results[i].cancelled) {
+      if (!results[i].cancelled && lane_errors[i].ok()) {
         won = i;
+        found_fallback = true;
         break;
+      }
+    }
+    // Every lane was cancelled or died: fall back to any healthy lane, then
+    // to lane 0 (whose error is surfaced in the result's status below).
+    if (!found_fallback) {
+      for (std::size_t i = 0; i < k; ++i) {
+        if (lane_errors[i].ok()) {
+          won = i;
+          found_fallback = true;
+          break;
+        }
       }
     }
   }
@@ -272,8 +393,10 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
     e.name = variants[i].name;
     e.winner = have_verdict && i == won;
     e.cancelled = results[i].cancelled;
-    e.finished =
-        !results[i].cancelled && !results[i].timed_out && !results[i].budget_exceeded;
+    e.failed = !lane_errors[i].ok();
+    if (e.failed) e.error = lane_errors[i].to_string();
+    e.finished = !e.failed && !results[i].cancelled && !results[i].timed_out &&
+                 !results[i].budget_exceeded && !results[i].resource_exhausted;
     e.states = results[i].states;
     e.sat_calls = results[i].stats.sat_calls;
     e.sat_conflicts = results[i].stats.sat_conflicts;
@@ -282,6 +405,11 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
   }
 
   LearnResult result = std::move(results[won]);
+  if (!found_fallback) {
+    // Every lane died: the race as a whole failed. Surface the first lane's
+    // error as the run's status — still a returned verdict, not a throw.
+    result.status = lane_errors[won];
+  }
   // Aggregate the losers' counters into the headline stats — the honest
   // total-work number for the race.
   for (std::size_t i = 0; i < k; ++i) {
@@ -341,6 +469,24 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
     result.stats.forbidden_words = forbidden.size();
   };
 
+  // Best-so-far salvage: the last candidate that passed compliance but was
+  // blocked by the trace-acceptance strengthening. A run cut short by the
+  // deadline, the clause budget, or the memory cap hands this model back
+  // tagged `salvaged` instead of returning nothing — it is compliant for
+  // the window length it was checked at, just not a full verdict.
+  std::optional<Nfa> best_model;
+  std::size_t best_states = 0;
+  const auto salvage = [&] {
+    if (!best_model) return;
+    best_model->set_pred_names(preds.names_for(schema));
+    result.model = std::move(*best_model);
+    result.states = best_states;
+    result.salvaged = true;
+    best_model.reset();
+    log_info() << "learner: salvaged the best " << result.states
+               << "-state model from the aborted run";
+  };
+
   const Stopwatch construction_watch;
   std::unique_ptr<AutomatonCsp> csp;
   // (Re)builds the CSP at state count n. Persistent mode allocates headroom
@@ -375,17 +521,26 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
   };
 
   // Abandons the run at the current point (deadline expiry or cooperative
-  // cancellation), reporting which of the two it was.
+  // cancellation), reporting which of the two it was. Uncancelled aborts
+  // salvage the best model so far; a cancelled lane lost a portfolio race
+  // where another lane owns the verdict, so it hands back nothing.
   const auto abort_run = [&](bool was_stopped) {
-    absorb_solver_stats(*csp);
+    if (csp) absorb_solver_stats(*csp);
     result.timed_out = true;
     result.cancelled = was_stopped;
+    if (!was_stopped) salvage();
     result.preds = std::move(preds);
     result.stats.construction_seconds = construction_watch.elapsed_seconds();
     result.stats.total_seconds = total.elapsed_seconds();
     return std::move(result);
   };
 
+  // Deadline expiry and allocation pressure anywhere inside the loop —
+  // clause emission, preprocessing, the compliance DFS, an arena grow —
+  // surface as structured errors; both become verdicts (with salvage)
+  // rather than unwinding out of the learn. Other taxonomies (io, parse,
+  // internal) are not this loop's to own and propagate to the entry points.
+  try {
   for (std::size_t n = config_.initial_states; n <= config_.max_states; ++n) {
     if (csp && config_.persistent_solver && csp->grow_to(n)) {
       ++result.stats.csp_grows;
@@ -405,6 +560,7 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
           // the instance's size at this configuration, not a timeout.
           absorb_solver_stats(*csp);
           result.budget_exceeded = true;
+          salvage();
           result.preds = std::move(preds);
           result.stats.construction_seconds = construction_watch.elapsed_seconds();
           result.stats.total_seconds = total.elapsed_seconds();
@@ -438,7 +594,11 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
           acceptance_blocks < config_.max_acceptance_blocks &&
           !candidate.accepts(preds.seq)) {
         // Valid per segments and compliance, but this wiring cannot replay
-        // the trace; exclude it and look for a sibling model.
+        // the trace; exclude it and look for a sibling model. It is the
+        // best model seen so far — keep it for salvage if the run is cut
+        // short before a full verdict.
+        best_model = std::move(candidate);
+        best_states = n;
         ++result.stats.refinements;
         ++acceptance_blocks;
         if (acceptance_blocks == config_.max_acceptance_blocks) {
@@ -469,6 +629,34 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
         if (forbidden.insert(word).second) csp->add_forbidden_sequence(word);
       }
     }
+  }
+  } catch (const StatusError& e) {
+    const ErrorCode code = e.status().code();
+    if (code != ErrorCode::deadline_exceeded && code != ErrorCode::resource_exhausted) {
+      throw;
+    }
+    if (csp) absorb_solver_stats(*csp);
+    result.status = e.status();
+    if (code == ErrorCode::deadline_exceeded) {
+      result.timed_out = true;
+    } else {
+      result.resource_exhausted = true;
+      log_warn() << "learner: " << e.status().to_string();
+    }
+    salvage();
+    result.preds = std::move(preds);
+    result.stats.construction_seconds = construction_watch.elapsed_seconds();
+    result.stats.total_seconds = total.elapsed_seconds();
+    return result;
+  } catch (const std::bad_alloc&) {
+    if (csp) absorb_solver_stats(*csp);
+    result.status = Status::ResourceExhausted("allocation failed during the search");
+    result.resource_exhausted = true;
+    salvage();
+    result.preds = std::move(preds);
+    result.stats.construction_seconds = construction_watch.elapsed_seconds();
+    result.stats.total_seconds = total.elapsed_seconds();
+    return result;
   }
 
   // Exhausted the state budget.

@@ -9,6 +9,7 @@
 #include "src/abstraction/abstraction.h"
 #include "src/abstraction/pred_stream.h"
 #include "src/automaton/nfa.h"
+#include "src/base/status.h"
 #include "src/core/compliance.h"
 #include "src/core/csp_encoder.h"
 #include "src/core/segmentation.h"
@@ -88,6 +89,12 @@ struct LearnerConfig {
   /// solver calls and inside Solver::solve at every conflict. A learn
   /// aborted this way returns with `cancelled` (and timed_out) set.
   const std::atomic<bool>* stop = nullptr;
+  /// Global memory cap in bytes applied (via MemoryAccountant) for the
+  /// duration of each public learn call; 0 = unlimited. Overrunning it ends
+  /// the learn with LearnResult::resource_exhausted — allocation pressure
+  /// becomes a verdict, not a crash. The accountant is process-global, so
+  /// concurrent learners share the cap.
+  std::size_t max_memory_bytes = 0;
   /// Trace-abstraction settings (window is taken from `window`).
   AbstractionConfig abstraction;
 };
@@ -98,6 +105,11 @@ struct PortfolioConfigStats {
   bool winner = false;
   bool finished = false;   ///< reached a verdict before cancellation
   bool cancelled = false;  ///< stopped by the race's stop flag
+  bool failed = false;     ///< the lane died with an error (see `error`)
+  /// Diagnostic for a failed lane ("internal: ..."); empty otherwise. A
+  /// crashed lane is cancelled out of the race without touching its
+  /// siblings — the portfolio survives it.
+  std::string error;
   std::size_t states = 0;
   std::size_t sat_calls = 0;
   std::uint64_t sat_conflicts = 0;
@@ -158,7 +170,18 @@ struct LearnResult {
   /// at this budget, which is a verdict about the encoding size — distinct
   /// from timed_out (a wall-clock accident of the machine).
   bool budget_exceeded = false;
-  Nfa model;                 ///< predicate names attached; valid when success
+  /// The run hit the configured memory cap (LearnerConfig::max_memory_bytes)
+  /// or an allocation failed: the budget_exceeded sibling for memory.
+  bool resource_exhausted = false;
+  /// `model` is the best model accepted so far (it passed compliance when it
+  /// was captured), salvaged from a run that timed out, overran its clause
+  /// budget, or exhausted memory before reaching a full verdict. Always
+  /// paired with one of those three flags; success stays false.
+  bool salvaged = false;
+  /// Structured detail for failed runs (taxonomy + diagnostic); ok() for
+  /// clean verdicts. Entry points return this instead of throwing.
+  Status status;
+  Nfa model;                 ///< names attached; valid when success or salvaged
   std::size_t states = 0;    ///< the paper's N
   PredicateSequence preds;   ///< the abstraction output (vocabulary + P)
   /// The schema `preds` was interned against. Callers of the trace/sequence

@@ -7,11 +7,33 @@
 
 namespace t2m {
 
+namespace {
+
+/// The one-word verdict for a failed run, sharing the flag precedence
+/// between the report and the summary so the two never disagree.
+const char* failure_verdict(const LearnResult& result) {
+  if (result.resource_exhausted) return "out of memory";
+  if (result.budget_exceeded) return "hit the clause budget";
+  if (result.cancelled) return "was cancelled";
+  if (result.timed_out) return "timed out";
+  if (!result.status.ok()) return "failed with an error";
+  return "failed";
+}
+
+}  // namespace
+
 std::string format_learn_report(const LearnResult& result, const Schema& schema) {
   std::ostringstream os;
   if (!result.success) {
-    os << "learning " << (result.timed_out ? "timed out" : "failed") << " after "
+    os << "learning " << failure_verdict(result) << " after "
        << format_double(result.stats.total_seconds) << " s\n";
+    if (!result.status.ok()) os << "error: " << result.status.to_string() << "\n";
+    if (result.salvaged) {
+      os << "salvaged best-so-far model: " << result.states << " states, "
+         << result.model.num_transitions()
+         << " transitions (compliant when captured; not a full verdict)\n";
+      os << to_text(result.model);
+    }
     return os.str();
   }
   os << "learned model: " << result.states << " states, "
@@ -37,8 +59,15 @@ std::string format_learn_report(const LearnResult& result, const Schema& schema)
 std::string format_learn_summary(const LearnResult& result) {
   std::ostringstream os;
   if (!result.success) {
-    os << (result.timed_out ? "timeout" : "no model") << " ("
-       << format_double(result.stats.total_seconds) << " s)";
+    if (result.resource_exhausted) {
+      os << "out of memory";
+    } else if (result.timed_out) {
+      os << "timeout";
+    } else {
+      os << "no model";
+    }
+    if (result.salvaged) os << ", salvaged " << result.states << "-state model";
+    os << " (" << format_double(result.stats.total_seconds) << " s)";
     return os.str();
   }
   os << result.states << " states, " << result.model.num_transitions()

@@ -1,10 +1,13 @@
 #include "src/expr/parser.h"
 
 #include <cctype>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "src/util/string_utils.h"
 
 namespace t2m {
 
@@ -59,7 +62,14 @@ private:
       std::size_t j = pos_;
       while (j < text_.size() && std::isdigit(static_cast<unsigned char>(text_[j]))) ++j;
       const std::string digits(text_.substr(pos_, j - pos_));
-      current_ = Token{TokKind::Int, digits, std::stoll(digits)};
+      std::int64_t value = 0;
+      if (!parse_int64(digits, value)) {
+        // std::stoll would throw std::out_of_range here — a raw escape from
+        // the parser's invalid_argument contract on inputs like 99..9e30.
+        throw std::invalid_argument("parse error: integer literal out of range: " +
+                                    digits);
+      }
+      current_ = Token{TokKind::Int, digits, value};
       pos_ = j;
       return;
     }

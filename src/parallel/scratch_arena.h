@@ -8,6 +8,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/base/memory_accountant.h"
+
 namespace t2m::par {
 
 /// Per-thread bump allocator for transient worker buffers (merge tapes,
@@ -52,6 +54,7 @@ public:
     keep.used = 0;
     blocks_.clear();
     blocks_.push_back(std::move(keep));
+    charge_.set_charged(keep_capacity());
   }
 
   /// Total bytes held across blocks.
@@ -80,11 +83,23 @@ private:
   Block* grow(std::size_t at_least) {
     const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
     const std::size_t size = std::max({at_least, prev * 2, std::size_t{4096}});
+    // Charge before allocating so a configured cap rejects the growth as a
+    // structured resource_exhausted instead of driving the process into the
+    // OOM killer. Worker threads let the throw propagate into their
+    // TaskGroup, which rethrows it at the fork-join point.
+    charge_.set_charged(charge_.charged() + size);
     blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size, 0});
     return &blocks_.back();
   }
 
+  std::size_t keep_capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
   std::vector<Block> blocks_;
+  ChargeTracker charge_;  ///< releases everything at thread/scope exit
 };
 
 /// The calling thread's scratch arena (thread-local, created on first use).

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "src/abstraction/event_stream.h"
+#include "src/base/status.h"
 #include "src/parallel/scratch_arena.h"
 #include "src/parallel/thread_pool.h"
 #include "src/trace/ftrace_io.h"
@@ -37,6 +38,20 @@ struct ShardScan {
   std::vector<std::vector<std::uint32_t>> cmp_windows;
   /// Full local-id sequence (only when the caller keeps the sequence).
   std::vector<std::uint32_t> seq;
+};
+
+/// Amortised deadline poll for the scan and merge loops: reads the clock
+/// every 8192nd call and throws the structured timeout on expiry.
+struct IngestDeadlinePoll {
+  const Deadline& deadline;
+  std::uint64_t ticks = 0;
+  void operator()() {
+    if ((ticks++ & 8191u) != 0 || !deadline.is_finite()) return;
+    if (deadline.expired()) {
+      throw_status(ErrorCode::deadline_exceeded,
+                   "trace ingest exceeded the learn deadline");
+    }
+  }
 };
 
 /// Cuts `content` at line boundaries into up to `shards` non-empty regions.
@@ -84,7 +99,9 @@ void scan_shard(std::string_view region, bool fresh_start,
 
   std::string task, event;
   std::string_view line;
+  IngestDeadlinePoll poll{opt.deadline};
   while (lines.next(line)) {
+    poll();
     if (!parse_ftrace_line(line, task, event)) continue;
     if (!opt.task_filter.empty() && task != opt.task_filter) continue;
     ++out.observations;
@@ -181,7 +198,9 @@ ShardedIngestResult sequential_ingest(std::string_view content,
   if (opt.segmented) segmenter.emplace(opt.window);
   ComplianceWindowBuilder builder(opt.compliance_length);
   std::vector<PredId> seq;
+  IngestDeadlinePoll poll{opt.deadline};
   while (const auto id = stream.next()) {
+    poll();
     if (segmenter) segmenter->push(*id);
     builder.push(*id);
     if (opt.keep_sequence) seq.push_back(*id);
@@ -307,9 +326,11 @@ ShardedIngestResult sharded_ftrace_ingest(std::string_view content,
                                  const auto member) -> std::vector<std::vector<PredId>> {
     OrderedWindowMerge merged;
     std::vector<PredId> tail;
+    IngestDeadlinePoll poll{options.deadline};
     for (std::size_t s = 0; s < scans.size(); ++s) {
       emit_cross_windows(tail, slice_front(lead_global[s], L > 0 ? L - 1 : 0), L, merged);
       for (const auto& local_window : scans[s].*member) {
+        poll();
         std::vector<PredId> window;
         window.reserve(local_window.size());
         for (const std::uint32_t lid : local_window) window.push_back(remap[s][lid]);

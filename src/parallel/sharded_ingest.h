@@ -30,6 +30,11 @@ struct ShardedIngestOptions {
   bool keep_sequence = false;
   /// ftrace task filter (empty = keep all), as FtracePredStream.
   std::string task_filter;
+  /// Cooperative wall-clock bound: shard scans poll it every few thousand
+  /// lines and the merge polls it per shard; expiry throws
+  /// StatusError(deadline_exceeded) from sharded_ftrace_ingest (the worker
+  /// throw propagates through TaskGroup::wait). Defaults to never expiring.
+  Deadline deadline;
 };
 
 /// The one-pass ingest artefacts the CEGIS search runs on. Byte-identical to

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/util/failpoint.h"
+#include "src/util/log.h"
+
 namespace t2m::par {
 
 std::size_t hardware_threads() {
@@ -95,7 +98,17 @@ void ThreadPool::worker_loop(std::size_t index) {
   std::function<void()> task;
   while (true) {
     if (pop_own(index, task) || steal(index + 1, task)) {
-      task();
+      // Last line of defence: a raw submit() task that throws (violating the
+      // submit contract) must take down its own work item, not the process —
+      // an unwound worker thread would std::terminate. TaskGroup tasks never
+      // reach this (their wrapper captures the exception for wait()).
+      try {
+        task();
+      } catch (const std::exception& e) {
+        log_warn() << "ThreadPool: task escaped with exception: " << e.what();
+      } catch (...) {
+        log_warn() << "ThreadPool: task escaped with unknown exception";
+      }
       task = nullptr;
       continue;
     }
@@ -119,6 +132,12 @@ void TaskGroup::run(std::function<void()> fn) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
   pool_.submit([this, fn = std::move(fn)]() mutable {
     try {
+      // Fault-injection hook covering every TaskGroup task body (ingest
+      // shards, compliance chunks, emission chunks, portfolio lanes): an
+      // injected failure here must surface from wait() as a structured
+      // error, cancelling the parallel stage and nothing else.
+      T2M_INJECT_STATUS("pool.task", ErrorCode::internal,
+                        "injected task-body failure");
       fn();
     } catch (...) {
       std::lock_guard<std::mutex> lk(mutex_);

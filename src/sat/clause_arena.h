@@ -7,7 +7,9 @@
 #include <span>
 #include <vector>
 
+#include "src/base/memory_accountant.h"
 #include "src/sat/cnf.h"
+#include "src/util/failpoint.h"
 
 namespace t2m::sat {
 
@@ -46,6 +48,8 @@ public:
   static constexpr std::uint32_t kTaintedBit = 8u;
 
   ClauseRef alloc(std::span<const Lit> lits, bool learned, bool tainted = false) {
+    T2M_INJECT_STATUS("arena.alloc", ErrorCode::resource_exhausted,
+                      "clause arena allocation failed");
     const auto cref = static_cast<ClauseRef>(mem_.size());
     mem_.push_back((static_cast<std::uint32_t>(lits.size()) << 4) |
                    (learned ? kLearnedBit : 0u) | (tainted ? kTaintedBit : 0u));
@@ -57,6 +61,7 @@ public:
       mem_.push_back(static_cast<std::uint32_t>(l.code()));
     }
     if (mem_.size() > peak_words_) peak_words_ = mem_.size();
+    update_charge();
     return cref;
   }
 
@@ -113,12 +118,16 @@ public:
     const std::size_t n = words_of(c);
     const auto nc = static_cast<ClauseRef>(to.mem_.size());
     to.mem_.insert(to.mem_.end(), mem_.begin() + c, mem_.begin() + c + n);
+    to.update_charge();
     mem_[c] |= kRelocedBit;
     mem_[c + 1] = nc;
     return nc;
   }
 
-  void reserve_words(std::size_t words) { mem_.reserve(words); }
+  void reserve_words(std::size_t words) {
+    mem_.reserve(words);
+    update_charge();
+  }
   /// Carries the lifetime high-water mark across a GC swap.
   void inherit_peak(const ClauseArena& from) {
     if (from.peak_words_ > peak_words_) peak_words_ = from.peak_words_;
@@ -135,9 +144,21 @@ private:
     return 1 + (learned(c) ? 2 : 0) + size(c);
   }
 
+  /// Syncs the global memory accountant with the buffer's capacity. The
+  /// vector doubles, so this reaches the accountant O(log size) times; when
+  /// a configured cap is overrun the charge throws resource_exhausted (the
+  /// just-performed push_back stays — the learn run is unwinding anyway).
+  void update_charge() {
+    const std::size_t cap_bytes = mem_.capacity() * sizeof(std::uint32_t);
+    if (cap_bytes != charge_.charged()) charge_.set_charged(cap_bytes);
+  }
+
   std::vector<std::uint32_t> mem_;
   std::size_t wasted_ = 0;
   std::size_t peak_words_ = 0;
+  // Makes the arena move-only; the charge follows the buffer across the GC
+  // swap (`arena_ = std::move(to)`).
+  ChargeTracker charge_;
 };
 
 }  // namespace t2m::sat

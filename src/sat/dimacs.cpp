@@ -1,10 +1,13 @@
 #include "src/sat/dimacs.h"
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "src/util/string_utils.h"
 
 namespace t2m::sat {
 
@@ -17,11 +20,11 @@ CnfFormula read_dimacs(std::istream& is) {
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == 'c') continue;
     if (line[0] == 'p') {
-      std::istringstream header(line);
-      std::string p, fmt;
-      long long vars = 0, clauses = 0;
-      header >> p >> fmt >> vars >> clauses;
-      if (fmt != "cnf" || vars < 0 || clauses < 0) {
+      const auto fields = split_ws(line);
+      std::int64_t vars = 0, clauses = 0;
+      if (fields.size() < 4 || fields[0] != "p" || fields[1] != "cnf" ||
+          !parse_int64(fields[2], vars) || !parse_int64(fields[3], clauses) ||
+          vars < 0 || clauses < 0) {
         throw std::invalid_argument("read_dimacs: malformed header: " + line);
       }
       formula.num_vars = static_cast<std::size_t>(vars);
@@ -29,9 +32,15 @@ CnfFormula read_dimacs(std::istream& is) {
       have_header = true;
       continue;
     }
-    std::istringstream body(line);
-    long long lit = 0;
-    while (body >> lit) {
+    // Checked token-by-token parse: `istream >> long long` used to stop
+    // silently at the first garbage token, dropping the rest of the line.
+    for (const std::string& token : split_ws(line)) {
+      std::int64_t lit = 0;
+      if (!parse_int64(token, lit) || lit <= -(std::int64_t{1} << 31) ||
+          lit >= (std::int64_t{1} << 31)) {
+        throw std::invalid_argument("read_dimacs: malformed literal '" + token +
+                                    "' in line: " + line);
+      }
       if (lit == 0) {
         formula.clauses.push_back(current);
         current.clear();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/util/failpoint.h"
+
 namespace t2m::sat {
 
 // --- Solver entry point ---------------------------------------------------
@@ -115,6 +117,7 @@ bool Preprocessor::subsume_and_strengthen() {
   bool changed = false;
   std::size_t head = 0;
   while (head < queue_.size() && work_ < opts_.work_budget && !unsat_) {
+    poll_deadline();
     const std::uint32_t idx = queue_[head++];
     queued_[idx] = 0;
     if (clauses_[idx].deleted) continue;
@@ -198,6 +201,11 @@ bool Preprocessor::resolve(const PClause& a, const PClause& b, Var v, Clause& ou
 }
 
 void Preprocessor::add_derived_clause(Clause lits, bool tainted) {
+  // Fault-injection site for every derivation the preprocessor produces
+  // (BVE resolvents). The learner must turn the escape into a structured
+  // failed verdict, never a crash.
+  T2M_INJECT_STATUS("preprocess.derive", ErrorCode::internal,
+                    "injected preprocessor derivation failure");
   const auto idx = static_cast<std::uint32_t>(clauses_.size());
   PClause pc;
   pc.sig = signature(lits);
@@ -285,6 +293,7 @@ bool Preprocessor::eliminate_variables() {
   std::sort(cands.begin(), cands.end());
   bool changed = false;
   for (const auto& [occs, v] : cands) {
+    poll_deadline();
     if (work_ >= opts_.work_budget || unsat_) break;
     if (try_eliminate(v)) changed = true;
   }

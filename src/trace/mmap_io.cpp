@@ -1,10 +1,13 @@
 #include "src/trace/mmap_io.h"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <sstream>
-#include <stdexcept>
+
+#include "src/base/status.h"
+#include "src/util/failpoint.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define T2M_HAVE_MMAP 1
@@ -23,19 +26,47 @@ struct ReadonlyMapping {
   const char* data = nullptr;  ///< non-null on success ("" for an empty file)
   std::size_t size = 0;
   int fd = -1;
-  bool owns_map = false;  ///< true when `data` must be munmap'd
+  bool owns_map = false;   ///< true when `data` must be munmap'd
+  int open_errno = 0;      ///< errno from a failed open(); 0 when open worked
 };
 
+#ifdef T2M_HAVE_MMAP
+/// open(2) with EINTR retry. The "mmap.open" failpoint forces a hard EIO
+/// failure; "mmap.open_eintr" injects transient EINTRs the loop must absorb.
+int open_readonly_retry(const std::string& path) {
+  if (T2M_FAILPOINT("mmap.open")) {
+    errno = EIO;
+    return -1;
+  }
+  int fd;
+  for (;;) {
+    if (T2M_FAILPOINT("mmap.open_eintr")) {
+      errno = EINTR;
+      fd = -1;
+    } else {
+      fd = ::open(path.c_str(), O_RDONLY);
+    }
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+#endif
+
 /// Opens `path` and maps it read-only with sequential-access advice.
-/// Returns data == nullptr (and no open fd) when the file is not a mappable
-/// regular file — callers then take their own fallback. An empty regular
-/// file succeeds with data == "" and no mapping (a zero-length mmap is
-/// invalid, but there is nothing to read).
+/// On open failure, data == nullptr and open_errno holds the saved errno.
+/// When the file opened but is not a mappable regular file (pipe, device,
+/// mmap refusal), data == nullptr with open_errno == 0 — callers then take
+/// their own read fallback. An empty regular file succeeds with data == ""
+/// and no mapping (a zero-length mmap is invalid, but there is nothing to
+/// read).
 ReadonlyMapping map_readonly(const std::string& path) {
   ReadonlyMapping m;
 #ifdef T2M_HAVE_MMAP
-  m.fd = ::open(path.c_str(), O_RDONLY);
-  if (m.fd < 0) return m;
+  m.fd = open_readonly_retry(path);
+  if (m.fd < 0) {
+    m.open_errno = errno != 0 ? errno : EIO;
+    m.fd = -1;
+    return m;
+  }
   struct stat st {};
   if (::fstat(m.fd, &st) == 0 && S_ISREG(st.st_mode)) {
     m.size = static_cast<std::size_t>(st.st_size);
@@ -43,7 +74,9 @@ ReadonlyMapping map_readonly(const std::string& path) {
       m.data = "";
       return m;
     }
-    void* map = ::mmap(nullptr, m.size, PROT_READ, MAP_PRIVATE, m.fd, 0);
+    void* map = T2M_FAILPOINT("mmap.map")
+                    ? MAP_FAILED
+                    : ::mmap(nullptr, m.size, PROT_READ, MAP_PRIVATE, m.fd, 0);
     if (map != MAP_FAILED) {
 #ifdef MADV_SEQUENTIAL
       ::madvise(map, m.size, MADV_SEQUENTIAL);
@@ -62,6 +95,56 @@ ReadonlyMapping map_readonly(const std::string& path) {
   return m;
 }
 
+/// Whole-file slurp via a POSIX read(2) loop: retries EINTR, accumulates
+/// short reads, and reports failures with errno + path. Failpoints:
+/// "io.read_eintr" (transient EINTR), "io.read" (hard EIO),
+/// "io.short_read" (caps each read at one byte so the accumulation loop is
+/// exercised). Non-POSIX builds fall back to an ifstream slurp.
+std::string read_file_contents(const std::string& path) {
+#ifdef T2M_HAVE_MMAP
+  int fd = open_readonly_retry(path);
+  if (fd < 0) {
+    throw StatusError(ErrorCode::io_error,
+                      errno_message("cannot open", path, errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    std::size_t want = sizeof buf;
+    if (T2M_FAILPOINT("io.short_read")) want = 1;
+    ssize_t n;
+    if (T2M_FAILPOINT("io.read_eintr")) {
+      errno = EINTR;
+      n = -1;
+    } else if (T2M_FAILPOINT("io.read")) {
+      errno = EIO;
+      n = -1;
+    } else {
+      n = ::read(fd, buf, want);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      throw StatusError(ErrorCode::io_error,
+                        errno_message("read failed", path, saved));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+#else
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw StatusError(ErrorCode::io_error, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return std::move(buffer).str();
+#endif
+}
+
 }  // namespace
 
 LineReader::LineReader(const std::string& path) {
@@ -72,6 +155,13 @@ LineReader::LineReader(const std::string& path) {
     fd_ = m.fd;
     owns_map_ = m.owns_map;
     return;
+  }
+  if (m.open_errno != 0) {
+    // StatusError derives from std::runtime_error, preserving the historical
+    // throw contract while adding the taxonomy + errno detail.
+    throw StatusError(
+        ErrorCode::io_error,
+        errno_message("LineReader: cannot open", path, m.open_errno));
   }
   open_fallback(path);
 }
@@ -95,7 +185,10 @@ LineReader::~LineReader() {
 void LineReader::open_fallback(const std::string& path) {
   auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
   if (!*file) {
-    throw std::runtime_error("LineReader: cannot open " + path);
+    const int saved = errno;
+    throw StatusError(
+        ErrorCode::io_error,
+        errno_message("LineReader: cannot open", path, saved != 0 ? saved : EIO));
   }
   owned_stream_ = std::move(file);
   stream_ = owned_stream_.get();
@@ -157,13 +250,15 @@ MappedFile::MappedFile(const std::string& path) {
     owns_map_ = m.owns_map;
     return;
   }
-  // Fallback: slurp the file. Costs O(file) memory, but keeps the sharded
-  // path functional on platforms or file kinds mmap cannot serve.
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("MappedFile: cannot open " + path);
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  fallback_ = std::move(buffer).str();
+  if (m.open_errno != 0) {
+    throw StatusError(
+        ErrorCode::io_error,
+        errno_message("MappedFile: cannot open", path, m.open_errno));
+  }
+  // Fallback: slurp the file through the EINTR-safe read loop. Costs O(file)
+  // memory, but keeps the sharded path functional on platforms or file kinds
+  // mmap cannot serve.
+  fallback_ = read_file_contents(path);
   data_ = fallback_.data();
   size_ = fallback_.size();
 }

@@ -1,10 +1,12 @@
 #include "src/trace/text_io.h"
 
+#include <cerrno>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "src/base/status.h"
 #include "src/util/string_utils.h"
 
 namespace t2m {
@@ -75,8 +77,13 @@ Trace read_trace_text(std::istream& is) {
 }
 
 Trace read_trace_file(const std::string& path) {
+  errno = 0;
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open trace file: " + path);
+  if (!is) {
+    throw StatusError(ErrorCode::io_error,
+                      errno_message("cannot open trace file", path,
+                                    errno != 0 ? errno : EIO));
+  }
   return read_trace_text(is);
 }
 
@@ -111,8 +118,13 @@ void write_trace_text(std::ostream& os, const Trace& trace) {
 }
 
 void write_trace_file(const std::string& path, const Trace& trace) {
+  errno = 0;
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open trace file for writing: " + path);
+  if (!os) {
+    throw StatusError(ErrorCode::io_error,
+                      errno_message("cannot open trace file for writing", path,
+                                    errno != 0 ? errno : EIO));
+  }
   write_trace_text(os, trace);
 }
 

@@ -1,0 +1,93 @@
+#ifndef T2M_UTIL_FAILPOINT_H
+#define T2M_UTIL_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+
+namespace t2m::failpoint {
+
+/// Deterministic, seeded fault-injection registry.
+///
+/// Production code marks injectable failure sites with T2M_FAILPOINT("name")
+/// (evaluates to true when the site should fail this time) or the
+/// T2M_INJECT_STATUS(name, code, msg) helper that throws a StatusError.
+/// Nothing fires unless a spec arms the site, either programmatically
+/// (tests call arm()/disarm_all()) or via the T2M_FAILPOINTS environment
+/// variable read once at startup.
+///
+/// Zero-cost when disabled: the macro is a single relaxed atomic load of a
+/// global armed-count plus a predictable branch; the registry lock and name
+/// lookup only run while at least one failpoint is armed anywhere.
+///
+/// Spec grammar (env var and arm(name, spec) share it):
+///
+///   T2M_FAILPOINTS="site.a=always;site.b=count=2;site.c=skip=5,count=1;site.d=permille=250,seed=7"
+///
+/// Items are ';'-separated `name=spec`; a spec is ','-separated terms:
+///   always        fire on every evaluation
+///   once          fire on the first evaluation only (count=1)
+///   off           never fire (still counts evaluations)
+///   skip=K        ignore the first K evaluations
+///   count=N       after skipping, fire on at most N evaluations
+///   permille=P    after skipping, fire with probability P/1000 per
+///                 evaluation (deterministic splitmix64 stream)
+///   seed=S        seed for the permille stream (default 1)
+struct FailSpec {
+  bool always = false;
+  std::uint64_t skip = 0;
+  /// Max number of fires after `skip`; 0 with !always and !permille = off.
+  std::uint64_t count = 0;
+  std::uint32_t permille = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Parses the spec grammar above. Throws StatusError(parse_error) on a
+/// malformed term.
+FailSpec parse_spec(const std::string& spec);
+
+void arm(const std::string& name, const FailSpec& spec);
+void arm(const std::string& name, const std::string& spec);
+/// Arms every item of a ';'-separated list ("a=always;b=once").
+void arm_list(const std::string& list);
+void disarm(const std::string& name);
+void disarm_all();
+
+/// Number of times the named site was evaluated / actually fired. Zero for
+/// never-armed sites (evaluations are only counted while armed).
+std::uint64_t evaluations(const std::string& name);
+std::uint64_t fires(const std::string& name);
+
+namespace detail {
+extern std::atomic<int> g_armed_count;
+bool should_fail_slow(const char* name);
+}  // namespace detail
+
+/// True when any failpoint is armed process-wide (fast gate).
+inline bool any_armed() {
+  return detail::g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Evaluates the named site: true when the site should fail now.
+inline bool should_fail(const char* name) {
+  return any_armed() && detail::should_fail_slow(name);
+}
+
+}  // namespace t2m::failpoint
+
+/// Marks an injectable failure site. Usage:
+///   if (T2M_FAILPOINT("mmap.map")) { ...simulate the failure... }
+#define T2M_FAILPOINT(name) (::t2m::failpoint::should_fail(name))
+
+/// Throws StatusError(code, msg) when the named site fires.
+#define T2M_INJECT_STATUS(name, code, msg)                            \
+  do {                                                                \
+    if (T2M_FAILPOINT(name)) {                                        \
+      ::t2m::throw_status((code), std::string(msg) +                  \
+                                      " [failpoint " name "]");       \
+    }                                                                 \
+  } while (0)
+
+#endif  // T2M_UTIL_FAILPOINT_H

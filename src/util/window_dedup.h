@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/memory_accountant.h"
 #include "src/util/hash.h"
 
 namespace t2m {
@@ -55,6 +56,12 @@ public:
     std::vector<T> window(w_);
     for (std::size_t i = 0; i < w_; ++i) window[i] = ring_[(count_ + i) % w_];
     windows_.push_back(std::move(window));
+    // Charge the dedup set's growth in batches: per-window accountant calls
+    // would put two atomics on the ingest hot path; pending bytes are flushed
+    // every 256 KiB, so a configured cap is enforced with at most that much
+    // slack per dedup instance.
+    pending_bytes_ += w_ * sizeof(T) + kPerWindowOverhead;
+    if (pending_bytes_ >= kChargeBatchBytes) flush_charge();
   }
 
   /// Total elements pushed.
@@ -81,6 +88,16 @@ private:
     return true;
   }
 
+  /// Rough per-distinct-window footprint beyond the elements themselves:
+  /// the vector header in windows_ plus a bucket-chain entry.
+  static constexpr std::size_t kPerWindowOverhead = 32;
+  static constexpr std::size_t kChargeBatchBytes = 256u << 10;
+
+  void flush_charge() {
+    charge_.set_charged(charge_.charged() + pending_bytes_);
+    pending_bytes_ = 0;
+  }
+
   std::size_t w_;
   std::vector<T> ring_;
   std::size_t count_ = 0;
@@ -88,6 +105,8 @@ private:
   std::uint64_t drop_coeff_ = 1;  ///< kPolyHashBase^(w-1)
   std::vector<std::vector<T>> windows_;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
+  std::size_t pending_bytes_ = 0;
+  ChargeTracker charge_;  ///< released when the dedup is destroyed
 };
 
 }  // namespace t2m

@@ -1,0 +1,487 @@
+// Deterministic fault-injection tests: every failpoint in the catalogue
+// (docs/robustness.md) is armed and must surface as a structured Status —
+// no abort, no leak (the suite runs under ASan in CI), no torn process.
+// Also covers the failpoint spec grammar, the memory accountant, raw IO
+// error paths (EINTR retries, zero-length and unterminated files), deadline
+// and memory-cap learn verdicts, best-so-far salvage, and portfolio lane
+// crash isolation (the TSan job re-runs this suite for the race coverage).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/base/memory_accountant.h"
+#include "src/base/status.h"
+#include "src/core/compliance.h"
+#include "src/core/csp_encoder.h"
+#include "src/core/learner.h"
+#include "src/parallel/thread_pool.h"
+#include "src/sat/preprocessor.h"
+#include "src/sat/solver.h"
+#include "src/sim/basic/counter.h"
+#include "src/sim/rtlinux/workloads.h"
+#include "src/trace/mmap_io.h"
+#include "src/trace/recorder.h"
+#include "src/util/failpoint.h"
+#include "src/util/stopwatch.h"
+
+namespace t2m {
+namespace {
+
+/// Every test arms through this guard so a failing assertion can never leak
+/// an armed failpoint or a memory cap into the rest of the binary.
+class FailpointGuard {
+public:
+  FailpointGuard() { failpoint::disarm_all(); }
+  ~FailpointGuard() {
+    failpoint::disarm_all();
+    MemoryAccountant::global().set_limit(0);
+  }
+};
+
+/// RAII temp file seeded with `content`.
+class TempFile {
+public:
+  explicit TempFile(const std::string& content) {
+    path_ = "/tmp/t2m_fault_test_" + std::to_string(counter_++) + ".txt";
+    std::ofstream os(path_, std::ios::binary);
+    os << content;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+Trace event_trace(const std::vector<std::string>& events,
+                  const std::vector<std::string>& alphabet) {
+  TraceRecorder rec;
+  std::vector<std::string> symbols = alphabet;
+  symbols.insert(symbols.begin(), "__start");
+  const VarIndex ev = rec.declare_cat("ev", std::move(symbols), "__start");
+  rec.commit();
+  for (const auto& e : events) {
+    rec.set_sym(ev, e);
+    rec.commit();
+  }
+  return rec.take();
+}
+
+ErrorCode thrown_code(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const StatusError& e) {
+    return e.code();
+  }
+  return ErrorCode::ok;
+}
+
+// --- spec grammar ----------------------------------------------------------
+
+TEST(FailpointSpec, ParsesEveryTerm) {
+  EXPECT_TRUE(failpoint::parse_spec("always").always);
+  const failpoint::FailSpec once = failpoint::parse_spec("once");
+  EXPECT_EQ(once.count, 1u);
+  const failpoint::FailSpec off = failpoint::parse_spec("off");
+  EXPECT_FALSE(off.always);
+  EXPECT_EQ(off.count, 0u);
+  const failpoint::FailSpec combo = failpoint::parse_spec("skip=5,count=2");
+  EXPECT_EQ(combo.skip, 5u);
+  EXPECT_EQ(combo.count, 2u);
+  const failpoint::FailSpec perm = failpoint::parse_spec("permille=250,seed=7");
+  EXPECT_EQ(perm.permille, 250u);
+  EXPECT_EQ(perm.seed, 7u);
+}
+
+TEST(FailpointSpec, MalformedTermIsParseError) {
+  EXPECT_EQ(thrown_code([] { failpoint::parse_spec("banana"); }),
+            ErrorCode::parse_error);
+  EXPECT_EQ(thrown_code([] { failpoint::parse_spec("skip=notanumber"); }),
+            ErrorCode::parse_error);
+}
+
+TEST(Failpoint, CountSkipAndCountersBehave) {
+  const FailpointGuard guard;
+  failpoint::arm("test.site", "skip=2,count=1");
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (T2M_FAILPOINT("test.site")) ++fired;
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(failpoint::evaluations("test.site"), 5u);
+  EXPECT_EQ(failpoint::fires("test.site"), 1u);
+  failpoint::disarm("test.site");
+  EXPECT_FALSE(T2M_FAILPOINT("test.site"));
+}
+
+TEST(Failpoint, PermilleStreamIsDeterministic) {
+  const FailpointGuard guard;
+  const auto pattern = [] {
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) fires.push_back(T2M_FAILPOINT("test.permille"));
+    return fires;
+  };
+  failpoint::arm("test.permille", "permille=400,seed=42");
+  const std::vector<bool> first = pattern();
+  failpoint::disarm("test.permille");
+  failpoint::arm("test.permille", "permille=400,seed=42");
+  const std::vector<bool> second = pattern();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+}
+
+TEST(Failpoint, DisarmedSitesAreFree) {
+  const FailpointGuard guard;
+  EXPECT_FALSE(failpoint::any_armed());
+  EXPECT_FALSE(T2M_FAILPOINT("never.armed"));
+  EXPECT_EQ(failpoint::evaluations("never.armed"), 0u);
+}
+
+// --- memory accountant -----------------------------------------------------
+
+TEST(MemoryAccountant, ChargesReleasesAndCaps) {
+  const FailpointGuard guard;
+  MemoryAccountant& mem = MemoryAccountant::global();
+  const std::size_t before = mem.used();
+  mem.charge(1024);
+  EXPECT_EQ(mem.used(), before + 1024);
+  EXPECT_GE(mem.peak(), before + 1024);
+  mem.release(1024);
+  EXPECT_EQ(mem.used(), before);
+
+  mem.set_limit(before + 100);
+  EXPECT_FALSE(mem.try_charge(200));
+  EXPECT_EQ(mem.used(), before);  // failed charge rolled back
+  EXPECT_EQ(thrown_code([&] { mem.charge(200); }), ErrorCode::resource_exhausted);
+  EXPECT_EQ(mem.used(), before);
+  EXPECT_TRUE(mem.try_charge(50));
+  mem.release(50);
+  mem.set_limit(0);
+}
+
+TEST(MemoryAccountant, MemChargeFailpointForcesFailure) {
+  const FailpointGuard guard;
+  MemoryAccountant& mem = MemoryAccountant::global();
+  failpoint::arm("mem.charge", "always");
+  EXPECT_FALSE(mem.try_charge(1));
+  EXPECT_EQ(thrown_code([&] { mem.charge(1); }), ErrorCode::resource_exhausted);
+  failpoint::disarm_all();
+  EXPECT_TRUE(mem.try_charge(1));
+  mem.release(1);
+}
+
+// --- trace IO failpoints and raw error paths -------------------------------
+
+TEST(TraceIoFaults, MmapOpenFailureIsIoError) {
+  const FailpointGuard guard;
+  const TempFile file("line one\nline two\n");
+  failpoint::arm("mmap.open", "always");
+  EXPECT_EQ(thrown_code([&] { LineReader reader(file.path()); }), ErrorCode::io_error);
+}
+
+TEST(TraceIoFaults, MmapOpenRetriesEintr) {
+  const FailpointGuard guard;
+  const TempFile file("alpha\nbeta\n");
+  failpoint::arm("mmap.open_eintr", "count=3");
+  LineReader reader(file.path());  // must succeed: EINTR is retried
+  EXPECT_EQ(failpoint::fires("mmap.open_eintr"), 3u);
+  std::string_view line;
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "alpha");
+}
+
+TEST(TraceIoFaults, MapFailureFallsBackToReads) {
+  const FailpointGuard guard;
+  const TempFile file("alpha\nbeta");
+  failpoint::arm("mmap.map", "always");
+  LineReader reader(file.path());
+  EXPECT_FALSE(reader.mapped());
+  std::string_view line;
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "alpha");
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "beta");  // unterminated last line survives the fallback
+  EXPECT_FALSE(reader.next(line));
+}
+
+TEST(TraceIoFaults, ReadFailureIsIoErrorAndEintrIsRetried) {
+  const FailpointGuard guard;
+  const TempFile file("alpha\nbeta\n");
+  // The read(2) loop is MappedFile's mmap fallback (sharded ingest path).
+  failpoint::arm("mmap.map", "always");
+  failpoint::arm("io.read", "always");
+  EXPECT_EQ(thrown_code([&] { MappedFile mapped(file.path()); }), ErrorCode::io_error);
+  failpoint::disarm("io.read");
+
+  failpoint::arm("io.read_eintr", "count=2");
+  MappedFile mapped(file.path());  // must succeed: EINTR is retried
+  EXPECT_FALSE(mapped.mapped());
+  EXPECT_EQ(mapped.view(), "alpha\nbeta\n");
+  EXPECT_EQ(failpoint::fires("io.read_eintr"), 2u);
+}
+
+TEST(TraceIoFaults, ShortReadsAreLooped) {
+  const FailpointGuard guard;
+  const std::string content = "first\nsecond\nthird\n";
+  const TempFile file(content);
+  failpoint::arm("mmap.map", "always");
+  failpoint::arm("io.short_read", "always");  // 1-byte reads end to end
+  MappedFile mapped(file.path());
+  EXPECT_EQ(mapped.view(), content);
+  EXPECT_GE(failpoint::fires("io.short_read"), content.size());
+}
+
+TEST(TraceIoFaults, ZeroLengthFileHasNoLines) {
+  const FailpointGuard guard;
+  const TempFile file("");
+  for (const char* mode : {"mapped", "fallback"}) {
+    failpoint::disarm_all();
+    if (std::string(mode) == "fallback") failpoint::arm("mmap.map", "always");
+    LineReader reader(file.path());
+    std::string_view line;
+    EXPECT_FALSE(reader.next(line)) << mode;
+  }
+}
+
+TEST(TraceIoFaults, MissingFileDiagnosticsNamePathAndErrno) {
+  const FailpointGuard guard;
+  try {
+    LineReader reader("/tmp/definitely_missing_t2m_fault_file.txt");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::io_error);
+    EXPECT_NE(std::string(e.what()).find("definitely_missing_t2m_fault_file"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("No such file"), std::string::npos);
+  }
+}
+
+// --- thread pool, preprocessor and solver failpoints -----------------------
+
+TEST(ParallelFaults, TaskBodyFailureCancelsTheStageNotTheProcess) {
+  const FailpointGuard guard;
+  failpoint::arm("pool.task", "once");
+  std::atomic<int> ran{0};
+  EXPECT_EQ(thrown_code([&] {
+              par::for_chunks(4, 64, 8, [&](std::size_t, std::size_t, std::size_t) {
+                ran.fetch_add(1);
+              });
+            }),
+            ErrorCode::internal);
+  failpoint::disarm_all();
+  // The pool is intact: the next parallel stage runs normally.
+  std::atomic<int> reran{0};
+  par::for_chunks(4, 64, 8,
+                  [&](std::size_t, std::size_t, std::size_t) { reran.fetch_add(1); });
+  EXPECT_EQ(reran.load(), 8);
+}
+
+TEST(PreprocessorFaults, DerivationFailureSurfacesStructured) {
+  const FailpointGuard guard;
+  // The BVE chain from test_preprocessor: elimination must derive resolvents,
+  // so the armed failpoint is guaranteed to be reached.
+  sat::Solver s;
+  const sat::Var base = s.new_vars(16);
+  for (sat::Var v = 0; v + 1 < 16; ++v) {
+    s.add_clause(std::vector<sat::Lit>{sat::neg(base + v), sat::pos(base + v + 1)});
+  }
+  s.freeze(base);
+  s.freeze(base + 15);
+  failpoint::arm("preprocess.derive", "always");
+  EXPECT_EQ(thrown_code([&] { s.preprocess(sat::PreprocessOptions{}); }),
+            ErrorCode::internal);
+}
+
+TEST(SolverFaults, ArenaAllocationFailureIsResourceExhausted) {
+  const FailpointGuard guard;
+  sat::Solver s;
+  const sat::Var base = s.new_vars(4);
+  failpoint::arm("arena.alloc", "always");
+  EXPECT_EQ(thrown_code([&] {
+              s.add_clause(std::vector<sat::Lit>{sat::pos(base), sat::pos(base + 1)});
+            }),
+            ErrorCode::resource_exhausted);
+}
+
+// --- deadlines -------------------------------------------------------------
+
+TEST(DeadlineFaults, ComplianceCheckHonoursExpiredDeadline) {
+  const FailpointGuard guard;
+  Nfa model(2, 0);
+  model.add_transition(0, 0, 1);
+  model.add_transition(1, 1, 0);
+  const std::vector<PredId> seq = {0, 1, 0, 1};
+  ComplianceChecker checker(seq, 2);
+  checker.set_deadline(Deadline::after_seconds(-1.0));
+  EXPECT_EQ(thrown_code([&] { checker.check(model); }), ErrorCode::deadline_exceeded);
+  // A fresh checker without the deadline still completes.
+  ComplianceChecker healthy(seq, 2);
+  EXPECT_TRUE(healthy.check(model).compliant);
+}
+
+TEST(DeadlineFaults, LearnWithExpiredDeadlineReturnsTimeoutVerdict) {
+  const FailpointGuard guard;
+  const Trace t = event_trace({"a", "b", "a", "b"}, {"a", "b"});
+  LearnerConfig config;
+  config.timeout_seconds = 1e-9;
+  const LearnResult r = ModelLearner(config).learn(t);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.timed_out);
+}
+
+// --- memory-cap verdicts and best-so-far salvage ---------------------------
+
+TEST(MemoryCap, LearnUnderTinyCapReturnsResourceExhaustedVerdict) {
+  const FailpointGuard guard;
+  const Trace t = sim::generate_full_coverage_sched_trace(2000);
+  LearnerConfig config;
+  config.max_memory_bytes = 4096;  // far below what the run needs
+  const LearnResult r = ModelLearner(config).learn(t);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.resource_exhausted);
+  EXPECT_EQ(r.status.code(), ErrorCode::resource_exhausted);
+  // The learner scopes the cap to the call: the global limit is restored.
+  EXPECT_EQ(MemoryAccountant::global().limit(), 0u);
+}
+
+TEST(Salvage, RtlinuxRunKilledByAllocationFailureSalvagesCompliantModel) {
+  const FailpointGuard guard;
+  // default_phase = true makes the rtlinux search pass through at least one
+  // compliant-but-acceptance-blocked candidate (deterministically), so a
+  // late failure has a best-so-far model to salvage. First count the run's
+  // arena allocations with the site armed but never firing, then rerun with
+  // the failure injected near the end — inside the final solve, after the
+  // blocked candidate was captured.
+  const Trace t = sim::generate_full_coverage_sched_trace(4000);
+  LearnerConfig config;
+  config.solver.default_phase = true;
+
+  failpoint::arm("arena.alloc", "off");
+  const LearnResult clean = ModelLearner(config).learn(t);
+  ASSERT_TRUE(clean.success);
+  const std::uint64_t allocs = failpoint::evaluations("arena.alloc");
+  ASSERT_GT(allocs, 100u);
+  failpoint::disarm_all();
+
+  failpoint::FailSpec late;
+  late.skip = allocs - 20;
+  late.count = ~0ULL;
+  failpoint::arm("arena.alloc", late);
+  const LearnResult r = ModelLearner(config).learn(t);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.resource_exhausted);
+  ASSERT_TRUE(r.salvaged);
+  EXPECT_EQ(r.states, clean.states);
+  // The salvaged model passed compliance when it was captured — and still
+  // does against the trace's window set.
+  const ComplianceResult compliance =
+      check_compliance(r.model, r.preds.seq, config.compliance_length);
+  EXPECT_TRUE(compliance.compliant);
+}
+
+TEST(Salvage, CancelledLaneDoesNotSalvage) {
+  const FailpointGuard guard;
+  // A run aborted by the cooperative stop flag lost a race whose winner owns
+  // the verdict; handing back a partial model would be misleading.
+  const Trace t = event_trace({"a", "b", "a", "b"}, {"a", "b"});
+  std::atomic<bool> stop{true};
+  LearnerConfig config;
+  config.stop = &stop;
+  const LearnResult r = ModelLearner(config).learn(t);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(r.salvaged);
+}
+
+// --- portfolio lane isolation ----------------------------------------------
+
+TEST(PortfolioFaults, CrashedLaneDoesNotTakeDownTheRace) {
+  const FailpointGuard guard;
+  const Trace t = event_trace({"a", "b", "c", "a", "b", "c", "a", "b", "c"},
+                              {"a", "b", "c"});
+  failpoint::arm("portfolio.lane", "once");
+  LearnerConfig config;
+  config.portfolio = 3;
+  const LearnResult r = ModelLearner(config).learn(t);
+  EXPECT_EQ(failpoint::fires("portfolio.lane"), 1u);
+  ASSERT_TRUE(r.success);  // the surviving lanes still reach the verdict
+  EXPECT_EQ(r.states, 3u);
+  ASSERT_EQ(r.stats.portfolio.size(), 3u);
+  int failed = 0, winners = 0;
+  for (const PortfolioConfigStats& lane : r.stats.portfolio) {
+    failed += lane.failed ? 1 : 0;
+    winners += lane.winner ? 1 : 0;
+    if (lane.failed) {
+      EXPECT_FALSE(lane.winner);
+      EXPECT_NE(lane.error.find("internal"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(winners, 1);  // the winner CAS stays single-shot
+}
+
+TEST(PortfolioFaults, LaneCrashStress) {
+  // Repeated races with one injected lane death each: run under TSan in CI
+  // to shake out winner-CAS and stop-flag races on the failure path.
+  const Trace t = event_trace({"a", "b", "c", "a", "b", "c", "a", "b", "c"},
+                              {"a", "b", "c"});
+  for (int round = 0; round < 6; ++round) {
+    const FailpointGuard guard;
+    failpoint::arm("portfolio.lane", "once");
+    LearnerConfig config;
+    config.portfolio = 4;
+    const LearnResult r = ModelLearner(config).learn(t);
+    ASSERT_TRUE(r.success) << "round " << round;
+    int winners = 0, failed = 0;
+    for (const PortfolioConfigStats& lane : r.stats.portfolio) {
+      winners += lane.winner ? 1 : 0;
+      failed += lane.failed ? 1 : 0;
+    }
+    EXPECT_EQ(winners, 1) << "round " << round;
+    EXPECT_EQ(failed, 1) << "round " << round;
+  }
+}
+
+TEST(PortfolioFaults, AllLanesCrashedStillReturnsAVerdict) {
+  const FailpointGuard guard;
+  const Trace t = event_trace({"a", "b", "a", "b"}, {"a", "b"});
+  failpoint::arm("portfolio.lane", "always");
+  LearnerConfig config;
+  config.portfolio = 3;
+  const LearnResult r = ModelLearner(config).learn(t);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.status.code(), ErrorCode::internal);
+  for (const PortfolioConfigStats& lane : r.stats.portfolio) {
+    EXPECT_TRUE(lane.failed);
+    EXPECT_FALSE(lane.winner);
+  }
+}
+
+// --- determinism with the harness compiled in ------------------------------
+
+TEST(Determinism, FingerprintUnchangedWithAccountantAndDisarmedFailpoints) {
+  const FailpointGuard guard;
+  const std::vector<Segment> segments = {{0, 1, 2, 0}, {1, 2, 0, 1}};
+  CspOptions options;
+  AutomatonCsp reference(segments, 3, 3, options);
+  const std::uint64_t want = reference.encoding_fingerprint();
+
+  // Armed-then-disarmed failpoints and an (uncapped) accountant must leave
+  // the clause database byte-identical.
+  failpoint::arm("arena.alloc", "off");
+  failpoint::arm("mem.charge", "off");
+  AutomatonCsp probed(segments, 3, 3, options);
+  EXPECT_EQ(probed.encoding_fingerprint(), want);
+  failpoint::disarm_all();
+  AutomatonCsp clean(segments, 3, 3, options);
+  EXPECT_EQ(clean.encoding_fingerprint(), want);
+}
+
+}  // namespace
+}  // namespace t2m

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/util/cli.h"
+#include "src/util/string_utils.h"
 
 namespace {
 
@@ -35,13 +36,39 @@ struct Record {
   std::uint64_t sat_conflicts = 0;
   bool timed_out = false;
   bool budget_exceeded = false;
+  bool resource_exhausted = false;
+  bool salvaged = false;
   bool wall_exempt = false;
 };
 
-/// A run that was cut short — by the clock or by the clause budget. Its wall
-/// time and conflict count describe the cutoff, not the workload, so neither
-/// is comparable against (or as) a baseline.
-bool incomplete(const Record& r) { return r.timed_out || r.budget_exceeded; }
+/// A run that was cut short — by the clock, the clause budget, or the memory
+/// cap (a salvaged record is by definition one of those). Its wall time and
+/// conflict count describe the cutoff, not the workload, so neither is
+/// comparable against (or as) a baseline.
+bool incomplete(const Record& r) {
+  return r.timed_out || r.budget_exceeded || r.resource_exhausted || r.salvaged;
+}
+
+/// Checked numeric field parse: a malformed artefact is a tooling bug, not a
+/// bench regression — bail with the usage exit code instead of letting
+/// std::stod throw (or worse, truncate silently).
+double parse_wall(const std::string& text, const std::string& path) {
+  double value = 0.0;
+  if (!t2m::parse_double(text, value)) {
+    std::cerr << "bench_check: malformed wall_seconds '" << text << "' in " << path << "\n";
+    std::exit(2);
+  }
+  return value;
+}
+
+std::uint64_t parse_conflicts(const std::string& text, const std::string& path) {
+  std::int64_t value = 0;
+  if (!t2m::parse_int64(text, value) || value < 0) {
+    std::cerr << "bench_check: malformed sat_conflicts '" << text << "' in " << path << "\n";
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(value);
+}
 
 std::optional<std::string> field_text(const std::string& line, const std::string& key) {
   const std::string needle = "\"" + key + "\": ";
@@ -74,14 +101,20 @@ std::map<std::string, Record> load(const std::string& path) {
     const auto bench = field_text(line, "bench");
     if (!bench) continue;
     Record rec;
-    if (const auto wall = field_text(line, "wall_seconds")) rec.wall_seconds = std::stod(*wall);
+    if (const auto wall = field_text(line, "wall_seconds")) {
+      rec.wall_seconds = parse_wall(*wall, path);
+    }
     if (const auto conflicts = field_text(line, "sat_conflicts")) {
-      rec.sat_conflicts = std::stoull(*conflicts);
+      rec.sat_conflicts = parse_conflicts(*conflicts, path);
     }
     if (const auto timed_out = field_text(line, "timed_out")) rec.timed_out = *timed_out == "true";
     if (const auto budget = field_text(line, "budget_exceeded")) {
       rec.budget_exceeded = *budget == "true";
     }
+    if (const auto mem = field_text(line, "resource_exhausted")) {
+      rec.resource_exhausted = *mem == "true";
+    }
+    if (const auto salvaged = field_text(line, "salvaged")) rec.salvaged = *salvaged == "true";
     if (const auto exempt = field_text(line, "wall_exempt")) rec.wall_exempt = *exempt == "true";
     records[*bench] = rec;
   }
@@ -130,6 +163,12 @@ int main(int argc, char** argv) {
     }
     if (got.timed_out && !incomplete(base)) {
       std::cerr << "TIMEOUT  " << bench << " (baseline completed)\n";
+      ++regressions;
+      continue;
+    }
+    if ((got.resource_exhausted || got.salvaged) && !incomplete(base)) {
+      std::cerr << "MEMORY   " << bench
+                << " (resource-exhausted/salvaged; baseline completed)\n";
       ++regressions;
       continue;
     }

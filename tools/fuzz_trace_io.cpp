@@ -1,0 +1,57 @@
+// libFuzzer harness for the trace parsers: trace-text, ftrace event logs,
+// and the single-line ftrace field splitter. Build with
+//
+//   cmake -B build-fuzz -S . -DT2M_BUILD_FUZZERS=ON -DCMAKE_CXX_COMPILER=clang++
+//   ./build-fuzz/fuzz_trace_io -max_total_time=60
+//
+// Structured parse/io failures (StatusError, std::invalid_argument and the
+// other taxonomy exceptions) are the parsers' documented rejection path and
+// are swallowed; anything else — a raw crash, a sanitizer report, an
+// unexpected exception type escaping — is a finding.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/trace/ftrace_io.h"
+#include "src/trace/text_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // First byte routes to a parser; the rest is its document.
+  const std::uint8_t route = data[0] % 3;
+  const std::string body(input.substr(1));
+  try {
+    switch (route) {
+      case 0: {
+        std::istringstream is(body);
+        (void)t2m::read_trace_text(is);
+        break;
+      }
+      case 1: {
+        std::istringstream is(body);
+        (void)t2m::read_ftrace(is);
+        break;
+      }
+      default: {
+        std::string task, event;
+        if (t2m::parse_ftrace_line(body, task, event)) {
+          // Escaping must round-trip whatever the parser accepted.
+          (void)t2m::unescape_ftrace_symbol(t2m::escape_ftrace_symbol(event));
+        }
+        break;
+      }
+    }
+  } catch (const t2m::StatusError&) {
+    // Structured rejection — expected for malformed input.
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@
 
 #include "src/abstraction/abstraction.h"
 #include "src/automaton/dot.h"
+#include "src/base/status.h"
 #include "src/core/learner.h"
 #include "src/core/report.h"
 #include "src/sim/basic/counter.h"
@@ -41,7 +42,7 @@ int usage() {
       "            [--window W] [--compliance L] [--input v1,v2]\n"
       "            [--no-segment] [--encoding pairwise|successor]\n"
       "            [--timeout SEC] [--threads N] [--portfolio K]\n"
-      "            [--task NAME] [--dot FILE] [--verbose]\n"
+      "            [--max-memory MB] [--task NAME] [--dot FILE] [--verbose]\n"
       "  t2m info  --trace FILE\n"
       "\n"
       "  --threads N    parallel runtime width: N-way sharded ingest for\n"
@@ -50,7 +51,13 @@ int usage() {
       "                 sequential paths (docs/parallel.md)\n"
       "  --portfolio K  race K solver configurations over the same encoding\n"
       "                 and keep the first verdict, cancelling the rest\n"
-      "  --task NAME    keep only this task's events (--ftrace inputs)\n";
+      "  --max-memory M cap accounted memory at M MiB; overrunning it ends\n"
+      "                 the learn with an out-of-memory verdict (salvaging\n"
+      "                 the best model so far) instead of crashing\n"
+      "  --task NAME    keep only this task's events (--ftrace inputs)\n"
+      "\n"
+      "exit codes: 0 ok, 1 no model, 2 usage, 10 io error, 11 parse error,\n"
+      "            12 out of memory, 13 deadline exceeded, 14 internal error\n";
   return 2;
 }
 
@@ -106,6 +113,8 @@ int cmd_learn(const t2m::CliArgs& args) {
   config.timeout_seconds = args.get_double_or("timeout", 0.0);
   config.threads = static_cast<std::size_t>(args.get_int_or("threads", 1));
   config.portfolio = static_cast<std::size_t>(args.get_int_or("portfolio", 0));
+  config.max_memory_bytes =
+      static_cast<std::size_t>(args.get_int_or("max-memory", 0)) << 20;
   if (args.get_or("encoding", "successor") == "pairwise") {
     config.encoding = t2m::DeterminismEncoding::Pairwise;
   }
@@ -123,15 +132,29 @@ int cmd_learn(const t2m::CliArgs& args) {
     result = learner.learn(t2m::read_trace_file(*path));
   }
   std::cout << t2m::format_learn_report(result, result.schema);
-  if (!result.success) return 1;
 
+  // A salvaged best-so-far model is still worth writing out for inspection.
   const auto dot = args.get("dot");
-  if (dot && !dot->empty()) {
+  if (dot && !dot->empty() && (result.success || result.salvaged)) {
     std::ofstream os(*dot);
     t2m::write_dot(os, result.model);
     std::cout << "wrote DOT to " << *dot << "\n";
   }
-  return 0;
+
+  if (result.success) return 0;
+  // Failed learns exit through the taxonomy band so scripts can tell an
+  // out-of-memory verdict from a timeout from a plain "no model".
+  if (!result.status.ok()) {
+    std::cerr << "t2m: " << result.status.to_string() << "\n";
+    return t2m::error_code_exit_status(result.status.code());
+  }
+  if (result.resource_exhausted) {
+    return t2m::error_code_exit_status(t2m::ErrorCode::resource_exhausted);
+  }
+  if (result.timed_out && !result.cancelled) {
+    return t2m::error_code_exit_status(t2m::ErrorCode::deadline_exceeded);
+  }
+  return 1;
 }
 
 int cmd_info(const t2m::CliArgs& args) {
@@ -168,6 +191,16 @@ int main(int argc, char** argv) {
     if (command == "gen") return cmd_gen(args);
     if (command == "learn") return cmd_learn(args);
     if (command == "info") return cmd_info(args);
+  } catch (const t2m::StatusError& e) {
+    // Structured failures exit through the taxonomy band (see usage()).
+    std::cerr << "t2m: " << e.status().to_string() << "\n";
+    return t2m::error_code_exit_status(e.status().code());
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "t2m: " << t2m::Status::ParseError(e.what()).to_string() << "\n";
+    return t2m::error_code_exit_status(t2m::ErrorCode::parse_error);
+  } catch (const std::bad_alloc&) {
+    std::cerr << "t2m: resource_exhausted: allocation failed\n";
+    return t2m::error_code_exit_status(t2m::ErrorCode::resource_exhausted);
   } catch (const std::exception& e) {
     std::cerr << "t2m: error: " << e.what() << "\n";
     return 1;
