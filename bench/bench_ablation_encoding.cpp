@@ -34,10 +34,12 @@ int main(int argc, char** argv) {
     const PredicateSequence preds = abstract_trace(trace, abs);
     const auto segments = segment_sequence(preds.seq, pw_config.window);
     const std::size_t n = pw.success ? pw.states : c.paper_states;
-    const AutomatonCsp pw_csp(segments, preds.vocab.size(), n,
-                              {DeterminismEncoding::Pairwise, true});
-    const AutomatonCsp su_csp(segments, preds.vocab.size(), n,
-                              {DeterminismEncoding::Successor, true});
+    CspOptions pw_options;
+    pw_options.encoding = DeterminismEncoding::Pairwise;
+    CspOptions su_options;
+    su_options.encoding = DeterminismEncoding::Successor;
+    const AutomatonCsp pw_csp(segments, preds.vocab.size(), n, pw_options);
+    const AutomatonCsp su_csp(segments, preds.vocab.size(), n, su_options);
 
     table.add_row({c.name, bench::runtime_cell(pw, timeout),
                    bench::runtime_cell(su, timeout), std::to_string(pw_csp.num_clauses()),

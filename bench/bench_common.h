@@ -91,7 +91,14 @@ inline std::string runtime_cell(const LearnResult& r, double timeout_seconds) {
   if (r.success) return format_double(r.stats.total_seconds);
   if (r.resource_exhausted) return "out of memory";
   if (r.budget_exceeded) return "intractable (clause budget)";
-  if (r.timed_out) return ">" + format_double(timeout_seconds) + " (timeout)";
+  if (r.timed_out) {
+    // += form: GCC 12's -Wrestrict false-fires on the concatenation
+    // temporaries at -O2 (PR105651).
+    std::string cell = ">";
+    cell += format_double(timeout_seconds);
+    cell += " (timeout)";
+    return cell;
+  }
   return "no model";
 }
 
@@ -121,6 +128,14 @@ struct BenchRecord {
   std::size_t peak_clause_arena_bytes = 0;
   std::size_t csp_builds = 0;  ///< CSP constructions (fresh path: one per N)
   std::size_t csp_grows = 0;   ///< in-place solver-reusing state growths
+  /// Structural fingerprint of the produced clause database
+  /// (Solver::clause_fingerprint), machine-independent: bench_check fails on
+  /// any drift against the baseline, which pins the encoding byte-identical
+  /// across PRs — in particular, proof-logging-disabled builds must keep
+  /// producing the exact database recorded before the proof plumbing
+  /// existed. 0 = not recorded (the gate only fires when both sides carry
+  /// one).
+  std::uint64_t fingerprint = 0;
 };
 
 /// Collects per-benchmark results and emits them as JSON (default:
@@ -170,7 +185,8 @@ public:
          << ", \"sat_propagations\": " << r.sat_propagations
          << ", \"peak_clause_arena_bytes\": " << r.peak_clause_arena_bytes
          << ", \"csp_builds\": " << r.csp_builds
-         << ", \"csp_grows\": " << r.csp_grows << "}"
+         << ", \"csp_grows\": " << r.csp_grows
+         << ", \"fingerprint\": " << r.fingerprint << "}"
          << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     os << "]\n";

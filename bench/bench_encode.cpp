@@ -2,8 +2,12 @@
 // solving) of the unsegmented Linux-scheduler trace — the largest encoding
 // the Table-1 rows pay for — serial vs multi-threaded. The parallel path
 // must produce a byte-identical clause database (checked via the encoding
-// fingerprint); the wall-clock entries are recorded wall-exempt because
-// thread scaling on shared CI runners is advisory.
+// fingerprint), a third run with DRAT proof logging attached must leave the
+// database untouched (the proof-logging zero-cost claim of
+// docs/proof_checking.md), and the fingerprints land in the JSON so
+// bench_check pins them against bench/BENCH_baseline.json across PRs; the
+// wall-clock entries are recorded wall-exempt because thread scaling on
+// shared CI runners is advisory.
 //
 // Flags: --threads N (default 4), --min-speedup X (default 0 = no gate,
 // exit 1 when the parallel encode is less than X times faster),
@@ -16,17 +20,26 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <ostream>
+#include <streambuf>
 
 #include "bench/bench_common.h"
 #include "src/parallel/thread_pool.h"
 #include "src/abstraction/abstraction.h"
 #include "src/core/csp_encoder.h"
 #include "src/core/segmentation.h"
+#include "src/sat/proof_log.h"
 #include "src/util/cli.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_utils.h"
 
 namespace {
+
+/// Discards everything written to it — the zero-cost run only cares whether
+/// attaching the log perturbs the clause database, not about the bytes.
+struct NullBuffer : std::streambuf {
+  int overflow(int c) override { return c; }
+};
 
 struct EncodeRun {
   double wall_seconds = 0.0;
@@ -36,12 +49,14 @@ struct EncodeRun {
 
 EncodeRun best_of(std::size_t repeats, const std::vector<t2m::Segment>& segments,
                   std::size_t num_preds, std::size_t num_states,
-                  t2m::DeterminismEncoding encoding, std::size_t threads) {
+                  t2m::DeterminismEncoding encoding, std::size_t threads,
+                  t2m::sat::ProofLog* proof_log = nullptr) {
   EncodeRun best;
   for (std::size_t i = 0; i < repeats; ++i) {
     t2m::CspOptions options;
     options.encoding = encoding;
     options.threads = threads;
+    options.solver.proof_log = proof_log;
     const t2m::Stopwatch watch;
     t2m::AutomatonCsp csp(segments, num_preds, num_states, options);
     const double wall = watch.elapsed_seconds();
@@ -71,6 +86,7 @@ int main(int argc, char** argv) {
     rec.wall_seconds = run.wall_seconds;
     rec.success = true;
     rec.wall_exempt = true;  // thread scaling on shared runners is advisory
+    rec.fingerprint = run.fingerprint;
     results.add_raw(rec);
   };
 
@@ -113,6 +129,19 @@ int main(int argc, char** argv) {
     if (serial.fingerprint != parallel.fingerprint) {
       std::cerr << "bench_encode: FINGERPRINT MISMATCH on " << c.name
                 << " — parallel emission is not byte-identical to serial\n";
+      return 1;
+    }
+    // Zero-cost claim: the proof log is a pure observer, so an encode with
+    // logging attached must produce the byte-identical clause database (the
+    // sink discards the bytes — only the fingerprint matters here).
+    NullBuffer null_buffer;
+    std::ostream null_stream(&null_buffer);
+    sat::ProofLog proof_log(null_stream);
+    const EncodeRun logged = best_of(1, segments, preds.vocab.size(), c.num_states,
+                                     c.encoding, 1, &proof_log);
+    if (logged.fingerprint != serial.fingerprint) {
+      std::cerr << "bench_encode: FINGERPRINT MISMATCH on " << c.name
+                << " — attaching a proof log perturbed the clause database\n";
       return 1;
     }
     const double speedup =

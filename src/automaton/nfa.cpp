@@ -26,7 +26,11 @@ void Nfa::add_transition(StateId src, PredId pred, StateId dst) {
 
 std::string Nfa::pred_name(PredId p) const {
   if (p < pred_names_.size()) return pred_names_[p];
-  return "p" + std::to_string(p);
+  // Built via += rather than "p" + to_string(p): GCC 12's -Wrestrict
+  // false-fires on the temporary-concatenation form at -O2 (PR105651).
+  std::string name = "p";
+  name += std::to_string(p);
+  return name;
 }
 
 std::vector<StateId> Nfa::successors(StateId src, PredId pred) const {

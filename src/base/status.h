@@ -31,8 +31,9 @@ int error_code_exit_status(ErrorCode code);
 
 /// A verdict: either ok() or an ErrorCode plus a human-readable message.
 /// Cheap to copy, never throws, usable as a return value from stages that
-/// must not unwind (worker threads, C-style loops).
-class Status {
+/// must not unwind (worker threads, C-style loops). [[nodiscard]] at the
+/// type level: silently dropping a verdict is always a bug.
+class [[nodiscard]] Status {
 public:
   Status() = default;
   Status(ErrorCode code, std::string message)

@@ -160,7 +160,9 @@ struct LearnStats {
   LearnStats& operator+=(const LearnStats& other);
 };
 
-struct LearnResult {
+// [[nodiscard]]: a learn verdict carries success/salvage flags the caller
+// must consult; discarding one hides failed or salvaged runs.
+struct [[nodiscard]] LearnResult {
   bool success = false;
   bool timed_out = false;
   /// The run was aborted by the cooperative stop flag (portfolio losers,

@@ -35,9 +35,12 @@ private:
     if (schema_ != nullptr && e.var() < schema_->size()) {
       name = schema_->var(e.var()).name;
     } else {
-      name = "v" + std::to_string(e.var());
+      // Built char-wise: GCC 12's -Wrestrict false-fires on the
+      // string-literal concatenation forms at -O2 (PR105651).
+      name = std::to_string(e.var());
+      name.insert(name.begin(), 'v');
     }
-    if (e.primed()) name += "'";
+    if (e.primed()) name.push_back('\'');
     return name;
   }
 
@@ -59,10 +62,12 @@ private:
       case ExprOp::Var:
         return var_name(e);
       case ExprOp::Neg:
-        out = "-" + visit(*e.child(0), prec);
+        out = "-";
+        out += visit(*e.child(0), prec);
         break;
       case ExprOp::Not:
-        out = "!" + visit(*e.child(0), prec);
+        out = "!";
+        out += visit(*e.child(0), prec);
         break;
       case ExprOp::Ite:
         out = "ite(" + visit(*e.child(0), 0) + ", " + visit(*e.child(1), 0) + ", " +

@@ -38,7 +38,11 @@ public:
 
   std::string debug_string() const {
     if (is_undef()) return "lit?";
-    return (negated() ? "-" : "") + std::to_string(var() + 1);
+    // Built char-wise: GCC 12's -Wrestrict false-fires on the literal
+    // concatenation form at -O2 (PR105651).
+    std::string s = std::to_string(var() + 1);
+    if (negated()) s.insert(s.begin(), '-');
+    return s;
   }
 
 private:

@@ -4,9 +4,9 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
+#include "src/base/status.h"
 #include "src/util/string_utils.h"
 
 namespace t2m::sat {
@@ -22,15 +22,26 @@ CnfFormula read_dimacs(std::istream& is) {
     if (line[0] == 'p') {
       const auto fields = split_ws(line);
       std::int64_t vars = 0, clauses = 0;
-      if (fields.size() < 4 || fields[0] != "p" || fields[1] != "cnf" ||
+      // Strict: exactly "p cnf <vars> <clauses>". Extra header fields used
+      // to slip through and desynchronise the counts below.
+      if (fields.size() != 4 || fields[0] != "p" || fields[1] != "cnf" ||
           !parse_int64(fields[2], vars) || !parse_int64(fields[3], clauses) ||
           vars < 0 || clauses < 0) {
-        throw std::invalid_argument("read_dimacs: malformed header: " + line);
+        throw_status(ErrorCode::parse_error,
+                     "read_dimacs: malformed header: " + line);
+      }
+      if (have_header) {
+        throw_status(ErrorCode::parse_error,
+                     "read_dimacs: duplicate 'p cnf' header: " + line);
       }
       formula.num_vars = static_cast<std::size_t>(vars);
       declared_clauses = static_cast<std::size_t>(clauses);
       have_header = true;
       continue;
+    }
+    if (!have_header) {
+      throw_status(ErrorCode::parse_error,
+                   "read_dimacs: clause data before 'p cnf' header: " + line);
     }
     // Checked token-by-token parse: `istream >> long long` used to stop
     // silently at the first garbage token, dropping the rest of the line.
@@ -38,8 +49,9 @@ CnfFormula read_dimacs(std::istream& is) {
       std::int64_t lit = 0;
       if (!parse_int64(token, lit) || lit <= -(std::int64_t{1} << 31) ||
           lit >= (std::int64_t{1} << 31)) {
-        throw std::invalid_argument("read_dimacs: malformed literal '" + token +
-                                    "' in line: " + line);
+        throw_status(ErrorCode::parse_error,
+                     "read_dimacs: malformed literal '" + token +
+                         "' in line: " + line);
       }
       if (lit == 0) {
         formula.clauses.push_back(current);
@@ -53,9 +65,21 @@ CnfFormula read_dimacs(std::istream& is) {
       current.push_back(Lit(v, lit < 0));
     }
   }
-  if (!current.empty()) formula.clauses.push_back(current);
-  if (!have_header) throw std::invalid_argument("read_dimacs: missing 'p cnf' header");
-  (void)declared_clauses;  // tolerated mismatch, as most tools do
+  if (!have_header) {
+    throw_status(ErrorCode::parse_error, "read_dimacs: missing 'p cnf' header");
+  }
+  if (!current.empty()) {
+    // A clause without its 0 terminator is a truncated file; silently
+    // keeping the fragment used to shorten the formula it encodes.
+    throw_status(ErrorCode::parse_error,
+                 "read_dimacs: unterminated clause at end of input");
+  }
+  if (formula.clauses.size() != declared_clauses) {
+    throw_status(ErrorCode::parse_error,
+                 "read_dimacs: header declares " +
+                     std::to_string(declared_clauses) + " clauses, found " +
+                     std::to_string(formula.clauses.size()));
+  }
   return formula;
 }
 

@@ -17,7 +17,12 @@ struct CnfFormula {
 };
 
 /// Reads a DIMACS CNF document ("p cnf V C" header, clauses terminated by 0).
-/// Throws std::invalid_argument on malformed input.
+/// Strict: the header must have exactly those four fields and appear once,
+/// before any clause; a trailing clause missing its 0 terminator and a
+/// clause count disagreeing with the header are rejected rather than
+/// silently truncating the formula. Unit (and empty) clauses round-trip
+/// through write_dimacs() unchanged. Throws StatusError with
+/// ErrorCode::parse_error on malformed input.
 CnfFormula read_dimacs(std::istream& is);
 
 /// Writes `formula` in DIMACS format.

@@ -1,0 +1,436 @@
+#include "src/sat/drat_check.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace t2m::sat {
+
+namespace {
+
+/// Forward proof checker: a minimal unit-propagation engine (two watched
+/// literals, no heuristics, no learning) plus a clause database keyed by
+/// sorted literals for deletion matching and conclusion lookups. Everything
+/// the solver claims is re-derived here from first principles — the checker
+/// shares no code with the solver's propagation loop on purpose.
+class Checker {
+public:
+  explicit Checker(const DratCheckOptions& options) : options_(options) {}
+
+  DratCheckResult run(const CnfFormula& cnf, std::istream& proof) {
+    for (const Clause& c : cnf.clauses) {
+      ++result_.axioms;
+      add_to_db(c);
+    }
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(proof, line)) {
+      ++line_no;
+      if (!process_line(line, line_no)) {
+        result_.ok = false;
+        result_.error_line = line_no;
+        return result_;
+      }
+    }
+    if (options_.require_empty_clause && !result_.empty_clause_derived) {
+      result_.ok = false;
+      result_.error = "proof ends without deriving the empty clause";
+      result_.error_line = line_no;
+      return result_;
+    }
+    result_.ok = true;
+    return result_;
+  }
+
+private:
+  struct DbClause {
+    std::vector<Lit> lits;
+    bool active = true;
+  };
+
+  LBool value(Lit l) const {
+    LBool v = assign_[static_cast<std::size_t>(l.var())];
+    return l.negated() ? lbool_not(v) : v;
+  }
+
+  void ensure_var(Var v) {
+    const std::size_t need = static_cast<std::size_t>(v) + 1;
+    if (assign_.size() < need) {
+      assign_.resize(need, LBool::Undef);
+      watches_.resize(2 * need);
+    }
+  }
+
+  void enqueue(Lit l) {
+    assign_[static_cast<std::size_t>(l.var())] = lbool_of(!l.negated());
+    trail_.push_back(l);
+  }
+
+  /// Unit propagation from the current queue head; false on conflict.
+  bool propagate() {
+    while (qhead_ < trail_.size()) {
+      const Lit p = trail_[qhead_++];
+      const Lit false_lit = ~p;
+      auto& wl = watches_[static_cast<std::size_t>(false_lit.code())];
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < wl.size()) {
+        const std::size_t ci = wl[i++];
+        DbClause& c = clauses_[ci];
+        if (!c.active) continue;  // deleted: drop the stale watch lazily
+        if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+        if (value(c.lits[0]) == LBool::True) {
+          wl[j++] = ci;
+          continue;
+        }
+        bool moved = false;
+        for (std::size_t k = 2; k < c.lits.size(); ++k) {
+          if (value(c.lits[k]) != LBool::False) {
+            std::swap(c.lits[1], c.lits[k]);
+            watches_[static_cast<std::size_t>(c.lits[1].code())].push_back(ci);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;
+        wl[j++] = ci;  // keep watching false_lit
+        if (value(c.lits[0]) == LBool::False) {
+          while (i < wl.size()) wl[j++] = wl[i++];
+          wl.resize(j);
+          return false;
+        }
+        enqueue(c.lits[0]);
+      }
+      wl.resize(j);
+    }
+    return true;
+  }
+
+  /// Reverse unit propagation: true iff asserting the negation of every
+  /// literal in `cl` on top of the root assignment yields a conflict.
+  bool rup(const std::vector<Lit>& cl) {
+    if (root_conflict_) return true;  // everything is implied
+    const std::size_t saved = trail_.size();
+    bool conflict = false;
+    for (const Lit l : cl) {
+      ensure_var(l.var());
+      const LBool v = value(~l);
+      if (v == LBool::False) {  // ~l contradicts the assignment so far
+        conflict = true;
+        break;
+      }
+      if (v == LBool::Undef) enqueue(~l);
+    }
+    if (!conflict) conflict = !propagate();
+    for (std::size_t k = trail_.size(); k > saved; --k) {
+      assign_[static_cast<std::size_t>(trail_[k - 1].var())] = LBool::Undef;
+    }
+    trail_.resize(saved);
+    qhead_ = saved;
+    return conflict;
+  }
+
+  /// RAT fallback on the lemma's first literal: every resolvent with a
+  /// database clause containing the negated pivot must itself be RUP.
+  bool rat(const std::vector<Lit>& lemma) {
+    if (lemma.empty()) return false;
+    const Lit pivot = lemma[0];
+    const Lit npivot = ~pivot;
+    for (const DbClause& c : clauses_) {
+      if (!c.active) continue;
+      if (std::find(c.lits.begin(), c.lits.end(), npivot) == c.lits.end()) {
+        continue;
+      }
+      std::vector<Lit> resolvent;
+      resolvent.reserve(lemma.size() + c.lits.size());
+      for (const Lit l : lemma) {
+        if (l != pivot) resolvent.push_back(l);
+      }
+      for (const Lit l : c.lits) {
+        if (l != npivot) resolvent.push_back(l);
+      }
+      if (!rup(resolvent)) return false;
+    }
+    return true;
+  }
+
+  static std::vector<std::int32_t> sorted_codes(const std::vector<Lit>& lits) {
+    std::vector<std::int32_t> key;
+    key.reserve(lits.size());
+    for (const Lit l : lits) key.push_back(l.code());
+    std::sort(key.begin(), key.end());
+    return key;
+  }
+
+  /// Admits `lits` into the database: registers it for deletion/conclusion
+  /// lookups, installs watches, and applies its root-level consequences.
+  void add_to_db(std::vector<Lit> lits) {
+    // Normalize like the solver's add_clause: duplicate literals are
+    // dropped and tautologies skipped outright. Axiom lines carry the
+    // caller's raw clauses, and a duplicated literal breaks two-watched
+    // propagation (both watches can land on copies of one literal, so a
+    // unit clause never propagates); a tautology is dead weight the solver
+    // never installed either.
+    std::size_t out = 0;
+    for (std::size_t k = 0; k < lits.size(); ++k) {
+      bool dup = false;
+      for (std::size_t m = 0; m < out; ++m) {
+        if (lits[m] == lits[k]) {
+          dup = true;
+          break;
+        }
+        if (lits[m] == ~lits[k]) return;  // tautology
+      }
+      if (!dup) lits[out++] = lits[k];
+    }
+    lits.resize(out);
+    for (const Lit l : lits) ensure_var(l.var());
+    const std::size_t idx = clauses_.size();
+    clauses_.push_back(DbClause{std::move(lits), true});
+    DbClause& c = clauses_[idx];
+    index_[sorted_codes(c.lits)].push_back(idx);
+    if (root_conflict_) return;
+    if (c.lits.empty()) {
+      root_conflict_ = true;
+      result_.empty_clause_derived = true;
+      return;
+    }
+    // Move up to two non-false literals to the watch positions.
+    std::size_t nf = 0;
+    for (std::size_t k = 0; k < c.lits.size() && nf < 2; ++k) {
+      if (value(c.lits[k]) != LBool::False) std::swap(c.lits[nf++], c.lits[k]);
+    }
+    if (c.lits.size() >= 2) {
+      watches_[static_cast<std::size_t>(c.lits[0].code())].push_back(idx);
+      watches_[static_cast<std::size_t>(c.lits[1].code())].push_back(idx);
+    }
+    if (nf == 0) {  // falsified outright by the root assignment
+      root_conflict_ = true;
+      result_.empty_clause_derived = true;
+      return;
+    }
+    if (nf == 1 && value(c.lits[0]) == LBool::Undef) {
+      enqueue(c.lits[0]);
+      if (!propagate()) {
+        root_conflict_ = true;
+        result_.empty_clause_derived = true;
+      }
+    }
+  }
+
+  void delete_clause(const std::vector<Lit>& lits) {
+    // Unit (and empty) deletions are ignored, as in drat-trim: their root
+    // propagations are never retracted, so honoring the deletion would
+    // leave the assignment unsupported.
+    if (lits.size() <= 1) {
+      ++result_.skipped_deletions;
+      return;
+    }
+    const auto it = index_.find(sorted_codes(lits));
+    if (it != index_.end()) {
+      for (auto idx_it = it->second.begin(); idx_it != it->second.end(); ++idx_it) {
+        if (clauses_[*idx_it].active) {
+          clauses_[*idx_it].active = false;
+          it->second.erase(idx_it);
+          ++result_.deletions;
+          return;
+        }
+      }
+    }
+    ++result_.skipped_deletions;  // advisory: no matching live clause
+  }
+
+  bool has_active_clause(const std::vector<Lit>& lits) const {
+    const auto it = index_.find(sorted_codes(lits));
+    if (it == index_.end()) return false;
+    return std::any_of(it->second.begin(), it->second.end(),
+                       [this](std::size_t idx) { return clauses_[idx].active; });
+  }
+
+  void restart_instance() {
+    ++result_.restarts;
+    clauses_.clear();
+    index_.clear();
+    for (auto& wl : watches_) wl.clear();
+    std::fill(assign_.begin(), assign_.end(), LBool::Undef);
+    trail_.clear();
+    qhead_ = 0;
+    root_conflict_ = false;
+    result_.empty_clause_derived = false;
+    assumptions_.clear();
+  }
+
+  /// One proof line. Returns false (with result_.error set) on the first
+  /// lemma or marker that does not check out.
+  bool process_line(const std::string& line, std::size_t line_no) {
+    std::istringstream ss(line);
+    std::string tok;
+    if (!(ss >> tok)) return true;  // blank line
+    if (tok == "c") return process_marker(ss, line);
+    const char kind = (tok == "d") ? 'd' : (tok == "i") ? 'i' : 'a';
+    std::vector<Lit> lits;
+    if (kind == 'a') {
+      // The first token is already a literal.
+      std::int32_t first = 0;
+      std::istringstream first_ss(tok);
+      if (!(first_ss >> first)) {
+        result_.error = "unparsable proof line: " + line;
+        return false;
+      }
+      if (first != 0) lits.push_back(lit_of(first));
+      if (first == 0) return finish_lemma(std::move(lits), line_no);
+    }
+    std::int32_t n = 0;
+    bool terminated = false;
+    while (ss >> n) {
+      if (n == 0) {
+        terminated = true;
+        break;
+      }
+      lits.push_back(lit_of(n));
+    }
+    if (!terminated) {
+      result_.error = "proof line missing 0 terminator: " + line;
+      return false;
+    }
+    switch (kind) {
+      case 'd':
+        delete_clause(lits);
+        return true;
+      case 'i':
+        ++result_.axioms;
+        add_to_db(std::move(lits));
+        return true;
+      default:
+        return finish_lemma(std::move(lits), line_no);
+    }
+  }
+
+  bool finish_lemma(std::vector<Lit> lits, std::size_t line_no) {
+    if (!rup(lits)) {
+      if (!rat(lits)) {
+        std::ostringstream msg;
+        msg << "lemma at line " << line_no << " is neither RUP nor RAT:";
+        for (const Lit l : lits) msg << ' ' << l.debug_string();
+        result_.error = msg.str();
+        return false;
+      }
+      ++result_.rat_lemmas;
+    }
+    ++result_.lemmas_checked;
+    add_to_db(std::move(lits));
+    return true;
+  }
+
+  bool process_marker(std::istringstream& ss, const std::string& line) {
+    std::string word;
+    if (!(ss >> word)) return true;  // bare comment
+    if (word == "restart") {
+      restart_instance();
+      return true;
+    }
+    if (word == "solve") {
+      assumptions_.clear();
+      return true;
+    }
+    if (word == "assume") {
+      assumptions_.clear();
+      std::int32_t n = 0;
+      while (ss >> n) {
+        if (n == 0) break;
+        const Lit l = lit_of(n);
+        ensure_var(l.var());
+        assumptions_.insert(l.code());
+      }
+      return true;
+    }
+    if (word == "conclude") return process_conclusion(ss, line);
+    return true;  // any other "c" line is a comment
+  }
+
+  bool process_conclusion(std::istringstream& ss, const std::string& line) {
+    std::string verdict;
+    if (!(ss >> verdict)) {
+      result_.error = "malformed conclusion: " + line;
+      return false;
+    }
+    if (verdict == "sat") {
+      if (root_conflict_) {
+        result_.error = "sat conclusion but the formula is unit-propagation "
+                        "refutable at root level";
+        return false;
+      }
+      ++result_.epochs_concluded_sat;
+      return true;
+    }
+    if (verdict == "unknown") {
+      ++result_.epochs_concluded_unknown;
+      return true;
+    }
+    if (verdict != "unsat") {
+      result_.error = "unrecognized conclusion: " + line;
+      return false;
+    }
+    std::vector<Lit> conflict;
+    std::int32_t n = 0;
+    while (ss >> n) {
+      if (n == 0) break;
+      conflict.push_back(lit_of(n));
+    }
+    if (conflict.empty()) {
+      if (!root_conflict_) {
+        result_.error = "unconditional unsat conclusion without a derived "
+                        "empty clause";
+        return false;
+      }
+    } else {
+      for (const Lit l : conflict) {
+        if (assumptions_.find((~l).code()) == assumptions_.end()) {
+          result_.error = "unsat conclusion literal " + l.debug_string() +
+                          " does not negate a declared assumption";
+          return false;
+        }
+      }
+      if (!root_conflict_ && !has_active_clause(conflict)) {
+        result_.error = "unsat conclusion clause is not in the verified "
+                        "database: " + line;
+        return false;
+      }
+    }
+    ++result_.epochs_concluded_unsat;
+    return true;
+  }
+
+  static Lit lit_of(std::int32_t dimacs) {
+    const Var v = (dimacs > 0 ? dimacs : -dimacs) - 1;
+    return Lit(v, dimacs < 0);
+  }
+
+  DratCheckOptions options_;
+  DratCheckResult result_;
+
+  std::vector<DbClause> clauses_;
+  std::map<std::vector<std::int32_t>, std::vector<std::size_t>> index_;
+  std::vector<std::vector<std::size_t>> watches_;  // indexed by Lit::code
+  std::vector<LBool> assign_;
+  std::vector<Lit> trail_;
+  std::size_t qhead_ = 0;
+  bool root_conflict_ = false;
+  std::set<std::int32_t> assumptions_;  // current epoch, by Lit::code
+};
+
+}  // namespace
+
+DratCheckResult check_drat(const CnfFormula& cnf, std::istream& proof,
+                           const DratCheckOptions& options) {
+  Checker checker(options);
+  return checker.run(cnf, proof);
+}
+
+}  // namespace t2m::sat

@@ -1,0 +1,58 @@
+#ifndef T2M_SAT_DRAT_CHECK_H
+#define T2M_SAT_DRAT_CHECK_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/sat/dimacs.h"
+
+namespace t2m::sat {
+
+struct DratCheckOptions {
+  /// Tool mode: additionally require that the proof derives the empty
+  /// clause (an unconditional UNSAT certificate). Off for incremental
+  /// traces, where per-epoch `c conclude unsat` markers carry the verdicts.
+  bool require_empty_clause = false;
+};
+
+/// Outcome of a forward proof check. `ok` means every lemma admitted by the
+/// proof was verified (RUP, or RAT on its first literal) and every epoch
+/// conclusion was validated; `error`/`error_line` describe the first
+/// failing lemma or marker otherwise.
+struct [[nodiscard]] DratCheckResult {
+  bool ok = false;
+  std::string error;
+  std::size_t error_line = 0;  ///< 1-based line in the proof stream
+
+  std::uint64_t lemmas_checked = 0;  ///< "a" lines verified (RUP or RAT)
+  std::uint64_t rat_lemmas = 0;      ///< lemmas that needed the RAT fallback
+  std::uint64_t axioms = 0;          ///< "i" lines + input CNF clauses
+  std::uint64_t deletions = 0;       ///< "d" lines applied
+  std::uint64_t skipped_deletions = 0;  ///< "d" lines with no matching clause
+  std::uint64_t restarts = 0;
+
+  /// True once the empty clause was derived (or an axiom set conflicted
+  /// under unit propagation) for the current instance.
+  bool empty_clause_derived = false;
+
+  // Epoch markers validated (see ProofLog's format).
+  std::uint64_t epochs_concluded_unsat = 0;
+  std::uint64_t epochs_concluded_sat = 0;
+  std::uint64_t epochs_concluded_unknown = 0;
+};
+
+/// Forward-checks an extended-DRAT proof stream against `cnf` (which may be
+/// empty when the proof is self-contained via "i" axiom lines). Processes
+/// the stream in order: axioms extend the formula unchecked, each lemma is
+/// verified by reverse unit propagation (with a RAT fallback on its first
+/// literal) before it is admitted, deletions shrink the database, and epoch
+/// markers are validated — a `c conclude unsat <lits>` requires the
+/// conflict clause to be present in the database and every literal to be
+/// the negation of a declared assumption of the current epoch.
+DratCheckResult check_drat(const CnfFormula& cnf, std::istream& proof,
+                           const DratCheckOptions& options = {});
+
+}  // namespace t2m::sat
+
+#endif  // T2M_SAT_DRAT_CHECK_H

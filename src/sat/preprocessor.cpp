@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/sat/proof_log.h"
 #include "src/util/failpoint.h"
 
 namespace t2m::sat {
@@ -13,7 +14,7 @@ bool Solver::preprocess(const PreprocessOptions& opts) {
   if (!ok_) return false;
   backtrack(0);
   if (propagate() != kNoReason) {
-    ok_ = false;
+    set_unsat();
     return false;
   }
   simplify();
@@ -26,6 +27,14 @@ bool Solver::preprocess(const PreprocessOptions& opts) {
 
 Preprocessor::Preprocessor(Solver& solver, const PreprocessOptions& opts)
     : s_(solver), opts_(opts) {}
+
+void Preprocessor::log_derived(const Clause& lits) {
+  if (s_.plog_ != nullptr) s_.plog_->add(lits);
+}
+
+void Preprocessor::log_deleted(const Clause& lits) {
+  if (s_.plog_ != nullptr) s_.plog_->remove(lits);
+}
 
 std::uint64_t Preprocessor::signature(const Clause& lits) {
   std::uint64_t sig = 0;
@@ -96,6 +105,8 @@ void Preprocessor::snapshot() {
 
 bool Preprocessor::strengthen_clause(std::size_t target, Lit remove, bool from_tainted) {
   PClause& d = clauses_[target];
+  Clause before;
+  if (s_.plog_ != nullptr) before = d.lits;
   const auto it = std::lower_bound(d.lits.begin(), d.lits.end(), remove);
   assert(it != d.lits.end() && *it == remove);
   d.lits.erase(it);
@@ -103,9 +114,17 @@ bool Preprocessor::strengthen_clause(std::size_t target, Lit remove, bool from_t
   if (from_tainted) d.tainted = true;
   ++strengthened_;
   if (d.lits.empty()) {
+    // The empty clause itself is logged once, by writeback()'s unsat path;
+    // by then the checker has already derived the conflict from the two
+    // opposing unit lemmas logged on the way here.
     unsat_ = true;
     return false;
   }
+  // Self-subsuming resolution step: the shortened clause is RUP against the
+  // seed clause plus this clause's previous logged version, so add it first
+  // and retire the previous version after.
+  log_derived(d.lits);
+  log_deleted(before);
   if (!queued_[target]) {
     queued_[target] = 1;
     queue_.push_back(static_cast<std::uint32_t>(target));
@@ -140,6 +159,7 @@ bool Preprocessor::subsume_and_strengthen() {
         work_ += c.lits.size();
         if (!subset(c.lits, d.lits)) continue;
         d.deleted = true;
+        log_deleted(d.lits);
         ++subsumed_;
         changed = true;
       }
@@ -206,6 +226,10 @@ void Preprocessor::add_derived_clause(Clause lits, bool tainted) {
   // failed verdict, never a crash.
   T2M_INJECT_STATUS("preprocess.derive", ErrorCode::internal,
                     "injected preprocessor derivation failure");
+  // BVE resolvent: RUP against its two parents, which are still in the
+  // checker's database (try_eliminate logs parent deletions only after
+  // every resolvent is in).
+  log_derived(lits);
   const auto idx = static_cast<std::uint32_t>(clauses_.size());
   PClause pc;
   pc.sig = signature(lits);
@@ -267,11 +291,15 @@ bool Preprocessor::try_eliminate(Var v) {
   stash_.push_back(std::move(rec));
   for (auto& [lits, tainted] : resolvents) {
     if (lits.empty()) {
+      // Empty-clause logging is deferred to writeback(); the checker has
+      // already hit the root conflict from the parents' derivations.
       unsat_ = true;
       return true;
     }
     add_derived_clause(std::move(lits), tainted);
   }
+  // All resolvents are in the (checker's) database; the parents may go now.
+  for (const Clause& parent : stash_.back().clauses) log_deleted(parent);
   var_gone_[static_cast<std::size_t>(v)] = 1;
   ++eliminated_;
   return true;
@@ -302,7 +330,7 @@ bool Preprocessor::eliminate_variables() {
 
 bool Preprocessor::writeback() {
   if (unsat_) {
-    s_.ok_ = false;
+    s_.set_unsat();
     return false;
   }
 
@@ -345,7 +373,10 @@ bool Preprocessor::writeback() {
       }
       lits.push_back(l);
     }
-    if (drop) continue;
+    if (drop) {
+      s_.log_remove(c);
+      continue;
+    }
     const ClauseRef nc = fresh.alloc(lits, /*learned=*/true, s_.arena_.tainted(c));
     fresh.set_activity(nc, s_.arena_.activity(c));
     fresh.set_lbd(nc, s_.arena_.lbd(c));
@@ -375,14 +406,14 @@ bool Preprocessor::writeback() {
     const LBool v = s_.value(l);
     if (v == LBool::True) continue;
     if (v == LBool::False) {
-      s_.ok_ = false;
+      s_.set_unsat();
       return false;
     }
     if (tainted) s_.root_taint_[static_cast<std::size_t>(l.var())] = 1;
     s_.enqueue(l, kClauseRefUndef);
   }
   if (s_.propagate() != kClauseRefUndef) {
-    s_.ok_ = false;
+    s_.set_unsat();
     return false;
   }
   s_.simplified_up_to_ = 0;  // force a simplify() pass on the next solve

@@ -95,6 +95,13 @@ private:
     return occur_[static_cast<std::size_t>(l.code())];
   }
 
+  /// Proof-trace hooks (no-ops when the owning solver has no proof sink).
+  /// Every derivation the passes make is logged in dependency order: a
+  /// strengthened clause or resolvent is added (checkably) before the
+  /// clauses it was derived from are deleted.
+  void log_derived(const Clause& lits);
+  void log_deleted(const Clause& lits);
+
   Solver& s_;
   const PreprocessOptions& opts_;
   std::vector<PClause> clauses_;

@@ -1,0 +1,61 @@
+#include "src/sat/proof_log.h"
+
+#include <ostream>
+
+namespace t2m::sat {
+
+namespace {
+
+void write_lits(std::ostream& os, std::span<const Lit> lits) {
+  for (const Lit l : lits) {
+    os << (l.negated() ? -(l.var() + 1) : (l.var() + 1)) << ' ';
+  }
+  os << "0\n";
+}
+
+}  // namespace
+
+void ProofLog::write_clause_line(const char* prefix, std::span<const Lit> lits) {
+  ++events_;
+  os_ << prefix;
+  write_lits(os_, lits);
+}
+
+void ProofLog::add(std::span<const Lit> lits) { write_clause_line("", lits); }
+
+void ProofLog::remove(std::span<const Lit> lits) { write_clause_line("d ", lits); }
+
+void ProofLog::axiom(std::span<const Lit> lits) { write_clause_line("i ", lits); }
+
+void ProofLog::restart() {
+  ++events_;
+  os_ << "c restart 0\n";
+}
+
+void ProofLog::begin_solve(std::uint64_t ordinal, std::span<const Lit> assumptions) {
+  ++events_;
+  os_ << "c solve " << ordinal << " 0\n";
+  if (!assumptions.empty()) {
+    ++events_;
+    os_ << "c assume ";
+    write_lits(os_, assumptions);
+  }
+}
+
+void ProofLog::conclude_unsat(std::span<const Lit> conflict) {
+  ++events_;
+  os_ << "c conclude unsat ";
+  write_lits(os_, conflict);
+}
+
+void ProofLog::conclude_sat() {
+  ++events_;
+  os_ << "c conclude sat 0\n";
+}
+
+void ProofLog::conclude_unknown() {
+  ++events_;
+  os_ << "c conclude unknown 0\n";
+}
+
+}  // namespace t2m::sat

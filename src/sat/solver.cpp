@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "src/sat/proof_log.h"
 
 namespace t2m::sat {
 
@@ -17,6 +21,14 @@ constexpr double kVarRescaleLimit = 1e100;
 constexpr float kClauseRescaleLimit = 1e20f;
 // GC triggers when at least this fraction of the arena is dead words.
 constexpr std::size_t kGcWasteDenominator = 5;  // 1/5 = 20%
+
+// Failpoint-style toggle: with T2M_CHECK_INVARIANTS set in the environment,
+// every solve() boundary runs the full invariant audit and throws on a
+// violation. Read once — the audit is for test/debug processes.
+bool invariant_audit_enabled() {
+  static const bool enabled = std::getenv("T2M_CHECK_INVARIANTS") != nullptr;
+  return enabled;
+}
 
 }  // namespace
 
@@ -48,6 +60,29 @@ Solver::Solver() = default;
 void Solver::set_config(const SolverConfig& config) {
   config_ = config;
   polarity_rng_ = Rng(config.seed);
+  plog_ = config.proof_log;
+  // A fresh instance taking over the log stream: tell the checker to drop
+  // the previous instance's clause database (capacity rebuilds reuse one
+  // stream across solver generations).
+  if (plog_ != nullptr) plog_->restart();
+}
+
+void Solver::record_axiom(std::span<const Lit> lits) {
+  if (config_.keep_originals) originals_.emplace_back(lits.begin(), lits.end());
+  if (plog_ != nullptr) plog_->axiom(lits);
+}
+
+void Solver::log_remove(ClauseRef cref) {
+  if (plog_ == nullptr) return;
+  log_scratch_.clear();
+  const std::size_t size = arena_.size(cref);
+  for (std::size_t i = 0; i < size; ++i) log_scratch_.push_back(arena_.lit(cref, i));
+  plog_->remove(log_scratch_);
+}
+
+void Solver::set_unsat() {
+  ok_ = false;
+  if (plog_ != nullptr) plog_->add_empty();
 }
 
 Var Solver::new_var() { return new_vars(1); }
@@ -85,6 +120,7 @@ ClauseRef Solver::alloc_clause(std::span<const Lit> lits, bool learned, bool tai
 
 bool Solver::add_clause(std::span<const Lit> lits, bool tainted) {
   if (!ok_) return false;
+  record_axiom(lits);
   // Incremental use: always add at the root level.
   if (decision_level() > 0) backtrack(0);
 
@@ -122,6 +158,7 @@ bool Solver::add_clause(std::span<const Lit> lits, bool tainted) {
 
 bool Solver::add_clause_presorted(std::span<const Lit> lits, bool tainted) {
   if (!ok_) return false;
+  record_axiom(lits);
   if (decision_level() > 0) backtrack(0);
   // The caller guarantees sorted, duplicate-free, non-tautological input
   // (the parallel emission workers construct clauses that way), so only the
@@ -154,7 +191,10 @@ bool Solver::add_clause_deferred(std::span<const Lit> lits, bool tainted,
       throw std::invalid_argument("Solver::add_clause_deferred: unknown variable");
     }
     const LBool v = value(l);
-    if (v == LBool::True) return true;
+    if (v == LBool::True) {
+      record_axiom(lits);
+      return true;
+    }
     if (v == LBool::False) {
       if (root_tainted(l.var())) tainted = true;
       continue;
@@ -164,7 +204,10 @@ bool Solver::add_clause_deferred(std::span<const Lit> lits, bool tainted,
   // A unit or empty remainder advances the root assignment, which would
   // invalidate the deferred-attach invariant (every pending clause's
   // literals are unassigned): make the caller flush and re-add immediately.
+  // No axiom is recorded on that path — the add_clause_presorted() retry
+  // records it exactly once.
   if (norm.size() <= 1) return false;
+  record_axiom(lits);
   const ClauseRef cref = alloc_clause(norm, /*learned=*/false, tainted);
   problem_clauses_.push_back(cref);
   ++num_problem_clauses_;
@@ -194,13 +237,13 @@ void Solver::attach_shard(std::span<const ClauseRef> refs, std::size_t shard,
 
 bool Solver::finish_add_clause(std::span<const Lit> lits, bool tainted) {
   if (lits.empty()) {
-    ok_ = false;
+    set_unsat();
     return false;
   }
   if (lits.size() == 1) {
     if (tainted) root_taint_[static_cast<std::size_t>(lits[0].var())] = 1;
     enqueue(lits[0], kNoReason);
-    ok_ = (propagate() == kNoReason);
+    if (propagate() != kNoReason) set_unsat();
     return ok_;
   }
   const ClauseRef cref = alloc_clause(lits, /*learned=*/false, tainted);
@@ -212,7 +255,10 @@ bool Solver::finish_add_clause(std::span<const Lit> lits, bool tainted) {
 
 bool Solver::add_exactly_one(std::span<const Lit> lits) {
   if (lits.empty()) {
-    ok_ = false;
+    // "Exactly one of nothing" is an unsatisfiable constraint: record it as
+    // an (empty) axiom so the logged empty clause below stays checkable.
+    record_axiom({});
+    set_unsat();
     return false;
   }
   bool ok = add_clause(lits);
@@ -586,6 +632,7 @@ void Solver::reduce_learned() {
     return arena_.activity(a) < arena_.activity(b);
   });
   for (std::size_t i = 0; i < cands.size() / 2; ++i) {
+    log_remove(cands[i]);
     arena_.mark_deleted(cands[i]);
   }
   // Compact the learned list; dead watchers linger until the next GC.
@@ -631,6 +678,7 @@ void Solver::simplify() {
       // propagation path checks the deleted bit, and a root-satisfied binary
       // can never fire again (its blocker stays true), so both kinds are
       // safe to drop in place until the next GC sweeps the watcher lists.
+      log_remove(c);
       arena_.mark_deleted(c);
       ++stats_.simplify_removed;
       return true;
@@ -703,13 +751,24 @@ std::uint64_t Solver::luby(std::uint64_t i) {
 SolveResult Solver::solve(std::span<const Lit> assumptions) {
   ++stats_.solves;
   final_conflict_.clear();
-  if (!ok_) return SolveResult::Unsat;
+  if (invariant_audit_enabled()) {
+    if (const Status audit = check_invariants(); !audit.ok()) {
+      throw StatusError(audit);
+    }
+  }
+  if (plog_ != nullptr) plog_->begin_solve(stats_.solves, assumptions);
+  if (!ok_) {
+    if (plog_ != nullptr) plog_->conclude_unsat({});
+    return SolveResult::Unsat;
+  }
   if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
+    if (plog_ != nullptr) plog_->conclude_unknown();
     return SolveResult::Unknown;
   }
   backtrack(0);
   if (propagate() != kNoReason) {
-    ok_ = false;
+    set_unsat();
+    if (plog_ != nullptr) plog_->conclude_unsat({});
     return SolveResult::Unsat;
   }
   simplify();
@@ -731,11 +790,15 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
       ++conflicts_total;
       ++conflicts_since_restart;
       if (decision_level() == 0) {
-        ok_ = false;
+        set_unsat();
+        if (plog_ != nullptr) plog_->conclude_unsat({});
         return SolveResult::Unsat;
       }
       int backtrack_level = 0;
       analyze(conflict, learnt, backtrack_level);
+      // Learned clauses are logged before being acted on: each is RUP with
+      // respect to the database the checker has replayed up to this point.
+      if (plog_ != nullptr) plog_->add(learnt);
       backtrack(backtrack_level);
       if (learnt.size() == 1) {
         if (analyze_taint_) {
@@ -757,10 +820,15 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
       // The stop flag is a relaxed load, cheap enough to poll every conflict
       // — cancellation latency is what makes a portfolio race worth running.
       if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
+        if (plog_ != nullptr) plog_->conclude_unknown();
         return SolveResult::Unknown;
       }
-      if ((conflicts_total & 255) == 0 && deadline_.expired()) return SolveResult::Unknown;
+      if ((conflicts_total & 255) == 0 && deadline_.expired()) {
+        if (plog_ != nullptr) plog_->conclude_unknown();
+        return SolveResult::Unknown;
+      }
       if (conflict_budget_ != 0 && conflicts_total >= conflict_budget_) {
+        if (plog_ != nullptr) plog_->conclude_unknown();
         return SolveResult::Unknown;
       }
       if (learnts_.size() > max_learned) {
@@ -791,6 +859,16 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
       if (value(a) == LBool::False) {
         analyze_final(a);
         ++stats_.assumption_unsats;
+        if (plog_ != nullptr) {
+          // The epoch's certificate: the negation of the failed assumption
+          // core is implied by the database (the reason walk in
+          // analyze_final() is a unit-propagation derivation), so it is
+          // logged as a checked lemma and then cited by the conclusion.
+          log_scratch_.clear();
+          for (const Lit l : final_conflict_) log_scratch_.push_back(~l);
+          plog_->add(log_scratch_);
+          plog_->conclude_unsat(log_scratch_);
+        }
         return SolveResult::Unsat;
       }
       next = a;
@@ -803,12 +881,14 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
       // assigned by search) — skip draining the order heap.
       if (trail_.size() == num_vars() - num_eliminated_) {
         reconstruct_model();
+        if (plog_ != nullptr) plog_->conclude_sat();
         return SolveResult::Sat;
       }
       ++stats_.decisions;
       next = pick_branch_literal();
       if (next.is_undef()) {
         reconstruct_model();
+        if (plog_ != nullptr) plog_->conclude_sat();
         return SolveResult::Sat;  // all variables assigned
       }
     }
@@ -828,6 +908,213 @@ bool Solver::model_value(Var v) const {
     throw std::logic_error("Solver::model_value: unassigned var");
   }
   return val == LBool::True;
+}
+
+Status Solver::verify_model() const {
+  // Model lookup spanning both live assignments and the values
+  // reconstruct_model() derived for BVE-eliminated variables.
+  const auto lit_true = [this](Lit l) {
+    const auto v = static_cast<std::size_t>(l.var());
+    if (v >= assign_.size()) return false;
+    const LBool b = assign_[v] != LBool::Undef ? assign_[v] : elim_model_[v];
+    if (b == LBool::Undef) return false;
+    return l.negated() ? b == LBool::False : b == LBool::True;
+  };
+  const auto audit = [&](std::span<const Lit> lits, const char* what) {
+    for (const Lit l : lits) {
+      if (lit_true(l)) return Status::Ok();
+    }
+    // Built with += throughout: GCC 12's -Wrestrict false-fires on the
+    // temporary-concatenation forms at -O2 (PR105651).
+    std::string msg = "verify_model: ";
+    msg += what;
+    msg += " clause unsatisfied:";
+    for (const Lit l : lits) {
+      msg.push_back(' ');
+      msg += l.debug_string();
+    }
+    return Status::Internal(std::move(msg));
+  };
+  if (config_.keep_originals) {
+    // Every clause as handed in, including those later subsumed,
+    // strengthened, or removed by variable elimination.
+    for (const Clause& c : originals_) {
+      if (Status s = audit(c, "original"); !s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+  // Fallback: the live database plus the elimination stash (the original
+  // clauses BVE removed — reconstruct_model() must have satisfied them).
+  std::vector<Lit> lits;
+  for (const ClauseRef c : problem_clauses_) {
+    if (arena_.deleted(c)) continue;
+    lits.clear();
+    const std::size_t size = arena_.size(c);
+    for (std::size_t i = 0; i < size; ++i) lits.push_back(arena_.lit(c, i));
+    if (Status s = audit(lits, "problem"); !s.ok()) return s;
+  }
+  for (const ElimRecord& rec : elim_stash_) {
+    for (const Clause& c : rec.clauses) {
+      if (Status s = audit(c, "eliminated"); !s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Solver::check_invariants() const {
+  const auto fail = [](std::string msg) {
+    return Status::Internal("check_invariants: " + std::move(msg));
+  };
+  const std::size_t n = assign_.size();
+  if (level_.size() != n || reason_.size() != n || saved_phase_.size() != n ||
+      frozen_.size() != n || eliminated_.size() != n || root_taint_.size() != n ||
+      elim_model_.size() != n || seen_.size() != n || activity_.size() != n ||
+      heap_index_.size() != n || watches_.size() != 2 * n) {
+    return fail("per-variable array sizes disagree");
+  }
+  if (problem_clauses_.size() != num_problem_clauses_) {
+    return fail("problem clause count drifted from its list");
+  }
+  if (propagate_head_ > trail_.size()) return fail("propagate head past trail end");
+  for (std::size_t i = 0; i < trail_lim_.size(); ++i) {
+    if (trail_lim_[i] > trail_.size() ||
+        (i > 0 && trail_lim_[i] < trail_lim_[i - 1])) {
+      return fail("decision-level marks not monotone within the trail");
+    }
+  }
+
+  // Trail: each literal assigned true exactly once, its recorded level
+  // matching its trail position, its reason (if any) live and asserting it.
+  std::vector<char> on_trail(n, 0);
+  std::size_t next_lim = 0;
+  int cur_level = 0;
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    while (next_lim < trail_lim_.size() && trail_lim_[next_lim] == i) {
+      ++cur_level;
+      ++next_lim;
+    }
+    const Lit l = trail_[i];
+    const auto v = static_cast<std::size_t>(l.var());
+    if (l.is_undef() || v >= n) return fail("trail literal over unknown variable");
+    if (value(l) != LBool::True) {
+      return fail("trail literal not assigned true: " + l.debug_string());
+    }
+    if (on_trail[v] != 0) {
+      return fail("variable on trail twice: " + std::to_string(l.var()));
+    }
+    on_trail[v] = 1;
+    if (level_of(l.var()) != cur_level) {
+      return fail("recorded level disagrees with trail position for " +
+                  l.debug_string());
+    }
+    const ClauseRef r = reason_[v];
+    if (r != kNoReason) {
+      if (arena_.deleted(r)) return fail("reason clause is deleted");
+      if (arena_.size(r) < 2) return fail("reason clause shorter than 2");
+      if (arena_.lit(r, 0) != l) {
+        return fail("reason clause does not assert its trail literal " +
+                    l.debug_string());
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (assign_[v] != LBool::Undef && on_trail[v] == 0) {
+      return fail("assigned variable missing from trail: " + std::to_string(v));
+    }
+  }
+
+  // Watchers <-> arena: every watcher either points at a deleted clause
+  // (stale, purged at GC) or watches one of the clause's first two literals
+  // with a blocker from the clause; the binary tag must match the size.
+  std::unordered_map<ClauseRef, int> watch_count;
+  for (std::size_t code = 0; code < watches_.size(); ++code) {
+    const Lit watched = ~Lit::from_code(static_cast<std::int32_t>(code));
+    for (const Watcher& w : watches_[code]) {
+      const ClauseRef cref = w.clause & ~kBinaryTag;
+      const bool tagged = (w.clause & kBinaryTag) != 0;
+      if (cref >= arena_.size_words()) return fail("watcher ref outside arena");
+      if (arena_.deleted(cref)) continue;  // stale watcher awaiting GC
+      const std::size_t size = arena_.size(cref);
+      if (size < 2) return fail("watched clause shorter than 2");
+      if (tagged != (size == 2)) return fail("binary tag disagrees with size");
+      if (arena_.lit(cref, 0) != watched && arena_.lit(cref, 1) != watched) {
+        return fail("watcher not on the clause's first two literals");
+      }
+      bool blocker_in_clause = false;
+      for (std::size_t i = 0; i < size && !blocker_in_clause; ++i) {
+        blocker_in_clause = arena_.lit(cref, i) == w.blocker;
+      }
+      if (!blocker_in_clause) return fail("watcher blocker not in clause");
+      ++watch_count[cref];
+    }
+  }
+  const auto check_list = [&](const std::vector<ClauseRef>& list, bool learned,
+                              const char* what) {
+    for (const ClauseRef c : list) {
+      if (arena_.learned(c) != learned) {
+        return fail(std::string(what) + " list holds a clause with the wrong "
+                                        "learned flag");
+      }
+      if (arena_.deleted(c)) continue;
+      if (arena_.size(c) >= 2 && watch_count[c] != 2) {
+        return fail(std::string(what) + " clause not watched exactly twice");
+      }
+      const std::size_t size = arena_.size(c);
+      for (std::size_t i = 0; i < size; ++i) {
+        if (is_eliminated(arena_.lit(c, i).var())) {
+          return fail(std::string(what) + " clause mentions an eliminated "
+                                          "variable");
+        }
+      }
+    }
+    return Status::Ok();
+  };
+  if (Status s = check_list(problem_clauses_, false, "problem"); !s.ok()) return s;
+  if (Status s = check_list(learnts_, true, "learned"); !s.ok()) return s;
+
+  // Variable contracts: frozen vars are never eliminated; eliminated vars
+  // never carry an assignment (reconstruct_model() keeps their values in a
+  // separate array precisely so they cannot propagate).
+  std::size_t eliminated_count = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (eliminated_[v] != 0) {
+      ++eliminated_count;
+      if (frozen_[v] != 0) {
+        return fail("frozen variable eliminated: " + std::to_string(v));
+      }
+      if (assign_[v] != LBool::Undef) {
+        return fail("eliminated variable assigned: " + std::to_string(v));
+      }
+    }
+  }
+  if (eliminated_count != num_eliminated_ ||
+      elim_stash_.size() != num_eliminated_) {
+    return fail("eliminated-variable count disagrees with flags/stash");
+  }
+
+  // Branching heap: index array and heap agree; activity max-heap property.
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const Var v = heap_[i];
+    if (v < 0 || static_cast<std::size_t>(v) >= n ||
+        heap_index_[static_cast<std::size_t>(v)] != static_cast<std::int32_t>(i)) {
+      return fail("heap index array out of sync");
+    }
+    if (i > 0) {
+      const Var parent = heap_[(i - 1) / 2];
+      if (activity_[static_cast<std::size_t>(parent)] <
+          activity_[static_cast<std::size_t>(v)]) {
+        return fail("heap order violated");
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t idx = heap_index_[v];
+    if (idx >= 0 && (static_cast<std::size_t>(idx) >= heap_.size() ||
+                     heap_[static_cast<std::size_t>(idx)] != static_cast<Var>(v))) {
+      return fail("heap index points at the wrong slot");
+    }
+  }
+  return Status::Ok();
 }
 
 void Solver::freeze(Var v) {

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/sat/clause_arena.h"
 #include "src/sat/cnf.h"
 #include "src/sat/watcher_list.h"
@@ -15,6 +16,7 @@
 namespace t2m::sat {
 
 class Preprocessor;
+class ProofLog;
 struct PreprocessOptions;
 
 /// Outcome of a solve() call. Unknown is returned when the deadline or
@@ -63,6 +65,16 @@ struct SolverConfig {
   std::uint32_t random_polarity_permille = 0;
   /// Seed for the polarity RNG.
   std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// When set, the solver writes an extended-DRAT trace of every clause it
+  /// is handed, learns, strengthens or deletes to this sink, making UNSAT
+  /// verdicts independently checkable (see docs/proof_checking.md). Not
+  /// owned. Attach via set_config() before adding clauses; logging is pure
+  /// output and never changes solver behaviour.
+  ProofLog* proof_log = nullptr;
+  /// Retain a copy of every problem clause exactly as handed to add_*().
+  /// verify_model() then audits SAT verdicts against the original formula
+  /// (pre-normalisation, pre-preprocessing) instead of the live database.
+  bool keep_originals = false;
 };
 
 /// Conflict-driven clause-learning SAT solver in the MiniSat lineage:
@@ -180,6 +192,20 @@ public:
 
   /// Model access after SolveResult::Sat.
   bool model_value(Var v) const;
+
+  /// SAT-verdict audit: replays the model (including values reconstructed
+  /// for BVE-eliminated variables) against the formula. With
+  /// SolverConfig::keep_originals the audit runs over every clause exactly
+  /// as handed to add_*(); otherwise over the live database plus the
+  /// elimination stash. Returns internal error naming the first falsified
+  /// clause. Call only after solve() returned Sat.
+  Status verify_model() const;
+
+  /// Debug auditor: cross-checks the watcher lists against the arena, the
+  /// trail/reason invariants, and the frozen/eliminated-variable contract.
+  /// O(database); intended for tests and the T2M_CHECK_INVARIANTS env
+  /// toggle (checked at solve() boundaries), not for production loops.
+  Status check_invariants() const;
 
   /// Marks a variable untouchable by the preprocessor: it is never
   /// eliminated and clauses are never resolved on it. The encoders freeze
@@ -306,6 +332,18 @@ private:
   const std::atomic<bool>* stop_ = nullptr;  // cooperative cancellation
   SolverConfig config_;
   Rng polarity_rng_;
+
+  // --- proof logging / model auditing ---
+  ProofLog* plog_ = nullptr;            // = config_.proof_log (hot-path copy)
+  std::vector<Clause> originals_;       // as handed to add_*(); keep_originals
+  std::vector<Lit> log_scratch_;        // literal buffer for log_remove()
+  /// Retains/logs a problem clause exactly as the caller handed it.
+  void record_axiom(std::span<const Lit> lits);
+  /// Emits a deletion line for a live arena clause.
+  void log_remove(ClauseRef cref);
+  /// The single gateway to ok_ = false: logs the empty clause first, so a
+  /// checker replaying the proof reaches its own root conflict in lockstep.
+  void set_unsat();
   std::vector<Lit> final_conflict_;    // assumption core of the last Unsat
   std::size_t simplified_up_to_ = 0;   // root trail size at the last simplify()
 

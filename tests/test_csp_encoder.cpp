@@ -79,7 +79,9 @@ TEST_P(CspEncodings, ForbiddenPairShapesModel) {
   // No a-a path may exist.
   for (const Transition& t1 : m.transitions()) {
     for (const Transition& t2 : m.transitions()) {
-      if (t1.pred == 0 && t2.pred == 0) EXPECT_NE(t1.dst, t2.src);
+      if (t1.pred == 0 && t2.pred == 0) {
+        EXPECT_NE(t1.dst, t2.src);
+      }
     }
   }
 }
@@ -153,10 +155,12 @@ TEST_P(EncodingAgreement, SameVerdict) {
     segments.push_back(std::move(seg));
   }
   for (std::size_t n = 1; n <= 3; ++n) {
-    AutomatonCsp pairwise(segments, num_preds, n,
-                          {DeterminismEncoding::Pairwise, true});
-    AutomatonCsp successor(segments, num_preds, n,
-                           {DeterminismEncoding::Successor, true});
+    CspOptions pairwise_options;
+    pairwise_options.encoding = DeterminismEncoding::Pairwise;
+    CspOptions successor_options;
+    successor_options.encoding = DeterminismEncoding::Successor;
+    AutomatonCsp pairwise(segments, num_preds, n, pairwise_options);
+    AutomatonCsp successor(segments, num_preds, n, successor_options);
     pairwise.add_forbidden_sequence({0, 0});
     successor.add_forbidden_sequence({0, 0});
     EXPECT_EQ(pairwise.solve(), successor.solve()) << "seed=" << seed << " N=" << n;
@@ -457,8 +461,12 @@ TEST(StarCompression, AgreesWithDirectEncoding) {
       validate_model(m, segments);
       for (const Transition& t1 : m.transitions()) {
         for (const Transition& t2 : m.transitions()) {
-          if (t1.pred == 0 && t2.pred == 1) EXPECT_NE(t1.dst, t2.src);
-          if (t1.pred == 2 && t2.pred == 2) EXPECT_NE(t1.dst, t2.src);
+          if (t1.pred == 0 && t2.pred == 1) {
+            EXPECT_NE(t1.dst, t2.src);
+          }
+          if (t1.pred == 2 && t2.pred == 2) {
+            EXPECT_NE(t1.dst, t2.src);
+          }
         }
       }
     }

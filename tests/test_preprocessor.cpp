@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 #include <vector>
 
 #include "src/abstraction/abstraction.h"
@@ -15,7 +16,9 @@
 #include "src/core/csp_encoder.h"
 #include "src/core/learner.h"
 #include "src/core/segmentation.h"
+#include "src/sat/drat_check.h"
 #include "src/sat/preprocessor.h"
+#include "src/sat/proof_log.h"
 #include "src/sat/solver.h"
 #include "src/sim/rtlinux/workloads.h"
 #include "src/sim/xhci/ring_interface.h"
@@ -53,19 +56,31 @@ RandomCnf random_cnf(std::uint64_t seed) {
   return cnf;
 }
 
-/// Solves `cnf`, optionally preprocessing first (freezing the given vars).
-/// Returns the verdict; on Sat additionally asserts the model satisfies
-/// every ORIGINAL clause — for eliminated variables this exercises the
-/// stash-replay model reconstruction.
+/// Solves `cnf`, optionally preprocessing first (freezing the given vars),
+/// with DRAT proof logging on. Returns the verdict; on Unsat the emitted
+/// proof must pass the independent forward checker (empty clause included);
+/// on Sat the model must satisfy every ORIGINAL clause — via the solver's
+/// own verify_model() audit (exercising the BVE stash replay) and a direct
+/// walk over the input clauses.
 SolveResult solve_cnf(const RandomCnf& cnf, bool preprocess,
-                      const std::vector<sat::Var>& frozen) {
+                      const std::vector<sat::Var>& frozen,
+                      std::uint64_t seed) {
+  std::ostringstream trace;
+  sat::ProofLog log(trace);
   sat::Solver s;
+  sat::SolverConfig config;
+  config.proof_log = &log;
+  config.keep_originals = true;
+  s.set_config(config);
   s.new_vars(static_cast<sat::Var>(cnf.num_vars));
   for (const sat::Clause& c : cnf.clauses) s.add_clause(c);
   for (const sat::Var v : frozen) s.freeze(v);
-  if (preprocess) s.preprocess(sat::PreprocessOptions{});
-  const SolveResult r = s.solve();
+  bool pre_ok = true;
+  if (preprocess) pre_ok = s.preprocess(sat::PreprocessOptions{});
+  const SolveResult r = pre_ok ? s.solve() : SolveResult::Unsat;
   if (r == SolveResult::Sat) {
+    const Status audit = s.verify_model();
+    EXPECT_TRUE(audit.ok()) << "seed=" << seed << ": " << audit.message();
     for (const sat::Clause& c : cnf.clauses) {
       bool satisfied = false;
       for (const Lit l : c) {
@@ -76,7 +91,15 @@ SolveResult solve_cnf(const RandomCnf& cnf, bool preprocess,
       }
       EXPECT_TRUE(satisfied) << "model violates an original clause";
     }
+  } else {
+    std::istringstream proof(trace.str());
+    sat::DratCheckOptions options;
+    options.require_empty_clause = true;
+    const sat::DratCheckResult check = sat::check_drat(sat::CnfFormula{}, proof, options);
+    EXPECT_TRUE(check.ok) << "seed=" << seed << " preprocess=" << preprocess
+                          << ": " << check.error;
   }
+  EXPECT_TRUE(s.check_invariants().ok()) << "seed=" << seed;
   return r;
 }
 
@@ -95,8 +118,8 @@ TEST_P(PreprocessorDifferential, VerdictAndModelValidityPreserved) {
         frozen.push_back(v);
       }
     }
-    const SolveResult plain = solve_cnf(cnf, false, frozen);
-    const SolveResult preprocessed = solve_cnf(cnf, true, frozen);
+    const SolveResult plain = solve_cnf(cnf, false, frozen, base + i);
+    const SolveResult preprocessed = solve_cnf(cnf, true, frozen, base + i);
     ASSERT_EQ(plain, preprocessed) << "seed=" << base + i;
   }
 }
@@ -187,6 +210,46 @@ TEST(PreprocessorLearnDifferential, RtlinuxScheduler) {
 
 TEST(PreprocessorLearnDifferential, UsbAttach) {
   expect_same_learn_outcome(sim::generate_usb_attach_trace(), "usb-attach");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end proof-carrying learn runs: every solver verdict the CEGIS loop
+// consumes is independently re-derived by the forward DRAT checker from the
+// emitted trace — "i" axioms for the encoding, checked lemmas for every
+// conflict, `c restart` across CSP rebuilds, and per-epoch conclusions for
+// the guarded incremental grow_to path.
+
+void expect_checked_learn_run(const Trace& trace, bool persistent,
+                              const char* what) {
+  std::ostringstream proof_stream;
+  sat::ProofLog log(proof_stream);
+  LearnerConfig config;
+  config.persistent_solver = persistent;
+  config.preprocess = true;  // preprocessor derivations must be in the proof
+  config.solver.proof_log = &log;
+  const LearnResult result = ModelLearner(config).learn(trace);
+  ASSERT_TRUE(result.success) << what;
+  std::istringstream proof(proof_stream.str());
+  const sat::DratCheckResult check =
+      sat::check_drat(sat::CnfFormula{}, proof, {});
+  ASSERT_TRUE(check.ok) << what << ": line " << check.error_line << ": "
+                        << check.error;
+  // Every learn ends by accepting a model, so at least one epoch concluded
+  // SAT; growing past the initial state count concludes UNSAT epochs first.
+  EXPECT_GE(check.epochs_concluded_sat, 1u) << what;
+  if (result.states > config.initial_states) {
+    EXPECT_GE(check.epochs_concluded_unsat, 1u) << what;
+  }
+}
+
+TEST(ProofCarryingLearnRun, RtlinuxSchedulerPersistent) {
+  expect_checked_learn_run(sim::generate_full_coverage_sched_trace(4000), true,
+                           "rtlinux-persistent");
+}
+
+TEST(ProofCarryingLearnRun, UsbAttachFreshPerN) {
+  expect_checked_learn_run(sim::generate_usb_attach_trace(), false,
+                           "usb-attach-fresh");
 }
 
 // ---------------------------------------------------------------------------

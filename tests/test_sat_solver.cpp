@@ -350,7 +350,40 @@ TEST(Dimacs, RoundTrip) {
 
 TEST(Dimacs, RejectsGarbage) {
   std::stringstream ss("this is not dimacs\n1 2 0\n");
-  EXPECT_THROW(read_dimacs(ss), std::invalid_argument);
+  EXPECT_THROW(read_dimacs(ss), StatusError);
+}
+
+TEST(Dimacs, RejectsMalformedHeaderAndTruncation) {
+  const auto expect_parse_error = [](const std::string& text) {
+    std::stringstream ss(text);
+    try {
+      read_dimacs(ss);
+      FAIL() << "accepted: " << text;
+    } catch (const StatusError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::parse_error) << text;
+    }
+  };
+  expect_parse_error("p cnf 2 1 junk\n1 2 0\n");      // extra header field
+  expect_parse_error("p cnf 2\n1 2 0\n");             // missing clause count
+  expect_parse_error("1 2 0\n");                      // no header at all
+  expect_parse_error("p cnf 2 1\np cnf 2 1\n1 2 0\n");  // duplicate header
+  expect_parse_error("p cnf 2 1\n1 2\n");             // unterminated clause
+  expect_parse_error("p cnf 2 2\n1 2 0\n");           // count mismatch (short)
+  expect_parse_error("p cnf 2 1\n1 2 0\n-1 0\n");     // count mismatch (long)
+}
+
+TEST(Dimacs, UnitAndEmptyClausesRoundTrip) {
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{pos(1)}, {}, {neg(0)}};
+  std::stringstream ss;
+  write_dimacs(ss, f);
+  const CnfFormula back = read_dimacs(ss);
+  EXPECT_EQ(back.num_vars, f.num_vars);
+  ASSERT_EQ(back.clauses.size(), f.clauses.size());
+  for (std::size_t i = 0; i < f.clauses.size(); ++i) {
+    EXPECT_EQ(back.clauses[i], f.clauses[i]);
+  }
 }
 
 }  // namespace

@@ -114,7 +114,11 @@ TEST(ShardedIngest, RandomisedDifferential) {
     std::vector<std::string> events;
     events.reserve(length);
     for (std::size_t i = 0; i < length; ++i) {
-      events.push_back("e" + std::to_string(rng.below(alphabet)));
+      // += form: GCC 12's -Wrestrict false-fires on "e" + to_string(...)
+      // at -O2 (PR105651).
+      std::string name = "e";
+      name += std::to_string(rng.below(alphabet));
+      events.push_back(std::move(name));
     }
     par::ShardedIngestOptions options;
     options.window = 1 + rng.below(5);

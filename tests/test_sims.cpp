@@ -96,9 +96,15 @@ TEST(SerialSim, PaperLengthAndQueueLaw) {
     const std::string op = s.format_value(ev, t.obs(i)[ev]);
     const std::int64_t before = t.obs(i)[x].as_int();
     const std::int64_t after = t.obs(i + 1)[x].as_int();
-    if (op == "read") EXPECT_EQ(after, before - 1);
-    if (op == "write") EXPECT_EQ(after, before + 1);
-    if (op == "reset") EXPECT_EQ(after, 0);
+    if (op == "read") {
+      EXPECT_EQ(after, before - 1);
+    }
+    if (op == "write") {
+      EXPECT_EQ(after, before + 1);
+    }
+    if (op == "reset") {
+      EXPECT_EQ(after, 0);
+    }
   }
 }
 

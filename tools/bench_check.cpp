@@ -11,6 +11,13 @@
 // the recording machine's disk, e.g. stream_ingest); its conflict and
 // timeout gates still apply.
 //
+// When both the baseline entry and the result carry a nonzero "fingerprint"
+// (the structural clause-database hash the encode benches record), they must
+// match exactly: the fingerprint is machine-independent, so any drift means
+// the encoder changed the emitted clauses — in particular it pins the
+// proof-logging zero-cost claim, since the baseline values were produced by
+// a proof-logging-disabled encode (docs/proof_checking.md).
+//
 // Reads only the fixed one-record-per-line format BenchResultsJson emits;
 // this is a tripwire for our own artefacts, not a general JSON parser.
 // Wall-clock on shared CI runners is noisy, hence the absolute floor and the
@@ -39,6 +46,7 @@ struct Record {
   bool resource_exhausted = false;
   bool salvaged = false;
   bool wall_exempt = false;
+  std::uint64_t fingerprint = 0;  ///< 0 = not recorded; gate needs both sides
 };
 
 /// A run that was cut short — by the clock, the clause budget, or the memory
@@ -68,6 +76,19 @@ std::uint64_t parse_conflicts(const std::string& text, const std::string& path) 
     std::exit(2);
   }
   return static_cast<std::uint64_t>(value);
+}
+
+std::uint64_t parse_fingerprint(const std::string& text, const std::string& path) {
+  // Fingerprints use the full uint64 range, so they go through stoull
+  // rather than the signed parse_int64 helper.
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t value = std::stoull(text, &consumed);
+    if (consumed == text.size()) return value;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "bench_check: malformed fingerprint '" << text << "' in " << path << "\n";
+  std::exit(2);
 }
 
 std::optional<std::string> field_text(const std::string& line, const std::string& key) {
@@ -116,6 +137,9 @@ std::map<std::string, Record> load(const std::string& path) {
     }
     if (const auto salvaged = field_text(line, "salvaged")) rec.salvaged = *salvaged == "true";
     if (const auto exempt = field_text(line, "wall_exempt")) rec.wall_exempt = *exempt == "true";
+    if (const auto fp = field_text(line, "fingerprint")) {
+      rec.fingerprint = parse_fingerprint(*fp, path);
+    }
     records[*bench] = rec;
   }
   return records;
@@ -177,6 +201,16 @@ int main(int argc, char** argv) {
         got.wall_seconds > base.wall_seconds * (1.0 + max_wall_regress)) {
       std::cerr << "WALL     " << bench << ": " << got.wall_seconds << "s vs baseline "
                 << base.wall_seconds << "s (> +" << max_wall_regress * 100 << "%)\n";
+      ++regressions;
+    }
+    // Fingerprints are exact and machine-independent — no tolerance, no
+    // wall exemption. A mismatch means the encoder emits different clauses
+    // than the committed baseline did.
+    if (base.fingerprint != 0 && got.fingerprint != 0 &&
+        got.fingerprint != base.fingerprint) {
+      std::cerr << "FINGERPRINT " << bench << ": " << got.fingerprint
+                << " vs baseline " << base.fingerprint
+                << " (clause database drifted)\n";
       ++regressions;
     }
     // Conflict counts are only comparable between completed runs: a run cut
