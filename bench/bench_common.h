@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/core/learner.h"
+#include "src/core/report.h"
 #include "src/sim/basic/counter.h"
 #include "src/sim/basic/integrator.h"
 #include "src/sim/rtlinux/workloads.h"
@@ -122,12 +123,12 @@ struct BenchRecord {
   /// benchmarks whose wall time is advisory, e.g. thread-scaling entries).
   bool wall_exempt = false;
   std::size_t states = 0;
-  std::size_t sat_calls = 0;
-  std::uint64_t sat_conflicts = 0;
-  std::uint64_t sat_propagations = 0;
-  std::size_t peak_clause_arena_bytes = 0;
-  std::size_t csp_builds = 0;  ///< CSP constructions (fresh path: one per N)
-  std::size_t csp_grows = 0;   ///< in-place solver-reusing state growths
+  /// Full per-run statistics. The flat work-counter fields of the record
+  /// (sat_calls, sat_conflicts, ..., csp_grows — the bench_check contract)
+  /// and the nested "metrics" snapshot are both derived from it, via
+  /// report.h's write_bench_stats_fields / to_json, so the bench emitters
+  /// cannot drift from the stats serialization everything else uses.
+  LearnStats stats;
   /// Structural fingerprint of the produced clause database
   /// (Solver::clause_fingerprint), machine-independent: bench_check fails on
   /// any drift against the baseline, which pins the encoding byte-identical
@@ -154,12 +155,7 @@ public:
     rec.salvaged = r.salvaged;
     rec.wall_exempt = wall_exempt;
     rec.states = r.states;
-    rec.sat_calls = r.stats.sat_calls;
-    rec.sat_conflicts = r.stats.sat_conflicts;
-    rec.sat_propagations = r.stats.sat_propagations;
-    rec.peak_clause_arena_bytes = r.stats.sat_peak_arena_bytes;
-    rec.csp_builds = r.stats.csp_builds;
-    rec.csp_grows = r.stats.csp_grows;
+    rec.stats = r.stats;
     records_.push_back(std::move(rec));
   }
 
@@ -179,14 +175,14 @@ public:
          << ", \"resource_exhausted\": " << (r.resource_exhausted ? "true" : "false")
          << ", \"salvaged\": " << (r.salvaged ? "true" : "false")
          << ", \"wall_exempt\": " << (r.wall_exempt ? "true" : "false")
-         << ", \"states\": " << r.states
-         << ", \"sat_calls\": " << r.sat_calls
-         << ", \"sat_conflicts\": " << r.sat_conflicts
-         << ", \"sat_propagations\": " << r.sat_propagations
-         << ", \"peak_clause_arena_bytes\": " << r.peak_clause_arena_bytes
-         << ", \"csp_builds\": " << r.csp_builds
-         << ", \"csp_grows\": " << r.csp_grows
-         << ", \"fingerprint\": " << r.fingerprint << "}"
+         << ", \"states\": " << r.states;
+      write_bench_stats_fields(os, r.stats);
+      // The full-stats snapshot stays the LAST field on the line:
+      // bench_check reads flat fields by their first occurrence, so every
+      // key the gates consume must appear before the nested object repeats
+      // any of them.
+      os << ", \"fingerprint\": " << r.fingerprint
+         << ", \"metrics\": " << to_json(r.stats) << "}"
          << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     os << "]\n";

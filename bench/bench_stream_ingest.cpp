@@ -36,6 +36,7 @@
 
 #include "src/abstraction/event_stream.h"
 #include "src/core/learner.h"
+#include "src/core/report.h"
 #include "src/sim/synthetic/pattern_events.h"
 #include "src/trace/ftrace_io.h"
 #include "src/trace/mmap_io.h"
@@ -146,13 +147,18 @@ void emit_json_record(std::ostream& os, const std::string& bench, const RunOutco
   // wall_exempt: these runs are disk-dominated; when their records are
   // copied into bench/BENCH_baseline.json the flag keeps bench_check's
   // wall-clock gate off them (the RSS gate and conflict counts still apply).
+  // The flat work-counter fields go through the shared serializer
+  // (report.h). The child process reports only states/segments/conflicts, so
+  // the LearnStats is sparse and no nested "metrics" snapshot is emitted —
+  // bench_check's METRICS gate only fires when both sides carry one.
+  LearnStats stats;
+  stats.sat_conflicts = r.conflicts;
   os << "  {\"bench\": \"" << bench << "\", \"wall_exempt\": true, \"wall_seconds\": "
      << format_double(r.wall_seconds, 6) << ", \"success\": " << (r.ok ? "true" : "false")
      << ", \"timed_out\": " << (r.timed_out ? "true" : "false")
-     << ", \"states\": " << r.states << ", \"sat_calls\": 0"
-     << ", \"sat_conflicts\": " << r.conflicts << ", \"sat_propagations\": 0"
-     << ", \"peak_clause_arena_bytes\": 0, \"csp_builds\": 0, \"csp_grows\": 0"
-     << ", \"segments\": " << r.segments << ", \"peak_rss_kb\": " << r.peak_rss_kb << "}"
+     << ", \"states\": " << r.states;
+  write_bench_stats_fields(os, stats);
+  os << ", \"segments\": " << r.segments << ", \"peak_rss_kb\": " << r.peak_rss_kb << "}"
      << (last ? "" : ",") << "\n";
 }
 

@@ -5,6 +5,7 @@
 #include "src/abstraction/event_abstraction.h"
 #include "src/abstraction/mixed_abstraction.h"
 #include "src/abstraction/numeric_abstraction.h"
+#include "src/obs/trace.h"
 
 namespace t2m {
 
@@ -20,6 +21,7 @@ PredicateSequence abstract_trace(const Trace& trace, const AbstractionConfig& co
     throw std::invalid_argument("abstract_trace: trace needs at least two observations");
   }
   if (mode == AbstractionMode::Auto) mode = select_mode(trace.schema());
+  T2M_SPAN("abstract.trace", "observations", trace.size());
   switch (mode) {
     case AbstractionMode::Event:
       return abstract_event_trace(trace, config);

@@ -5,6 +5,7 @@
 
 #include "src/automaton/ops.h"
 #include "src/base/status.h"
+#include "src/obs/trace.h"
 #include "src/parallel/thread_pool.h"
 
 namespace t2m {
@@ -174,6 +175,7 @@ void merge_chunk_results(std::vector<SeenSet>& seen,
 }  // namespace
 
 ComplianceResult ComplianceChecker::check(const Nfa& model) const {
+  T2M_SPAN_SCOPE(check_span, "compliance.check", "states", model.num_states());
   ComplianceResult result;
   result.trace_sequences = trace_windows_;
 
@@ -192,6 +194,7 @@ ComplianceResult ComplianceChecker::check(const Nfa& model) const {
     std::vector<std::unordered_set<std::uint64_t>> seen(chunks);
     par::for_chunks(threads_, n_states, chunks,
                     [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                      T2M_SPAN("compliance.chunk", "chunk", c, "states", hi - lo);
                       check_packed_range(adj, lo, hi, seen[c], invalid[c]);
                     });
     merge_chunk_results(seen, invalid, result);
@@ -199,12 +202,15 @@ ComplianceResult ComplianceChecker::check(const Nfa& model) const {
     std::vector<std::unordered_set<std::vector<PredId>, VectorHash>> seen(chunks);
     par::for_chunks(threads_, n_states, chunks,
                     [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                      T2M_SPAN("compliance.chunk", "chunk", c, "states", hi - lo);
                       check_vec_range(adj, lo, hi, seen[c], invalid[c]);
                     });
     merge_chunk_results(seen, invalid, result);
   }
 
   result.compliant = result.invalid_sequences.empty();
+  check_span.arg("compliant", result.compliant);
+  check_span.arg("invalid_sequences", result.invalid_sequences.size());
   return result;
 }
 

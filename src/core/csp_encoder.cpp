@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/base/status.h"
+#include "src/obs/trace.h"
 #include "src/parallel/scratch_arena.h"
 #include "src/parallel/thread_pool.h"
 #include "src/sat/var_remap.h"
@@ -103,6 +104,7 @@ bool run_emission(sat::Solver& solver, std::size_t max_clauses, std::size_t thre
   if (threads <= 1 || n_items == 1) {
     // Same item walk, spliced incrementally so memory stays bounded even
     // when the emission is destined to overflow.
+    T2M_SPAN("encode.emit_serial", "items", n_items);
     ChunkBuf buf;
     for (std::size_t i = 0; i < n_items; ++i) {
       check_deadline(i);
@@ -173,7 +175,8 @@ bool run_emission(sat::Solver& solver, std::size_t max_clauses, std::size_t thre
     ChunkBuf* buf = bufs[c].get();
     const std::size_t begin = c * per_chunk;
     const std::size_t end = std::min(n_items, begin + per_chunk);
-    group.run([&build, &approx_total, &check_deadline, buf, begin, end, soft_cap] {
+    group.run([&build, &approx_total, &check_deadline, buf, c, begin, end, soft_cap] {
+      T2M_SPAN("encode.emit_chunk", "chunk", c, "items", end - begin);
       std::size_t counted = 0;
       for (std::size_t i = begin; i < end; ++i) {
         check_deadline(i);
@@ -191,6 +194,7 @@ bool run_emission(sat::Solver& solver, std::size_t max_clauses, std::size_t thre
 
   // Pipelined splice: consume chunk c while later chunks are still being
   // built, helping the pool whenever c isn't ready yet.
+  T2M_SPAN("encode.splice", "chunks", chunks);
   bool ok = true;
   for (std::size_t c = 0; c < chunks && ok; ++c) {
     while (!bufs[c]->ready.load(std::memory_order_acquire)) {
@@ -226,6 +230,8 @@ AutomatonCsp::AutomatonCsp(const std::vector<Segment>& segments, std::size_t num
                                             : std::max(num_states, options.state_capacity)),
       options_(options) {
   if (num_states_ == 0) throw std::invalid_argument("AutomatonCsp: zero states");
+  T2M_SPAN("encode.build", "states", num_states_, "capacity", capacity_, "segments",
+           segments.size());
   // Before any new_vars: default_phase seeds the phase array as variables
   // are created.
   solver_.set_config(options_.solver);
@@ -343,6 +349,7 @@ bool AutomatonCsp::grow_to(std::size_t n) {
   if (!persistent()) return false;
   if (n <= num_states_) return true;
   if (n > capacity_) return false;
+  T2M_SPAN("encode.grow", "from", num_states_, "to", n);
   const std::size_t lo = num_states_;
   num_states_ = n;
   decoded_valid_ = false;
@@ -767,6 +774,7 @@ sat::SolveResult AutomatonCsp::solve(const Deadline& deadline) {
       // even starts.
       sat::PreprocessOptions opts = options_.preprocess_opts;
       opts.deadline = deadline;
+      T2M_SPAN("encode.preprocess", "clauses", solver_.num_clauses());
       solver_.preprocess(opts);
     }
   }

@@ -8,6 +8,9 @@
 #include "src/abstraction/event_stream.h"
 #include "src/base/memory_accountant.h"
 #include "src/core/portfolio.h"
+#include "src/core/report.h"
+#include "src/obs/progress.h"
+#include "src/obs/trace.h"
 #include "src/parallel/sharded_ingest.h"
 #include "src/parallel/thread_pool.h"
 #include "src/trace/mmap_io.h"
@@ -160,11 +163,15 @@ LearnResult ModelLearner::learn_from_stream(PredStream& stream) const {
     ComplianceWindowBuilder window_builder(config_.compliance_length);
     std::vector<PredId> seq;
     std::size_t sequence_length = 0;
-    while (const auto id = stream.next()) {
-      if (segmenter) segmenter->push(*id);
-      window_builder.push(*id);
-      if (keep_sequence) seq.push_back(*id);
-      ++sequence_length;
+    {
+      T2M_SPAN_SCOPE(pass_span, "ingest.stream_pass");
+      while (const auto id = stream.next()) {
+        if (segmenter) segmenter->push(*id);
+        window_builder.push(*id);
+        if (keep_sequence) seq.push_back(*id);
+        ++sequence_length;
+      }
+      pass_span.arg("steps", sequence_length);
     }
     PredicateSequence preds = stream.take_preds();
     preds.seq = std::move(seq);
@@ -257,12 +264,22 @@ LearnResult ModelLearner::run_search(PredicateSequence preds, std::size_t sequen
                                      const ComplianceChecker& compliance_checker,
                                      const Schema& schema, const Deadline& deadline,
                                      const Stopwatch& total) const {
-  if (config_.portfolio > 1) {
-    return run_portfolio(preds, sequence_length, segments, compliance_checker, schema,
-                         deadline, total);
-  }
-  return run_search_single(std::move(preds), sequence_length, segments,
-                           compliance_checker, schema, deadline, total);
+  // The search is the phase worth watching: arm the progress counters (when
+  // enabled) against this run's deadline and publish the final counters into
+  // the metrics registry on every exit path.
+  if (obs::Progress::global().enabled()) obs::Progress::global().begin_run(deadline);
+  T2M_SPAN_SCOPE(run_span, "learn.run", "segments", segments.size(), "portfolio",
+                 config_.portfolio);
+  LearnResult result =
+      config_.portfolio > 1
+          ? run_portfolio(preds, sequence_length, segments, compliance_checker, schema,
+                          deadline, total)
+          : run_search_single(std::move(preds), sequence_length, segments,
+                              compliance_checker, schema, deadline, total);
+  run_span.arg("success", result.success);
+  run_span.arg("states", result.states);
+  publish_learn_metrics(result);
+  return result;
 }
 
 LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
@@ -312,6 +329,12 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
       try {
         T2M_INJECT_STATUS("portfolio.lane", ErrorCode::internal,
                           "injected portfolio lane failure");
+        // Every span this lane emits (solver epochs, compliance, encoding)
+        // lands on its own named track, so the Perfetto view shows one
+        // contiguous timeline per configuration even though lanes share
+        // pool workers.
+        const obs::TrackScope lane_track("lane " + variants[i].name);
+        T2M_SPAN_SCOPE(lane_span, "portfolio.lane", "lane", variants[i].name);
         LearnerConfig config = variants[i].config;
         config.stop = &race_stop;
         const ModelLearner worker(config);
@@ -327,8 +350,12 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
           int expected = -1;
           if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
             race_stop.store(true, std::memory_order_release);
+            T2M_INSTANT("portfolio.winner");
           }
         }
+        lane_span.arg("cancelled", r.cancelled);
+        lane_span.arg("success", r.success);
+        if (r.cancelled) T2M_INSTANT("portfolio.cancelled");
         results[i] = std::move(r);
       } catch (const StatusError& e) {
         lane_errors[i] = e.status();
@@ -508,7 +535,10 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
         config_.persistent_solver
             ? std::min(config_.max_states, n + config_.state_headroom)
             : 0;
-    csp = std::make_unique<AutomatonCsp>(segments, preds.vocab.size(), n, options);
+    {
+      T2M_SPAN("learn.build_csp", "n", n);
+      csp = std::make_unique<AutomatonCsp>(segments, preds.vocab.size(), n, options);
+    }
     csp->set_chain_cache(&chain_cache);
     csp->set_stop_flag(config_.stop);
     // Forbidden words before reseeding: the import needs the new CSP's
@@ -542,7 +572,13 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
   // internal) are not this loop's to own and propagate to the entry points.
   try {
   for (std::size_t n = config_.initial_states; n <= config_.max_states; ++n) {
-    if (csp && config_.persistent_solver && csp->grow_to(n)) {
+    obs::Progress::global().set_states(n);
+    bool grown = false;
+    if (csp && config_.persistent_solver) {
+      T2M_SPAN("learn.grow", "n", n);
+      grown = csp->grow_to(n);
+    }
+    if (grown) {
       ++result.stats.csp_grows;
     } else {
       build_csp(n);
@@ -553,7 +589,16 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
     while (!next_n) {
       if (deadline.expired() || stopped()) return abort_run(stopped());
       ++result.stats.sat_calls;
-      const sat::SolveResult sat_result = csp->solve(deadline);
+      obs::Progress::global().add_sat_calls(1);
+      sat::SolveResult sat_result;
+      {
+        T2M_SPAN_SCOPE(solve_span, "learn.solve", "n", n, "call",
+                       result.stats.sat_calls);
+        sat_result = csp->solve(deadline);
+        solve_span.arg("result", sat_result == sat::SolveResult::Sat     ? "sat"
+                                 : sat_result == sat::SolveResult::Unsat ? "unsat"
+                                                                         : "unknown");
+      }
       if (sat_result == sat::SolveResult::Unknown) {
         if (csp->overflowed()) {
           // The encoding itself overran the clause budget: a verdict about
@@ -590,9 +635,13 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
       // Candidate model: compliance check (lines 38-48).
       Nfa candidate = csp->extract_model();
       const ComplianceResult compliance = compliance_checker.check(candidate);
+      bool acceptance_blocked = false;
       if (compliance.compliant && check_acceptance &&
-          acceptance_blocks < config_.max_acceptance_blocks &&
-          !candidate.accepts(preds.seq)) {
+          acceptance_blocks < config_.max_acceptance_blocks) {
+        T2M_SPAN("learn.acceptance", "n", n);
+        acceptance_blocked = !candidate.accepts(preds.seq);
+      }
+      if (acceptance_blocked) {
         // Valid per segments and compliance, but this wiring cannot replay
         // the trace; exclude it and look for a sibling model. It is the
         // best model seen so far — keep it for salvage if the run is cut
@@ -600,6 +649,7 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
         best_model = std::move(candidate);
         best_states = n;
         ++result.stats.refinements;
+        obs::Progress::global().add_refinements(1);
         ++acceptance_blocks;
         if (acceptance_blocks == config_.max_acceptance_blocks) {
           result.stats.acceptance_relaxed = true;
@@ -623,6 +673,7 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
         return result;
       }
       ++result.stats.refinements;
+      obs::Progress::global().add_refinements(1);
       log_debug() << "learner: compliance failed with "
                   << compliance.invalid_sequences.size() << " invalid sequences";
       for (const auto& word : compliance.invalid_sequences) {

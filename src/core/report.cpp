@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "src/automaton/dot.h"
+#include "src/base/memory_accountant.h"
+#include "src/obs/metrics.h"
 #include "src/util/string_utils.h"
 
 namespace t2m {
@@ -19,6 +21,32 @@ const char* failure_verdict(const LearnResult& result) {
   if (!result.status.ok()) return "failed with an error";
   return "failed";
 }
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* json_bool(bool value) { return value ? "true" : "false"; }
 
 }  // namespace
 
@@ -52,6 +80,12 @@ std::string format_learn_report(const LearnResult& result, const Schema& schema)
   os << "time: abstraction " << format_double(result.stats.abstraction_seconds)
      << " s, construction " << format_double(result.stats.construction_seconds)
      << " s, total " << format_double(result.stats.total_seconds) << " s\n";
+  if (!result.stats.portfolio.empty()) {
+    os << "portfolio lanes (" << result.stats.portfolio.size() << "):\n";
+    for (const PortfolioConfigStats& lane : result.stats.portfolio) {
+      os << "  " << to_json(lane) << "\n";
+    }
+  }
   os << to_text(result.model);
   return os.str();
 }
@@ -74,6 +108,112 @@ std::string format_learn_summary(const LearnResult& result) {
      << " transitions, " << result.preds.vocab.size() << " predicates, "
      << format_double(result.stats.total_seconds) << " s";
   return os.str();
+}
+
+std::string to_json(const PortfolioConfigStats& lane) {
+  std::ostringstream os;
+  os << "{\"name\": \"" << json_escape(lane.name) << "\""
+     << ", \"winner\": " << json_bool(lane.winner)
+     << ", \"finished\": " << json_bool(lane.finished)
+     << ", \"cancelled\": " << json_bool(lane.cancelled)
+     << ", \"failed\": " << json_bool(lane.failed);
+  if (lane.failed) os << ", \"error\": \"" << json_escape(lane.error) << "\"";
+  os << ", \"states\": " << lane.states << ", \"sat_calls\": " << lane.sat_calls
+     << ", \"sat_conflicts\": " << lane.sat_conflicts
+     << ", \"sat_propagations\": " << lane.sat_propagations
+     << ", \"wall_seconds\": " << format_double(lane.wall_seconds, 6) << "}";
+  return os.str();
+}
+
+std::string to_json(const LearnStats& stats) {
+  std::ostringstream os;
+  os << "{\"sequence_length\": " << stats.sequence_length
+     << ", \"vocabulary_size\": " << stats.vocabulary_size
+     << ", \"segments\": " << stats.segments
+     << ", \"encoded_transitions\": " << stats.encoded_transitions
+     << ", \"sat_calls\": " << stats.sat_calls
+     << ", \"refinements\": " << stats.refinements
+     << ", \"state_increments\": " << stats.state_increments
+     << ", \"forbidden_words\": " << stats.forbidden_words
+     << ", \"csp_builds\": " << stats.csp_builds
+     << ", \"csp_grows\": " << stats.csp_grows
+     << ", \"reseeded_clauses\": " << stats.reseeded_clauses
+     << ", \"sat_conflicts\": " << stats.sat_conflicts
+     << ", \"sat_propagations\": " << stats.sat_propagations
+     << ", \"sat_learned_clauses\": " << stats.sat_learned_clauses
+     << ", \"sat_peak_arena_bytes\": " << stats.sat_peak_arena_bytes
+     << ", \"core_stops\": " << stats.core_stops
+     << ", \"acceptance_relaxed\": " << json_bool(stats.acceptance_relaxed)
+     << ", \"abstraction_seconds\": " << format_double(stats.abstraction_seconds, 6)
+     << ", \"construction_seconds\": " << format_double(stats.construction_seconds, 6)
+     << ", \"total_seconds\": " << format_double(stats.total_seconds, 6);
+  if (!stats.portfolio.empty()) {
+    os << ", \"portfolio\": [";
+    for (std::size_t i = 0; i < stats.portfolio.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << to_json(stats.portfolio[i]);
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string to_json(const LearnResult& result) {
+  std::ostringstream os;
+  os << "{\"success\": " << json_bool(result.success)
+     << ", \"timed_out\": " << json_bool(result.timed_out)
+     << ", \"cancelled\": " << json_bool(result.cancelled)
+     << ", \"budget_exceeded\": " << json_bool(result.budget_exceeded)
+     << ", \"resource_exhausted\": " << json_bool(result.resource_exhausted)
+     << ", \"salvaged\": " << json_bool(result.salvaged)
+     << ", \"states\": " << result.states
+     << ", \"transitions\": " << result.model.num_transitions()
+     << ", \"predicates\": " << result.preds.vocab.size();
+  if (!result.status.ok()) {
+    os << ", \"error\": \"" << json_escape(result.status.to_string()) << "\"";
+  }
+  os << ", \"stats\": " << to_json(result.stats) << "}";
+  return os.str();
+}
+
+void write_bench_stats_fields(std::ostream& os, const LearnStats& stats) {
+  os << ", \"sat_calls\": " << stats.sat_calls
+     << ", \"sat_conflicts\": " << stats.sat_conflicts
+     << ", \"sat_propagations\": " << stats.sat_propagations
+     << ", \"peak_clause_arena_bytes\": " << stats.sat_peak_arena_bytes
+     << ", \"csp_builds\": " << stats.csp_builds
+     << ", \"csp_grows\": " << stats.csp_grows;
+}
+
+void publish_learn_metrics(const LearnResult& result) {
+  if (!obs::metrics_enabled()) return;
+  const LearnStats& s = result.stats;
+  obs::count("learn.runs");
+  if (result.success) obs::count("learn.success");
+  if (result.timed_out) obs::count("learn.timeouts");
+  if (result.cancelled) obs::count("learn.cancelled");
+  if (result.budget_exceeded) obs::count("learn.budget_exceeded");
+  if (result.resource_exhausted) obs::count("learn.resource_exhausted");
+  if (result.salvaged) obs::count("learn.salvaged");
+  obs::count("learn.sat_calls", s.sat_calls);
+  obs::count("learn.refinements", s.refinements);
+  obs::count("learn.state_increments", s.state_increments);
+  obs::count("learn.forbidden_words", s.forbidden_words);
+  obs::count("learn.csp_builds", s.csp_builds);
+  obs::count("learn.csp_grows", s.csp_grows);
+  obs::count("learn.reseeded_clauses", s.reseeded_clauses);
+  obs::count("learn.core_stops", s.core_stops);
+  obs::count("learn.sat_conflicts", s.sat_conflicts);
+  obs::count("learn.sat_propagations", s.sat_propagations);
+  obs::count("learn.sat_learned_clauses", s.sat_learned_clauses);
+  obs::gauge_set("learn.states", static_cast<std::int64_t>(result.states));
+  obs::gauge_max("learn.peak_arena_bytes",
+                 static_cast<std::int64_t>(s.sat_peak_arena_bytes));
+  obs::gauge_max("mem.peak_bytes",
+                 static_cast<std::int64_t>(MemoryAccountant::global().peak()));
+  obs::observe("learn.run_sat_calls", s.sat_calls);
+  obs::observe("learn.run_conflicts", s.sat_conflicts);
 }
 
 }  // namespace t2m

@@ -4,12 +4,14 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "src/obs/trace.h"
 #include "src/util/hash.h"
 
 namespace t2m {
 
 std::vector<Segment> segment_sequence(const std::vector<PredId>& seq, std::size_t w) {
   if (w == 0) throw std::invalid_argument("segment_sequence: window must be positive");
+  T2M_SPAN("segment.sequence", "length", seq.size(), "window", w);
   std::vector<Segment> out;
   if (seq.empty()) return out;
   if (seq.size() <= w) {

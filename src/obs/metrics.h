@@ -1,0 +1,151 @@
+#ifndef T2M_OBS_METRICS_H
+#define T2M_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace t2m::obs {
+
+namespace detail {
+/// Runtime switch for the convenience emitters below; the registry itself
+/// always works so handles stay usable in tests.
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonically increasing event count (lock-free).
+class Counter {
+public:
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar with a monotone-max variant (lock-free).
+class Gauge {
+public:
+  void set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  /// Raises the gauge to `value` if larger (for peaks).
+  void record_max(std::int64_t value) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !value_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Histogram over non-negative integers with fixed log-scale (power-of-two)
+/// buckets: bucket 0 holds the value 0 and bucket b >= 1 holds values in
+/// [2^(b-1), 2^b - 1] — i.e. bucket_of(v) is bit_width(v). 65 buckets cover
+/// the full uint64 range with no configuration and no allocation, which is
+/// what lets observe() stay a pair of relaxed atomic adds.
+class Histogram {
+public:
+  static constexpr std::size_t kBuckets = 65;
+
+  static std::size_t bucket_of(std::uint64_t value) {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+  /// Smallest value landing in bucket `b` (inclusive lower edge).
+  static std::uint64_t bucket_floor(std::size_t b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  void observe(std::uint64_t value) {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_.at(b).load(std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Process-wide named-instrument registry serializing to JSON. Lookup takes
+/// a mutex; the returned references are stable for the registry's lifetime
+/// (instruments are never deleted, reset() only zeroes them), so hot sites
+/// can cache a reference and touch only its relaxed atomics afterwards.
+class MetricsRegistry {
+public:
+  static MetricsRegistry& global();
+
+  void enable() { detail::g_metrics_enabled.store(true, std::memory_order_release); }
+  void disable() { detail::g_metrics_enabled.store(false, std::memory_order_release); }
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Snapshot of every counter (tests and the tracing-on/off identity check).
+  std::map<std::string, std::uint64_t> counter_values();
+
+  /// Zeroes every registered instrument; handles stay valid.
+  void reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {"count": N,
+  /// "sum": S, "buckets": [[floor, count], ...]}}} — buckets list only the
+  /// non-empty entries, keyed by their inclusive lower edge.
+  void write_json(std::ostream& os);
+  bool write_file(const std::string& path);
+
+private:
+  MetricsRegistry() = default;
+
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Instrumentation-site emitters: one relaxed load and nothing else when
+/// metrics are disabled. Sites that fire at phase (not per-event) frequency
+/// use these directly; per-event accumulation stays in LearnStats /
+/// SolverStats and is published once per run (report.h's
+/// publish_learn_metrics), which is what keeps the disabled mode free.
+inline void count(const char* name, std::uint64_t delta = 1) {
+  if (metrics_enabled()) MetricsRegistry::global().counter(name).add(delta);
+}
+inline void gauge_set(const char* name, std::int64_t value) {
+  if (metrics_enabled()) MetricsRegistry::global().gauge(name).set(value);
+}
+inline void gauge_max(const char* name, std::int64_t value) {
+  if (metrics_enabled()) MetricsRegistry::global().gauge(name).record_max(value);
+}
+inline void observe(const char* name, std::uint64_t value) {
+  if (metrics_enabled()) MetricsRegistry::global().histogram(name).observe(value);
+}
+
+}  // namespace t2m::obs
+
+#endif  // T2M_OBS_METRICS_H

@@ -1,0 +1,100 @@
+#ifndef T2M_OBS_PROGRESS_H
+#define T2M_OBS_PROGRESS_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/util/stopwatch.h"
+
+namespace t2m::obs {
+
+/// Point-in-time view of a running learn, assembled from the global
+/// Progress counters plus the memory accountant.
+struct ProgressSnapshot {
+  double uptime_seconds = 0.0;  ///< since begin_run()
+  std::uint64_t states = 0;     ///< current N under search
+  std::uint64_t sat_calls = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t refinements = 0;
+  std::size_t memory_used_bytes = 0;  ///< MemoryAccountant::global().used()
+  /// Seconds until the run's deadline; +inf when none was set.
+  double deadline_remaining_seconds = 0.0;
+};
+
+/// "progress: N=4 sat_calls=12 conflicts=3.4k refinements=7 mem=12.3 MiB
+/// deadline=4.2s" — the Info line the heartbeat emits.
+std::string format_progress_line(const ProgressSnapshot& snapshot);
+
+/// Global lock-free progress counters fed by the learner and the SAT solver
+/// at phase boundaries (solver restarts, refinement steps). Disabled (the
+/// default) every update is one relaxed load.
+class Progress {
+public:
+  static Progress& global();
+
+  void enable() { enabled_.store(true, std::memory_order_release); }
+  void disable() { enabled_.store(false, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Zeroes the counters and records the run's start + deadline; called by
+  /// the learner when a search begins (only when enabled).
+  void begin_run(const Deadline& deadline);
+
+  void set_states(std::uint64_t n) {
+    if (enabled()) states_.store(n, std::memory_order_relaxed);
+  }
+  void add_sat_calls(std::uint64_t n) {
+    if (enabled()) sat_calls_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_conflicts(std::uint64_t n) {
+    if (enabled()) conflicts_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_refinements(std::uint64_t n) {
+    if (enabled()) refinements_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  ProgressSnapshot snapshot() const;
+
+private:
+  Progress() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> states_{0};
+  std::atomic<std::uint64_t> sat_calls_{0};
+  std::atomic<std::uint64_t> conflicts_{0};
+  std::atomic<std::uint64_t> refinements_{0};
+  /// steady_clock ns of begin_run() and of the deadline; -1 = no deadline.
+  std::atomic<std::int64_t> start_ns_{0};
+  std::atomic<std::int64_t> deadline_ns_{-1};
+};
+
+/// Background thread emitting one Info-level progress line (plus an optional
+/// callback) every `interval_seconds` while alive. RAII: construction
+/// starts the thread, destruction (or stop()) joins it. Long CLI runs hold
+/// one for `t2m --progress`; a future --serve mode can hold one per job.
+class Heartbeat {
+public:
+  using Callback = std::function<void(const ProgressSnapshot&)>;
+
+  explicit Heartbeat(double interval_seconds, Callback callback = nullptr);
+  ~Heartbeat();
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  void stop();
+
+private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace t2m::obs
+
+#endif  // T2M_OBS_PROGRESS_H

@@ -1,0 +1,336 @@
+#include "src/obs/trace.h"
+
+#include <array>
+#include <fstream>
+#include <string_view>
+
+namespace t2m::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// JSON string escape shared by names, thread names and string args.
+void write_json_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          os << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Chrome trace timestamps are microseconds; emit ns ticks as µs with three
+/// decimals so no precision is lost through the division.
+void write_us(std::ostream& os, std::int64_t ns) {
+  if (ns < 0) ns = 0;
+  os << (ns / 1000) << '.';
+  const auto frac = static_cast<int>(ns % 1000);
+  os << static_cast<char>('0' + frac / 100) << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+void write_args(std::ostream& os, const std::vector<EventArg>& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) os << ", ";
+    write_json_string(os, args[i].key);
+    os << ": ";
+    switch (args[i].kind) {
+      case EventArg::Kind::Int: os << args[i].i; break;
+      case EventArg::Kind::Float: os << args[i].f; break;
+      case EventArg::Kind::Str: write_json_string(os, args[i].s); break;
+    }
+  }
+  os << "}";
+}
+
+}  // namespace
+
+/// Per-thread chunked event buffer. The owning thread appends into the
+/// current chunk and publishes each slot with a release store of `count`;
+/// chunks are linked through a release-stored `next`. A concurrent reader
+/// acquire-loads both, so it only ever sees fully constructed events — the
+/// append path never takes a lock and never touches another thread's state.
+class Tracer::EventBuffer {
+public:
+  static constexpr std::size_t kChunkEvents = 512;
+  /// Runaway-instrumentation backstop: one learn emits thousands of events,
+  /// not millions; past the cap events are counted as dropped, not stored.
+  static constexpr std::size_t kMaxEvents = std::size_t{1} << 20;
+
+  ~EventBuffer() {
+    Chunk* c = head_.next.load(std::memory_order_acquire);
+    while (c != nullptr) {
+      Chunk* next = c->next.load(std::memory_order_acquire);
+      delete c;
+      c = next;
+    }
+  }
+
+  /// Owner thread only.
+  void push(TraceEvent ev) {
+    if (total_ >= kMaxEvents) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Chunk* c = write_;
+    std::size_t n = c->count.load(std::memory_order_relaxed);
+    if (n == kChunkEvents) {
+      auto* fresh = new Chunk();
+      c->next.store(fresh, std::memory_order_release);
+      write_ = fresh;
+      c = fresh;
+      n = 0;
+    }
+    c->events[n] = std::move(ev);
+    c->count.store(n + 1, std::memory_order_release);
+    ++total_;
+  }
+
+  /// Any thread; sees every event published before the call.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Chunk* c = &head_; c != nullptr; c = c->next.load(std::memory_order_acquire)) {
+      const std::size_t n = c->count.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < n; ++i) fn(c->events[i]);
+    }
+  }
+
+  std::size_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+private:
+  struct Chunk {
+    std::array<TraceEvent, kChunkEvents> events;
+    std::atomic<std::size_t> count{0};
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  Chunk head_;
+  Chunk* write_ = &head_;           // owner-only
+  std::size_t total_ = 0;           // owner-only
+  std::atomic<std::size_t> dropped_{0};
+};
+
+struct Tracer::ThreadState {
+  std::shared_ptr<EventBuffer> buffer;
+  std::uint64_t generation = 0;  ///< tracer generation the buffer belongs to
+  std::uint32_t track = 0;       ///< current emission track (TrackScope override)
+  std::uint32_t thread_track = 0;
+  std::string name;  ///< sticky set_thread_name value, "" = default
+};
+
+Tracer::ThreadState& Tracer::thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+namespace {
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Tracer::Tracer() { epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed); }
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::start() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Bumping the generation orphans every thread's old buffer: threads
+  // re-register on their next append, so no buffer is ever cleared while
+  // its owner might still be writing.
+  generation_.fetch_add(1, std::memory_order_release);
+  buffers_.clear();
+  track_names_.clear();
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { detail::g_trace_enabled.store(false, std::memory_order_release); }
+
+std::int64_t Tracer::now_ns() const {
+  return steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+void Tracer::ensure_registered(ThreadState& state) {
+  const std::uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (state.generation == generation) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  state.buffer = std::make_shared<EventBuffer>();
+  buffers_.push_back(state.buffer);
+  state.thread_track = static_cast<std::uint32_t>(track_names_.size());
+  track_names_.push_back(state.name.empty()
+                             ? "thread " + std::to_string(state.thread_track)
+                             : state.name);
+  state.track = state.thread_track;
+  state.generation = generation_.load(std::memory_order_relaxed);
+}
+
+void Tracer::record(TraceEvent ev) {
+  if (!enabled()) return;
+  ThreadState& state = thread_state();
+  ensure_registered(state);
+  ev.track = state.track;
+  state.buffer->push(std::move(ev));
+}
+
+void Tracer::instant(const char* name, std::vector<EventArg> args) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'i';
+  ev.ts_ns = now_ns();
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+void Tracer::counter(const char* name, std::int64_t value) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'C';
+  ev.ts_ns = now_ns();
+  ev.args.emplace_back("value", value);
+  record(std::move(ev));
+}
+
+std::uint32_t Tracer::new_track(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto id = static_cast<std::uint32_t>(track_names_.size());
+  track_names_.push_back(name);
+  return id;
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  ThreadState& state = thread_state();
+  state.name = name;
+  Tracer& tracer = instance();
+  const std::lock_guard<std::mutex> lock(tracer.mutex_);
+  // Re-check the generation under the lock: a concurrent start() may have
+  // cleared the registry since the caller last registered.
+  if (state.generation == tracer.generation_.load(std::memory_order_relaxed) &&
+      state.thread_track < tracer.track_names_.size()) {
+    tracer.track_names_[state.thread_track] = name;
+  }
+}
+
+std::size_t Tracer::event_count() {
+  std::vector<std::shared_ptr<EventBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::size_t n = 0;
+  for (const auto& buffer : buffers) buffer->for_each([&n](const TraceEvent&) { ++n; });
+  return n;
+}
+
+std::size_t Tracer::dropped_count() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->dropped();
+  return n;
+}
+
+void Tracer::write_json(std::ostream& os) {
+  // Snapshot the registry, then walk the buffers outside the lock: the
+  // chunked buffers tolerate concurrent appends, and late events simply
+  // miss this flush.
+  std::vector<std::shared_ptr<EventBuffer>> buffers;
+  std::vector<std::string> names;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+    names = track_names_;
+  }
+
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto sep = [&first, &os] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  sep();
+  os << R"({"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "t2m"}})";
+  for (std::size_t t = 0; t < names.size(); ++t) {
+    sep();
+    os << R"({"name": "thread_name", "ph": "M", "pid": 1, "tid": )" << t << ", \"args\": {\"name\": ";
+    write_json_string(os, names[t]);
+    os << "}}";
+  }
+
+  for (const auto& buffer : buffers) {
+    buffer->for_each([&](const TraceEvent& ev) {
+      sep();
+      os << "{\"name\": ";
+      write_json_string(os, ev.name);
+      os << ", \"ph\": \"" << ev.phase << "\", \"pid\": 1, \"tid\": " << ev.track
+         << ", \"ts\": ";
+      write_us(os, ev.ts_ns);
+      if (ev.phase == 'X') {
+        os << ", \"dur\": ";
+        write_us(os, ev.dur_ns);
+      }
+      if (ev.phase == 'i') os << ", \"s\": \"t\"";
+      if (!ev.args.empty() || ev.phase == 'C') {
+        os << ", \"args\": ";
+        write_args(os, ev.args);
+      }
+      os << "}";
+    });
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::write_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return bool(out);
+}
+
+TrackScope::TrackScope(const std::string& name) {
+  if (!Tracer::enabled()) return;
+  Tracer& tracer = Tracer::instance();
+  Tracer::ThreadState& state = Tracer::thread_state();
+  tracer.ensure_registered(state);
+  prev_ = state.track;
+  state.track = tracer.new_track(name);
+  active_ = true;
+}
+
+TrackScope::~TrackScope() {
+  if (active_) Tracer::thread_state().track = prev_;
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.phase = 'X';
+  ev.ts_ns = start_ns_;
+  ev.dur_ns = Tracer::instance().now_ns() - start_ns_;
+  ev.args = std::move(args_);
+  Tracer::instance().record(std::move(ev));
+}
+
+}  // namespace t2m::obs

@@ -9,6 +9,7 @@
 
 #include "src/abstraction/event_stream.h"
 #include "src/base/status.h"
+#include "src/obs/trace.h"
 #include "src/parallel/scratch_arena.h"
 #include "src/parallel/thread_pool.h"
 #include "src/trace/ftrace_io.h"
@@ -238,6 +239,8 @@ ShardedIngestResult sharded_ftrace_ingest(std::string_view content,
   std::vector<ShardScan> scans(regions.size());
   for_chunks(options.threads, regions.size(), regions.size(),
              [&](std::size_t shard, std::size_t, std::size_t) {
+               T2M_SPAN("ingest.scan_shard", "shard", shard, "bytes",
+                        regions[shard].size());
                scan_shard(regions[shard], /*fresh_start=*/shard == 0, options, K,
                           scans[shard]);
              });
@@ -270,6 +273,8 @@ ShardedIngestResult sharded_ftrace_ingest(std::string_view content,
   ShardedIngestResult result;
   result.shards_used = scans.size();
   result.sequence_length = total_preds;
+
+  T2M_SPAN("ingest.merge", "shards", scans.size(), "observations", total_obs);
 
   // --- global vocabulary replay -------------------------------------------
   // The sequential path interns each event symbol at its first occurrence

@@ -1,7 +1,10 @@
 #include "src/parallel/thread_pool.h"
 
 #include <algorithm>
+#include <string>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/failpoint.h"
 #include "src/util/log.h"
 
@@ -95,6 +98,7 @@ bool ThreadPool::help_one() {
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
+  obs::Tracer::set_thread_name("pool.worker " + std::to_string(index));
   std::function<void()> task;
   while (true) {
     if (pop_own(index, task) || steal(index + 1, task)) {
@@ -103,6 +107,8 @@ void ThreadPool::worker_loop(std::size_t index) {
       // an unwound worker thread would std::terminate. TaskGroup tasks never
       // reach this (their wrapper captures the exception for wait()).
       try {
+        T2M_SPAN("pool.task", "worker", index);
+        obs::count("pool.tasks");
         task();
       } catch (const std::exception& e) {
         log_warn() << "ThreadPool: task escaped with exception: " << e.what();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sat/proof_log.h"
 #include "src/util/failpoint.h"
 
@@ -427,12 +429,22 @@ bool Preprocessor::run() {
   if (!unsat_) {
     for (std::size_t round = 0; round < opts_.max_rounds; ++round) {
       bool changed = false;
-      if (opts_.subsumption || opts_.strengthen) changed |= subsume_and_strengthen();
+      if (opts_.subsumption || opts_.strengthen) {
+        T2M_SPAN("preprocess.subsume", "round", round);
+        changed |= subsume_and_strengthen();
+      }
       if (unsat_ || work_ >= opts_.work_budget) break;
-      if (opts_.bve) changed |= eliminate_variables();
+      if (opts_.bve) {
+        T2M_SPAN("preprocess.bve", "round", round);
+        changed |= eliminate_variables();
+      }
       if (unsat_ || work_ >= opts_.work_budget || !changed) break;
     }
   }
+  obs::count("preprocess.subsumed", static_cast<std::uint64_t>(subsumed_));
+  obs::count("preprocess.strengthened", static_cast<std::uint64_t>(strengthened_));
+  obs::count("preprocess.eliminated", static_cast<std::uint64_t>(eliminated_));
+  T2M_SPAN("preprocess.writeback");
   return writeback();
 }
 

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/obs/progress.h"
+#include "src/obs/trace.h"
 #include "src/sat/proof_log.h"
 
 namespace t2m::sat {
@@ -614,6 +616,8 @@ bool Solver::locked(ClauseRef cref) const {
 
 void Solver::reduce_learned() {
   ++stats_.reduces;
+  T2M_SPAN_SCOPE(reduce_span, "solver.reduce", "learned", learnts_.size());
+  const std::size_t learned_before = learnts_.size();
   // Deletion candidates: learned, not glue (LBD <= 2 is kept forever), not
   // binary, not currently the antecedent of an assignment.
   std::vector<ClauseRef> cands;
@@ -637,6 +641,7 @@ void Solver::reduce_learned() {
   }
   // Compact the learned list; dead watchers linger until the next GC.
   std::erase_if(learnts_, [this](ClauseRef c) { return arena_.deleted(c); });
+  reduce_span.arg("removed", learned_before - learnts_.size());
 }
 
 void Solver::reset_branching_heuristics() {
@@ -660,6 +665,7 @@ void Solver::simplify() {
   if (trail_.size() == simplified_up_to_) return;  // no new root facts
   simplified_up_to_ = trail_.size();
   ++stats_.simplify_rounds;
+  T2M_SPAN("solver.simplify", "root_facts", trail_.size());
   // Root assignments are permanent, so their antecedents are never walked
   // again; clearing the reasons unlocks those clauses for removal.
   for (const Lit l : trail_) reason_[static_cast<std::size_t>(l.var())] = kNoReason;
@@ -699,6 +705,7 @@ void Solver::maybe_garbage_collect() {
 }
 
 void Solver::garbage_collect() {
+  T2M_SPAN("solver.gc", "wasted_words", arena_.wasted_words());
   ClauseArena to;
   to.reserve_words(arena_.size_words() - arena_.wasted_words());
   to.inherit_peak(arena_);
@@ -750,6 +757,8 @@ std::uint64_t Solver::luby(std::uint64_t i) {
 
 SolveResult Solver::solve(std::span<const Lit> assumptions) {
   ++stats_.solves;
+  T2M_SPAN_SCOPE(solve_span, "solver.solve", "epoch", stats_.solves, "clauses",
+                 num_problem_clauses_);
   final_conflict_.clear();
   if (invariant_audit_enabled()) {
     if (const Status audit = check_invariants(); !audit.ok()) {
@@ -782,6 +791,25 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
   std::uint64_t conflicts_since_restart = 0;
   std::size_t max_learned = 4000 + num_problem_clauses_ / 2;
   std::vector<Lit> learnt;
+
+  // Runs on every exit path of the search loop: flushes the conflicts not
+  // yet reported at a restart boundary into the live progress counters and
+  // stamps the epoch span with its totals. Declared after the span so it is
+  // destroyed first, while the span is still open for arg().
+  std::uint64_t conflicts_reported = 0;
+  struct EpochObs {
+    decltype(solve_span)& span;
+    const std::uint64_t& total;
+    const std::uint64_t& reported;
+    const std::uint64_t& restarts;
+    const std::uint64_t restarts_before;
+    ~EpochObs() {
+      obs::Progress::global().add_conflicts(total - reported);
+      span.arg("conflicts", total);
+      span.arg("restarts", restarts - restarts_before);
+    }
+  } epoch_obs{solve_span, conflicts_total, conflicts_reported, stats_.restarts,
+              stats_.restarts};
 
   while (true) {
     const ClauseRef conflict = propagate();
@@ -844,6 +872,13 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
       ++restart_number;
       restart_limit = config_.restart_base * luby(restart_number);
       conflicts_since_restart = 0;
+      // Restart boundaries double as progress ticks: cheap (they arrive at
+      // Luby intervals, not per conflict) yet frequent enough for a live
+      // conflict count during a long epoch.
+      obs::Progress::global().add_conflicts(conflicts_total - conflicts_reported);
+      conflicts_reported = conflicts_total;
+      T2M_TRACE_COUNTER("solver.conflicts",
+                        static_cast<std::int64_t>(stats_.conflicts));
       backtrack(0);
       continue;
     }

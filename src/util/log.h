@@ -1,33 +1,62 @@
 #ifndef T2M_UTIL_LOG_H
 #define T2M_UTIL_LOG_H
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace t2m {
 
 /// Severity levels for the library logger, ordered by verbosity.
 enum class LogLevel : std::uint8_t { Trace, Debug, Info, Warn, Error, Off };
 
-/// Minimal logger writing to stderr. Lines are emitted whole under a mutex,
-/// so concurrent workers (portfolio races, sharded scans) interleave at line
-/// granularity; set_level is still expected at startup, before threads run.
-/// The learner emits progress at Debug and per-iteration statistics at
-/// Trace; benches usually run with Warn to keep tables clean.
+/// "trace" -> LogLevel::Trace, ... "off" -> LogLevel::Off; nullopt for
+/// anything else. The one parser behind `t2m --log-level`.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// "TRACE", "DEBUG", ... (unpadded).
+const char* log_level_name(LogLevel level);
+
+/// Minimal logger writing to stderr (or an installed sink). Lines are
+/// emitted whole under a mutex, so concurrent workers (portfolio races,
+/// sharded scans) interleave at line granularity, and every line carries a
+/// monotonic timestamp (seconds since process start) plus a small per-thread
+/// id: `[t2m INFO  12.345678 t03] message`.
+///
+/// Thread-safety: set_level is an atomic store and may be called at any
+/// time from any thread (it used to be startup-only); set_sink swaps the
+/// sink under the same mutex that serialises write(), so a test can install
+/// a capture sink around a parallel region without racing in-flight lines.
 class Logger {
 public:
+  /// A sink receives the severity and the fully formatted line (prefix
+  /// included, no trailing newline). nullptr restores the stderr default.
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::Off; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const {
+    const LogLevel current = this->level();
+    return level >= current && current != LogLevel::Off;
+  }
+
+  void set_sink(Sink sink);
 
   void write(LogLevel level, const std::string& message);
 
 private:
   Logger() = default;
-  LogLevel level_ = LogLevel::Warn;
+
+  std::atomic<LogLevel> level_{LogLevel::Warn};
+  std::mutex mutex_;  ///< serialises write() and sink swaps
+  Sink sink_;
 };
 
 namespace detail {

@@ -1,0 +1,462 @@
+// The observability layer: span tracer (lock-free buffers, nesting, named
+// tracks), metrics registry (counters/gauges/log-scale histograms), the
+// progress heartbeat, the upgraded logger — and the two identity guarantees
+// the design hinges on: metrics are the same with tracing on or off, and
+// the learn's artefacts (clause fingerprint, conflict counts) are the same
+// with observability on or off.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/csp_encoder.h"
+#include "src/core/learner.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/obs/trace.h"
+#include "src/obs/validate.h"
+#include "src/parallel/thread_pool.h"
+#include "src/sim/basic/counter.h"
+#include "src/util/log.h"
+
+namespace t2m {
+namespace {
+
+/// Restores global observability state on scope exit so tests cannot leak
+/// an enabled tracer/metrics/progress into their neighbours.
+struct ObsQuiescent {
+  ~ObsQuiescent() {
+    obs::Tracer::instance().stop();
+    obs::MetricsRegistry::global().disable();
+    obs::Progress::global().disable();
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::Warn);
+  }
+};
+
+std::string trace_json() {
+  std::ostringstream os;
+  obs::Tracer::instance().write_json(os);
+  return os.str();
+}
+
+// --- tracer ----------------------------------------------------------------
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  const ObsQuiescent guard;
+  obs::Tracer::instance().stop();
+  {
+    T2M_SPAN("idle.phase", "n", 1);
+    T2M_INSTANT("idle.marker");
+    T2M_TRACE_COUNTER("idle.counter", 3);
+  }
+  obs::Tracer::instance().start();
+  obs::Tracer::instance().stop();
+  EXPECT_EQ(obs::Tracer::instance().event_count(), 0u);
+}
+
+TEST(Tracer, NestedSpansValidateAndParseBack) {
+  const ObsQuiescent guard;
+  obs::Tracer::instance().start();
+  {
+    T2M_SPAN("outer", "k", 1);
+    {
+      T2M_SPAN("middle");
+      { T2M_SPAN("inner", "tag", "deep"); }
+    }
+    T2M_INSTANT("note");
+    T2M_TRACE_COUNTER("gaugey", 42);
+  }
+  obs::Tracer::instance().stop();
+
+  obs::TraceSummary summary;
+  const Status status = obs::validate_trace_json(trace_json(), &summary);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+#if T2M_OBS_ENABLED
+  EXPECT_EQ(summary.spans, 3u);
+  EXPECT_EQ(summary.instants, 1u);
+  EXPECT_EQ(summary.counters, 1u);
+  EXPECT_TRUE(summary.span_names.count("outer"));
+  EXPECT_TRUE(summary.span_names.count("middle"));
+  EXPECT_TRUE(summary.span_names.count("inner"));
+#else
+  // T2M_OBS=OFF strips the macros: empty-but-valid is the contract.
+  EXPECT_EQ(summary.events, 0u);
+#endif
+}
+
+TEST(Tracer, SpansAcrossPoolWorkersNestPerTrack) {
+  const ObsQuiescent guard;
+  par::ThreadPool& pool = par::ThreadPool::global();
+  pool.ensure_size(4);
+  obs::Tracer::instance().start();
+  {
+    T2M_SPAN("fanout");
+    par::for_chunks(4, 256, 16, []([[maybe_unused]] std::size_t c, std::size_t lo,
+                                   std::size_t hi) {
+      T2M_SPAN("chunk", "c", c);
+      for (std::size_t i = lo; i < hi; ++i) {
+        T2M_SPAN("item", "i", i);
+      }
+    });
+  }
+  obs::Tracer::instance().stop();
+
+  obs::TraceSummary summary;
+  const Status status = obs::validate_trace_json(trace_json(), &summary);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+#if T2M_OBS_ENABLED
+  // 1 fanout + 16 chunk + 256 item spans at least, across however many
+  // tracks the pool scheduling landed them on — the validator has already
+  // asserted every track's spans nest laminarly. Chunks executed by pool
+  // workers (rather than the helping caller) add a pool.task span each, so
+  // the exact total is scheduling-dependent.
+  EXPECT_GE(summary.spans, 1u + 16u + 256u);
+  EXPECT_LE(summary.spans, 1u + 16u + 256u + 16u);
+  EXPECT_TRUE(summary.span_names.count("chunk"));
+  EXPECT_TRUE(summary.span_names.count("item"));
+#endif
+}
+
+TEST(Tracer, TrackScopeRoutesSpansOntoNamedTrack) {
+  const ObsQuiescent guard;
+  obs::Tracer::instance().start();
+  {
+    const obs::TrackScope lane("lane test-lane");
+    T2M_SPAN("lane.work");
+  }
+  { T2M_SPAN("own.work"); }
+  obs::Tracer::instance().stop();
+
+  obs::TraceSummary summary;
+  ASSERT_TRUE(obs::validate_trace_json(trace_json(), &summary).ok());
+#if T2M_OBS_ENABLED
+  bool lane_track = false;
+  for (const auto& [tid, name] : summary.tracks) {
+    if (name == "lane test-lane") lane_track = true;
+  }
+  EXPECT_TRUE(lane_track);
+  EXPECT_TRUE(summary.span_names.count("lane.work"));
+  EXPECT_TRUE(summary.span_names.count("own.work"));
+#endif
+}
+
+TEST(Tracer, StartDiscardsPreviousRun) {
+  const ObsQuiescent guard;
+  obs::Tracer::instance().start();
+  { T2M_SPAN("first.run"); }
+  obs::Tracer::instance().start();  // restart: first.run must be gone
+  { T2M_SPAN("second.run"); }
+  obs::Tracer::instance().stop();
+
+  obs::TraceSummary summary;
+  ASSERT_TRUE(obs::validate_trace_json(trace_json(), &summary).ok());
+  EXPECT_FALSE(summary.span_names.count("first.run"));
+#if T2M_OBS_ENABLED
+  EXPECT_TRUE(summary.span_names.count("second.run"));
+#endif
+}
+
+TEST(TraceValidation, RejectsCorruptedInput) {
+  EXPECT_FALSE(obs::validate_trace_json("").ok());
+  EXPECT_FALSE(obs::validate_trace_json("not json").ok());
+  EXPECT_FALSE(obs::validate_trace_json("{\"traceEvents\": 3}").ok());
+  // An 'X' event without a duration is not a Perfetto-loadable span.
+  EXPECT_FALSE(
+      obs::validate_trace_json(
+          R"({"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": 1}]})")
+          .ok());
+  // Truncated document (the classic crash-mid-write artefact).
+  EXPECT_FALSE(obs::validate_trace_json(R"({"traceEvents": [{"name": "x")").ok());
+}
+
+// --- json parser -----------------------------------------------------------
+
+TEST(Json, ParsesStructuresAndRejectsGarbage) {
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::parse_json(R"({"a": [1, 2.5, "s", true, null], "b": {}})", v).ok());
+  ASSERT_TRUE(v.is_object());
+  const obs::JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->array.size(), 5u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[2].string, "s");
+
+  EXPECT_FALSE(obs::parse_json("{", v).ok());
+  EXPECT_FALSE(obs::parse_json("[1, ]", v).ok());
+  EXPECT_FALSE(obs::parse_json("{\"a\": 1} trailing", v).ok());
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(Histogram, LogScaleBucketEdges) {
+  // bucket_of(v) = bit_width(v): 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_of(~std::uint64_t{0}), 64u);
+
+  EXPECT_EQ(obs::Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_floor(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_floor(3), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_floor(64), std::uint64_t{1} << 63);
+
+  obs::Histogram h;
+  for (const std::uint64_t v : {0u, 1u, 2u, 3u, 4u}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Metrics, RegistryJsonRoundTrips) {
+  const ObsQuiescent guard;
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::global().enable();
+  obs::count("test.counter", 3);
+  obs::gauge_set("test.gauge", -7);
+  obs::gauge_max("test.peak", 10);
+  obs::gauge_max("test.peak", 4);  // lower: must not regress the peak
+  obs::observe("test.histogram", 5);
+  obs::observe("test.histogram", 0);
+
+  std::ostringstream os;
+  obs::MetricsRegistry::global().write_json(os);
+  const Status status = obs::validate_metrics_json(os.str());
+  ASSERT_TRUE(status.ok()) << status.to_string() << "\n" << os.str();
+
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::parse_json(os.str(), v).ok());
+  EXPECT_EQ(v.find("counters")->find("test.counter")->number, 3.0);
+  EXPECT_EQ(v.find("gauges")->find("test.gauge")->number, -7.0);
+  EXPECT_EQ(v.find("gauges")->find("test.peak")->number, 10.0);
+  EXPECT_EQ(v.find("histograms")->find("test.histogram")->find("count")->number, 2.0);
+}
+
+TEST(Metrics, DisabledEmittersAreNoOps) {
+  const ObsQuiescent guard;
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::global().disable();
+  obs::count("test.should_not_exist");
+  EXPECT_EQ(obs::MetricsRegistry::global().counter_values().count("test.should_not_exist"),
+            0u);
+}
+
+TEST(MetricsValidation, RejectsMalformedSnapshots) {
+  EXPECT_FALSE(obs::validate_metrics_json("").ok());
+  EXPECT_FALSE(obs::validate_metrics_json("{\"counters\": 3}").ok());
+  // Bucket counts not summing to "count".
+  EXPECT_FALSE(obs::validate_metrics_json(
+                   R"({"histograms": {"h": {"count": 5, "sum": 1, "buckets": [[0, 1]]}}})")
+                   .ok());
+}
+
+// --- identity guarantees ---------------------------------------------------
+
+LearnResult run_small_learn() {
+  LearnerConfig config;
+  config.require_trace_acceptance = false;
+  config.threads = 1;
+  const ModelLearner learner(config);
+  return learner.learn(sim::generate_counter_trace({}));
+}
+
+TEST(ObsIdentity, MetricsIdenticalWithTracingOnAndOff) {
+  const ObsQuiescent guard;
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::global().enable();
+  obs::Tracer::instance().stop();
+  const LearnResult off = run_small_learn();
+  const auto counters_off = obs::MetricsRegistry::global().counter_values();
+
+  obs::MetricsRegistry::global().reset();
+  obs::Tracer::instance().start();
+  const LearnResult on = run_small_learn();
+  obs::Tracer::instance().stop();
+  const auto counters_on = obs::MetricsRegistry::global().counter_values();
+
+  ASSERT_TRUE(off.success);
+  ASSERT_TRUE(on.success);
+  EXPECT_EQ(counters_off, counters_on);
+  EXPECT_GT(counters_on.at("learn.sat_calls"), 0u);
+  EXPECT_EQ(counters_on.at("learn.runs"), 1u);
+}
+
+TEST(ObsIdentity, LearnArtefactsIdenticalWithObservabilityOnAndOff) {
+  const ObsQuiescent guard;
+  // Fully dark run.
+  obs::Tracer::instance().stop();
+  obs::MetricsRegistry::global().disable();
+  const LearnResult dark = run_small_learn();
+
+  // Fully lit run: tracing, metrics and progress all live.
+  obs::Tracer::instance().start();
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::global().enable();
+  obs::Progress::global().enable();
+  const LearnResult lit = run_small_learn();
+  obs::Tracer::instance().stop();
+
+  ASSERT_TRUE(dark.success);
+  ASSERT_TRUE(lit.success);
+  EXPECT_EQ(dark.states, lit.states);
+  EXPECT_EQ(dark.stats.sat_calls, lit.stats.sat_calls);
+  EXPECT_EQ(dark.stats.sat_conflicts, lit.stats.sat_conflicts);
+  EXPECT_EQ(dark.stats.refinements, lit.stats.refinements);
+}
+
+TEST(ObsIdentity, EncodingFingerprintUnaffectedByTracing) {
+  const ObsQuiescent guard;
+  const std::vector<Segment> segments = {{0, 1, 2}, {1, 2, 0}, {2, 0, 1}};
+  const auto fingerprint_of = [&segments] {
+    const AutomatonCsp csp(segments, 3, 3, {});
+    return csp.encoding_fingerprint();
+  };
+  obs::Tracer::instance().stop();
+  const std::uint64_t dark = fingerprint_of();
+  obs::Tracer::instance().start();
+  const std::uint64_t lit = fingerprint_of();
+  obs::Tracer::instance().stop();
+  EXPECT_EQ(dark, lit);
+  EXPECT_NE(dark, 0u);
+}
+
+// --- progress --------------------------------------------------------------
+
+TEST(Progress, CountersAndSnapshot) {
+  const ObsQuiescent guard;
+  obs::Progress::global().enable();
+  obs::Progress::global().begin_run(Deadline::never());
+  obs::Progress::global().set_states(4);
+  obs::Progress::global().add_sat_calls(2);
+  obs::Progress::global().add_conflicts(100);
+  obs::Progress::global().add_refinements(1);
+
+  const obs::ProgressSnapshot snap = obs::Progress::global().snapshot();
+  EXPECT_EQ(snap.states, 4u);
+  EXPECT_EQ(snap.sat_calls, 2u);
+  EXPECT_EQ(snap.conflicts, 100u);
+  EXPECT_EQ(snap.refinements, 1u);
+  EXPECT_GE(snap.uptime_seconds, 0.0);
+  EXPECT_TRUE(std::isinf(snap.deadline_remaining_seconds));
+
+  const std::string line = format_progress_line(snap);
+  EXPECT_NE(line.find("progress:"), std::string::npos);
+  EXPECT_NE(line.find("N=4"), std::string::npos);
+  EXPECT_NE(line.find("sat_calls=2"), std::string::npos);
+  EXPECT_NE(line.find("conflicts=100"), std::string::npos);
+}
+
+TEST(Progress, DisabledUpdatesAreDropped) {
+  const ObsQuiescent guard;
+  obs::Progress::global().enable();
+  obs::Progress::global().begin_run(Deadline::never());
+  obs::Progress::global().disable();
+  obs::Progress::global().add_sat_calls(5);
+  obs::Progress::global().enable();
+  EXPECT_EQ(obs::Progress::global().snapshot().sat_calls, 0u);
+}
+
+TEST(Heartbeat, FiresCallbackAndInfoLine) {
+  const ObsQuiescent guard;
+  obs::Progress::global().enable();
+  obs::Progress::global().begin_run(Deadline::never());
+  obs::Progress::global().add_conflicts(7);
+
+  std::atomic<int> callbacks{0};
+  std::mutex lines_mutex;
+  std::vector<std::string> lines;
+  Logger::instance().set_level(LogLevel::Info);
+  Logger::instance().set_sink([&](LogLevel, const std::string& line) {
+    const std::lock_guard<std::mutex> lock(lines_mutex);
+    lines.push_back(line);
+  });
+  {
+    obs::Heartbeat heartbeat(0.02, [&callbacks](const obs::ProgressSnapshot& snap) {
+      EXPECT_EQ(snap.conflicts, 7u);
+      callbacks.fetch_add(1);
+    });
+    // Generous budget for loaded CI machines; exits as soon as one fires.
+    for (int i = 0; i < 200 && callbacks.load() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  Logger::instance().set_sink(nullptr);
+  EXPECT_GE(callbacks.load(), 1);
+  const std::lock_guard<std::mutex> lock(lines_mutex);
+  bool progress_line = false;
+  for (const std::string& line : lines) {
+    if (line.find("progress:") != std::string::npos &&
+        line.find("conflicts=7") != std::string::npos) {
+      progress_line = true;
+    }
+  }
+  EXPECT_TRUE(progress_line);
+}
+
+// --- logger ----------------------------------------------------------------
+
+TEST(Logger, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_STREQ(log_level_name(LogLevel::Info), "INFO");
+}
+
+TEST(Logger, SinkCapturesPrefixedLines) {
+  const ObsQuiescent guard;
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  std::mutex captured_mutex;
+  Logger::instance().set_level(LogLevel::Info);
+  Logger::instance().set_sink([&](LogLevel level, const std::string& line) {
+    const std::lock_guard<std::mutex> lock(captured_mutex);
+    captured.emplace_back(level, line);
+  });
+  log_info() << "observable " << 42;
+  log_debug() << "filtered out";
+  Logger::instance().set_sink(nullptr);
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::Info);
+  // "[t2m INFO  12.345678 t03] observable 42"
+  EXPECT_EQ(captured[0].second.rfind("[t2m INFO ", 0), 0u);
+  EXPECT_NE(captured[0].second.find(" t"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("] observable 42"), std::string::npos);
+}
+
+TEST(Logger, LevelGatesAreDynamic) {
+  const ObsQuiescent guard;
+  Logger::instance().set_level(LogLevel::Error);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::Warn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::Error));
+  Logger::instance().set_level(LogLevel::Trace);
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::Debug));
+  Logger::instance().set_level(LogLevel::Off);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::Error));
+}
+
+}  // namespace
+}  // namespace t2m

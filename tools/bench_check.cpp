@@ -18,6 +18,11 @@
 // proof-logging zero-cost claim, since the baseline values were produced by
 // a proof-logging-disabled encode (docs/proof_checking.md).
 //
+// A baseline entry carrying a nested "metrics" snapshot (the full-stats
+// object BenchResultsJson appends as the last field of each line) requires
+// the result entry to carry one too — the presence gate that keeps the
+// observability plumbing wired into the bench emitters.
+//
 // Reads only the fixed one-record-per-line format BenchResultsJson emits;
 // this is a tripwire for our own artefacts, not a general JSON parser.
 // Wall-clock on shared CI runners is noisy, hence the absolute floor and the
@@ -47,6 +52,10 @@ struct Record {
   bool salvaged = false;
   bool wall_exempt = false;
   std::uint64_t fingerprint = 0;  ///< 0 = not recorded; gate needs both sides
+  /// Record carries a nested full-stats "metrics" object (the obs-layer
+  /// snapshot BenchResultsJson appends last on the line). Presence-gated
+  /// like the fingerprint: the gate only fires when the baseline has one.
+  bool has_metrics = false;
 };
 
 /// A run that was cut short — by the clock, the clause budget, or the memory
@@ -140,6 +149,7 @@ std::map<std::string, Record> load(const std::string& path) {
     if (const auto fp = field_text(line, "fingerprint")) {
       rec.fingerprint = parse_fingerprint(*fp, path);
     }
+    rec.has_metrics = line.find("\"metrics\": {") != std::string::npos;
     records[*bench] = rec;
   }
   return records;
@@ -211,6 +221,14 @@ int main(int argc, char** argv) {
       std::cerr << "FINGERPRINT " << bench << ": " << got.fingerprint
                 << " vs baseline " << base.fingerprint
                 << " (clause database drifted)\n";
+      ++regressions;
+    }
+    // A bench that recorded a metrics snapshot into the baseline must keep
+    // recording one: losing it means the observability plumbing silently
+    // fell out of the bench emitter.
+    if (base.has_metrics && !got.has_metrics) {
+      std::cerr << "METRICS  " << bench
+                << " (baseline has a metrics snapshot, results do not)\n";
       ++regressions;
     }
     // Conflict counts are only comparable between completed runs: a run cut

@@ -20,6 +20,9 @@
 #include "src/base/status.h"
 #include "src/core/learner.h"
 #include "src/core/report.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/obs/trace.h"
 #include "src/sim/basic/counter.h"
 #include "src/sim/basic/integrator.h"
 #include "src/sim/rtlinux/workloads.h"
@@ -43,6 +46,8 @@ int usage() {
       "            [--no-segment] [--encoding pairwise|successor]\n"
       "            [--timeout SEC] [--threads N] [--portfolio K]\n"
       "            [--max-memory MB] [--task NAME] [--dot FILE] [--verbose]\n"
+      "            [--trace-out FILE] [--metrics-out FILE] [--stats-out FILE]\n"
+      "            [--progress [SEC]] [--log-level LEVEL]\n"
       "  t2m info  --trace FILE\n"
       "\n"
       "  --threads N    parallel runtime width: N-way sharded ingest for\n"
@@ -55,6 +60,17 @@ int usage() {
       "                 the learn with an out-of-memory verdict (salvaging\n"
       "                 the best model so far) instead of crashing\n"
       "  --task NAME    keep only this task's events (--ftrace inputs)\n"
+      "\n"
+      "  --trace-out F    write a Chrome trace-event / Perfetto JSON span\n"
+      "                   timeline of the learn to F (docs/observability.md)\n"
+      "  --metrics-out F  write the metrics registry snapshot (counters,\n"
+      "                   gauges, histograms) as JSON to F\n"
+      "  --stats-out F    write the run verdict + LearnStats as JSON to F\n"
+      "  --progress [S]   heartbeat: an Info progress line every S seconds\n"
+      "                   (default 5) with N, SAT calls, conflicts, memory\n"
+      "                   and deadline remaining\n"
+      "  --log-level L    trace|debug|info|warn|error|off (default warn;\n"
+      "                   --verbose is shorthand for debug)\n"
       "\n"
       "exit codes: 0 ok, 1 no model, 2 usage, 10 io error, 11 parse error,\n"
       "            12 out of memory, 13 deadline exceeded, 14 internal error\n";
@@ -122,6 +138,28 @@ int cmd_learn(const t2m::CliArgs& args) {
     if (!name.empty()) config.abstraction.input_vars.push_back(name);
   }
 
+  // Observability: all three sinks are opt-in and independent. Tracing and
+  // metrics must be live before the learn starts so the ingest/abstraction
+  // spans and the per-run publish are captured.
+  const auto trace_out = args.get("trace-out");
+  const auto metrics_out = args.get("metrics-out");
+  const auto stats_out = args.get("stats-out");
+  if (trace_out && !trace_out->empty()) t2m::obs::Tracer::instance().start();
+  if (metrics_out && !metrics_out->empty()) {
+    t2m::obs::MetricsRegistry::global().reset();
+    t2m::obs::MetricsRegistry::global().enable();
+  }
+  std::optional<t2m::obs::Heartbeat> heartbeat;
+  if (args.has("progress")) {
+    t2m::obs::Progress::global().enable();
+    // Progress lines are Info-level; --progress without an explicit
+    // --log-level quieter than info would otherwise print nothing.
+    if (!args.has("log-level") && !t2m::Logger::instance().enabled(t2m::LogLevel::Info)) {
+      t2m::Logger::instance().set_level(t2m::LogLevel::Info);
+    }
+    heartbeat.emplace(args.get_double_or("progress", 5.0));
+  }
+
   const t2m::ModelLearner learner(config);
   t2m::LearnResult result;
   if (ftrace_path) {
@@ -130,6 +168,34 @@ int cmd_learn(const t2m::CliArgs& args) {
     result = learner.learn_from_ftrace(*ftrace_path, args.get_or("task", ""));
   } else {
     result = learner.learn(t2m::read_trace_file(*path));
+  }
+
+  heartbeat.reset();
+  if (trace_out && !trace_out->empty()) {
+    t2m::obs::Tracer::instance().stop();
+    if (t2m::obs::Tracer::instance().write_file(*trace_out)) {
+      std::cout << "wrote trace to " << *trace_out << "\n";
+    } else {
+      std::cerr << "t2m: io_error: could not write " << *trace_out << "\n";
+      return t2m::error_code_exit_status(t2m::ErrorCode::io_error);
+    }
+  }
+  if (metrics_out && !metrics_out->empty()) {
+    if (t2m::obs::MetricsRegistry::global().write_file(*metrics_out)) {
+      std::cout << "wrote metrics to " << *metrics_out << "\n";
+    } else {
+      std::cerr << "t2m: io_error: could not write " << *metrics_out << "\n";
+      return t2m::error_code_exit_status(t2m::ErrorCode::io_error);
+    }
+  }
+  if (stats_out && !stats_out->empty()) {
+    std::ofstream os(*stats_out);
+    os << t2m::to_json(result) << "\n";
+    if (!os) {
+      std::cerr << "t2m: io_error: could not write " << *stats_out << "\n";
+      return t2m::error_code_exit_status(t2m::ErrorCode::io_error);
+    }
+    std::cout << "wrote stats to " << *stats_out << "\n";
   }
   std::cout << t2m::format_learn_report(result, result.schema);
 
@@ -184,7 +250,17 @@ int cmd_info(const t2m::CliArgs& args) {
 
 int main(int argc, char** argv) {
   const t2m::CliArgs args(argc, argv);
-  if (args.has("verbose")) t2m::Logger::instance().set_level(t2m::LogLevel::Debug);
+  if (const auto level_name = args.get("log-level")) {
+    const auto level = t2m::parse_log_level(*level_name);
+    if (!level) {
+      std::cerr << "t2m: --log-level: expected trace|debug|info|warn|error|off, got '"
+                << *level_name << "'\n";
+      return 2;
+    }
+    t2m::Logger::instance().set_level(*level);
+  } else if (args.has("verbose")) {
+    t2m::Logger::instance().set_level(t2m::LogLevel::Debug);
+  }
   if (args.positional().empty()) return usage();
   const std::string& command = args.positional().front();
   try {
