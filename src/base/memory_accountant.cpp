@@ -31,6 +31,9 @@ void MemoryAccountant::charge(std::size_t bytes) {
 
 bool MemoryAccountant::try_charge(std::size_t bytes) {
   if (T2M_FAILPOINT("mem.charge")) return false;
+  // order: relaxed throughout — see the header: counters carry no payload,
+  // and the fetch_add/fetch_sub pair keeps the balance exact regardless of
+  // ordering.
   std::size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   std::size_t cap = limit_.load(std::memory_order_relaxed);
   if (cap != 0 && now > cap) {
@@ -39,6 +42,7 @@ bool MemoryAccountant::try_charge(std::size_t bytes) {
   }
   // Peak update may lose a race to a concurrent higher charge; that is fine —
   // peak is a diagnostic, not a correctness value.
+  // order: relaxed — see above; the CAS only needs atomicity of the max.
   std::size_t prev_peak = peak_.load(std::memory_order_relaxed);
   while (now > prev_peak &&
          !peak_.compare_exchange_weak(prev_peak, now,
@@ -48,6 +52,7 @@ bool MemoryAccountant::try_charge(std::size_t bytes) {
 }
 
 void MemoryAccountant::reset_for_test() {
+  // order: relaxed — test hook; the caller guarantees quiescence.
   used_.store(0, std::memory_order_relaxed);
   peak_.store(0, std::memory_order_relaxed);
   limit_.store(0, std::memory_order_relaxed);

@@ -32,6 +32,9 @@ public:
 
   /// 0 = unlimited. Takes effect for subsequent charges; already-charged
   /// bytes are not re-checked.
+  // order: relaxed — the accountant is pure bookkeeping: used_/peak_/limit_
+  // are independent scalars that never publish other memory, and callers
+  // tolerate momentarily stale reads (the cap check re-reads under charge).
   void set_limit(std::size_t bytes) {
     limit_.store(bytes, std::memory_order_relaxed);
   }
@@ -47,10 +50,12 @@ public:
   /// Non-throwing charge: false (and no charge recorded) on overrun.
   bool try_charge(std::size_t bytes);
 
+  // order: relaxed — see set_limit(): bookkeeping scalars, no payload.
   void release(std::size_t bytes) {
     used_.fetch_sub(bytes, std::memory_order_relaxed);
   }
 
+  // order: relaxed — see set_limit(): advisory reads for reporting.
   std::size_t used() const { return used_.load(std::memory_order_relaxed); }
   std::size_t peak() const { return peak_.load(std::memory_order_relaxed); }
 

@@ -183,11 +183,15 @@ bool run_emission(sat::Solver& solver, std::size_t max_clauses, std::size_t thre
         build(i, *buf);
         const std::size_t delta = buf->entries.size() - counted;
         counted = buf->entries.size();
+        // order: relaxed — an approximate cross-chunk total for a soft cap;
+        // slight over-emission past the cap is by design.
         if (approx_total.fetch_add(delta, std::memory_order_relaxed) + delta > soft_cap) {
           buf->truncated = true;
           break;
         }
       }
+      // order: release publishes buf->entries / buf->truncated; pairs with
+      // the splicer's acquire loads of ready below.
       buf->ready.store(true, std::memory_order_release);
     });
   }
@@ -197,12 +201,15 @@ bool run_emission(sat::Solver& solver, std::size_t max_clauses, std::size_t thre
   T2M_SPAN("encode.splice", "chunks", chunks);
   bool ok = true;
   for (std::size_t c = 0; c < chunks && ok; ++c) {
+    // order: acquire pairs with the emitter's release store of ready, making
+    // the chunk's entries fully visible before the splice reads them.
     while (!bufs[c]->ready.load(std::memory_order_acquire)) {
       if (!pool.help_one()) {
         if (group.done()) break;  // a task died; group.wait() rethrows below
         std::this_thread::yield();
       }
     }
+    // order: acquire — same pairing as the spin above (a dead task path).
     if (!bufs[c]->ready.load(std::memory_order_acquire)) break;
     if (bufs[c]->truncated) {
       ChunkBuf full;

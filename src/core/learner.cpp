@@ -311,6 +311,9 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
   // is starved on a loaded machine.
   const std::atomic<bool>* outer_stop = config_.stop;
   const auto relay_outer_stop = [outer_stop, &race_stop] {
+    // order: relaxed load / release store — both flags are pure signals; the
+    // lanes' results reach this thread through the TaskGroup join, and the
+    // release store mirrors the winner path so the two raise sites match.
     if (outer_stop != nullptr && outer_stop->load(std::memory_order_relaxed)) {
       race_stop.store(true, std::memory_order_release);
     }
@@ -348,7 +351,12 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
         if (!r.cancelled && !r.timed_out && !r.budget_exceeded &&
             !r.resource_exhausted) {
           int expected = -1;
+          // order: seq_cst (default) — a cold, single-shot crowning; the
+          // strongest order keeps the winner index and the stop raise below
+          // trivially ordered for every observer, and costs nothing here.
           if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+            // order: release — signal only; results[i] is published to the
+            // coordinator by the TaskGroup join, not by this flag.
             race_stop.store(true, std::memory_order_release);
             T2M_INSTANT("portfolio.winner");
           }
@@ -374,11 +382,16 @@ LearnResult ModelLearner::run_portfolio(const PredicateSequence& preds,
   // Wait while relaying the caller's cancellation into the race: the lanes
   // poll race_stop (through their solvers), so raising it here preserves
   // the LearnerConfig::stop contract for portfolio runs too.
+  //
+  // Deliberately no pool.help_one() here (the thread-safety audit flagged
+  // it): stealing a lane would capture this coordinator for the lane's whole
+  // CEGIS run, during which relay_outer_stop() never fires and the caller's
+  // cancellation latency becomes unbounded. The pool was grown to min(k,
+  // kMaxWorkers) workers above, so queued lanes drain without our help; a
+  // 1 ms poll keeps the relay responsive at negligible cost.
   while (!group.done()) {
     relay_outer_stop();
-    if (!pool.help_one()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   group.wait();  // synchronise and surface any lane exception
 
@@ -472,6 +485,7 @@ LearnResult ModelLearner::run_search_single(PredicateSequence preds,
   const bool check_acceptance = config_.require_trace_acceptance && !preds.seq.empty();
 
   const auto stopped = [this] {
+    // order: relaxed — pure cancellation signal (see docs/concurrency.md).
     return config_.stop != nullptr && config_.stop->load(std::memory_order_relaxed);
   };
 

@@ -7,9 +7,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
+
+#include "src/util/sync.h"
 
 namespace t2m::obs {
 
@@ -20,12 +21,15 @@ extern std::atomic<bool> g_metrics_enabled;
 }  // namespace detail
 
 inline bool metrics_enabled() {
+  // order: relaxed — instrumentation gate only; emitters publish nothing
+  // through it (instruments are found via the mutex-protected registry).
   return detail::g_metrics_enabled.load(std::memory_order_relaxed);
 }
 
 /// Monotonically increasing event count (lock-free).
 class Counter {
 public:
+  // order: relaxed — an isolated statistic (see the class comment above).
   void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
@@ -37,14 +41,18 @@ private:
 /// Last-write-wins scalar with a monotone-max variant (lock-free).
 class Gauge {
 public:
+  // order: relaxed — an isolated statistic; the CAS loop only needs
+  // atomicity of the max update, not ordering against other memory.
   void set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
   /// Raises the gauge to `value` if larger (for peaks).
+  // order: relaxed — see set(); the CAS loop needs atomicity only.
   void record_max(std::int64_t value) {
     std::int64_t cur = value_.load(std::memory_order_relaxed);
     while (value > cur &&
            !value_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
     }
   }
+  // order: relaxed — see set().
   std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -69,17 +77,22 @@ public:
     return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
   }
 
+  // order: relaxed — bucket/count/sum are allowed to tear relative to each
+  // other; a snapshot mid-observe is off by one transient event at worst.
   void observe(std::uint64_t value) {
     buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
   }
 
+  // order: relaxed — see observe(): readers accept instrument-level tearing.
+  // order: relaxed — readers accept instrument-level tearing (see observe).
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   std::uint64_t bucket(std::size_t b) const {
     return buckets_.at(b).load(std::memory_order_relaxed);
   }
+  // order: relaxed — reset is only meaningful on a quiescent registry.
   void reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -100,6 +113,8 @@ class MetricsRegistry {
 public:
   static MetricsRegistry& global();
 
+  // order: release so instruments reset before an enable() are not observed
+  // reordered after it by a freshly-enabled emitter's registry lookup.
   void enable() { detail::g_metrics_enabled.store(true, std::memory_order_release); }
   void disable() { detail::g_metrics_enabled.store(false, std::memory_order_release); }
 
@@ -122,10 +137,10 @@ public:
 private:
   MetricsRegistry() = default;
 
-  std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mutex_);
 };
 
 /// Instrumentation-site emitters: one relaxed load and nothing else when

@@ -51,29 +51,40 @@ Progress& Progress::global() {
 }
 
 void Progress::begin_run(const Deadline& deadline) {
+  // order: relaxed — independent counters; see the header.
   states_.store(0, std::memory_order_relaxed);
   sat_calls_.store(0, std::memory_order_relaxed);
   conflicts_.store(0, std::memory_order_relaxed);
   refinements_.store(0, std::memory_order_relaxed);
   const std::int64_t now = steady_now_ns();
-  start_ns_.store(now, std::memory_order_relaxed);
   const double remaining = deadline.remaining_seconds();
+  // Deadline first, then start with release: the concurrency audit found the
+  // old relaxed start-then-deadline order let a heartbeat pair a fresh start
+  // with the previous run's deadline and print a wildly negative remaining.
+  // order: relaxed — publication rides on the release store of start_ns_.
   deadline_ns_.store(std::isfinite(remaining)
                          ? now + static_cast<std::int64_t>(remaining * 1e9)
                          : -1,
                      std::memory_order_relaxed);
+  // order: release pairs with snapshot()'s acquire load of start_ns_,
+  // publishing the deadline stored above as one consistent pair.
+  start_ns_.store(now, std::memory_order_release);
 }
 
 ProgressSnapshot Progress::snapshot() const {
   ProgressSnapshot s;
   const std::int64_t now = steady_now_ns();
+  // order: acquire pairs with begin_run()'s release store: observing the new
+  // start guarantees the matching deadline is visible below.
   s.uptime_seconds =
-      static_cast<double>(now - start_ns_.load(std::memory_order_relaxed)) / 1e9;
+      static_cast<double>(now - start_ns_.load(std::memory_order_acquire)) / 1e9;
+  // order: relaxed — independent counters; see the header.
   s.states = states_.load(std::memory_order_relaxed);
   s.sat_calls = sat_calls_.load(std::memory_order_relaxed);
   s.conflicts = conflicts_.load(std::memory_order_relaxed);
   s.refinements = refinements_.load(std::memory_order_relaxed);
   s.memory_used_bytes = MemoryAccountant::global().used();
+  // order: relaxed — ordered by the acquire load of start_ns_ above.
   const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
   s.deadline_remaining_seconds = deadline < 0
                                      ? std::numeric_limits<double>::infinity()
@@ -84,10 +95,18 @@ ProgressSnapshot Progress::snapshot() const {
 Heartbeat::Heartbeat(double interval_seconds, Callback callback) {
   const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::duration<double>(interval_seconds > 0 ? interval_seconds : 1.0));
-  worker_ = std::thread([this, interval, callback = std::move(callback)] {
+  worker_ = Thread([this, interval, callback = std::move(callback)] {
     Tracer::set_thread_name("obs.heartbeat");
-    std::unique_lock<std::mutex> lock(mutex_);
-    while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+    // Absolute-deadline loop (CondVar has no predicate overloads — the
+    // analysis cannot see through a predicate lambda): stop_ is only read
+    // and written under mutex_, and every emission happens with the lock
+    // shed so the callback / logger / tracer take their own locks freely.
+    auto next = std::chrono::steady_clock::now() + interval;
+    MutexLock lock(mutex_);
+    while (!stop_) {
+      if (cv_.wait_until(mutex_, next) != std::cv_status::timeout) {
+        continue;  // notified (stop) or spurious: re-check stop_
+      }
       lock.unlock();
       const ProgressSnapshot snapshot = Progress::global().snapshot();
       log_info() << format_progress_line(snapshot);
@@ -96,6 +115,7 @@ Heartbeat::Heartbeat(double interval_seconds, Callback callback) {
       T2M_TRACE_COUNTER("progress.conflicts", snapshot.conflicts);
       T2M_TRACE_COUNTER("progress.memory_bytes", snapshot.memory_used_bytes);
       if (callback) callback(snapshot);
+      next += interval;
       lock.lock();
     }
   });
@@ -105,7 +125,7 @@ Heartbeat::~Heartbeat() { stop(); }
 
 void Heartbeat::stop() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();

@@ -2,14 +2,12 @@
 #define T2M_OBS_PROGRESS_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "src/util/stopwatch.h"
+#include "src/util/sync.h"
 
 namespace t2m::obs {
 
@@ -37,6 +35,9 @@ class Progress {
 public:
   static Progress& global();
 
+  // order: release on enable/disable so counter resets sequenced before the
+  // flip are visible to updaters that observe it; the relaxed read side is a
+  // hot-path gate where a one-update-stale answer is harmless.
   void enable() { enabled_.store(true, std::memory_order_release); }
   void disable() { enabled_.store(false, std::memory_order_release); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -45,15 +46,21 @@ public:
   /// the learner when a search begins (only when enabled).
   void begin_run(const Deadline& deadline);
 
+  // order: relaxed — independent statistics counters; the heartbeat reader
+  // tolerates cross-counter tearing (each line is a glance value, not an
+  // invariant), and no payload hangs off any of them.
   void set_states(std::uint64_t n) {
     if (enabled()) states_.store(n, std::memory_order_relaxed);
   }
+  // order: relaxed — see set_states() above.
   void add_sat_calls(std::uint64_t n) {
     if (enabled()) sat_calls_.fetch_add(n, std::memory_order_relaxed);
   }
+  // order: relaxed — see set_states() above.
   void add_conflicts(std::uint64_t n) {
     if (enabled()) conflicts_.fetch_add(n, std::memory_order_relaxed);
   }
+  // order: relaxed — see set_states() above.
   void add_refinements(std::uint64_t n) {
     if (enabled()) refinements_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -69,6 +76,10 @@ private:
   std::atomic<std::uint64_t> conflicts_{0};
   std::atomic<std::uint64_t> refinements_{0};
   /// steady_clock ns of begin_run() and of the deadline; -1 = no deadline.
+  /// Published as a pair: begin_run stores deadline_ns_ first, then
+  /// start_ns_ with release; snapshot loads start_ns_ with acquire before
+  /// deadline_ns_, so a reader that sees the new start also sees the
+  /// matching deadline (they feed the same formatted line).
   std::atomic<std::int64_t> start_ns_{0};
   std::atomic<std::int64_t> deadline_ns_{-1};
 };
@@ -89,10 +100,10 @@ public:
   void stop();
 
 private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread worker_;
+  Mutex mutex_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  Thread worker_;
 };
 
 }  // namespace t2m::obs

@@ -74,6 +74,8 @@ public:
   static constexpr std::size_t kMaxEvents = std::size_t{1} << 20;
 
   ~EventBuffer() {
+    // order: acquire pairs with push()'s release store of next — the
+    // destructor must see fully constructed chunks before deleting them.
     Chunk* c = head_.next.load(std::memory_order_acquire);
     while (c != nullptr) {
       Chunk* next = c->next.load(std::memory_order_acquire);
@@ -85,24 +87,33 @@ public:
   /// Owner thread only.
   void push(TraceEvent ev) {
     if (total_ >= kMaxEvents) {
+      // order: relaxed — an isolated statistic read by dropped().
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     Chunk* c = write_;
+    // order: relaxed — count is only ever written by this (owner) thread;
+    // the load needs atomicity against concurrent readers, not ordering.
     std::size_t n = c->count.load(std::memory_order_relaxed);
     if (n == kChunkEvents) {
       auto* fresh = new Chunk();
+      // order: release publishes the zero-initialised chunk; pairs with the
+      // acquire chain walk in for_each / the destructor.
       c->next.store(fresh, std::memory_order_release);
       write_ = fresh;
       c = fresh;
       n = 0;
     }
     c->events[n] = std::move(ev);
+    // order: release publishes events[n] itself — THE publication edge of
+    // the lock-free buffer; pairs with for_each's acquire load of count.
     c->count.store(n + 1, std::memory_order_release);
     ++total_;
   }
 
   /// Any thread; sees every event published before the call.
+  // order: acquire on next/count pairs with push()'s release stores, so the
+  // reader only ever dereferences fully constructed chunks and events.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const Chunk* c = &head_; c != nullptr; c = c->next.load(std::memory_order_acquire)) {
@@ -111,6 +122,7 @@ public:
     }
   }
 
+  // order: relaxed — isolated statistic.
   std::size_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
 private:
@@ -147,6 +159,9 @@ std::int64_t steady_now_ns() {
 }
 }  // namespace
 
+// order: relaxed — epoch_ns_ is a timestamp scalar; readers tolerate a
+// stale epoch during a start() race (spans then carry pre-reset offsets into
+// a buffer the same race just orphaned).
 Tracer::Tracer() { epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed); }
 
 Tracer& Tracer::instance() {
@@ -155,27 +170,37 @@ Tracer& Tracer::instance() {
 }
 
 void Tracer::start() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);  // no-span
   // Bumping the generation orphans every thread's old buffer: threads
   // re-register on their next append, so no buffer is ever cleared while
   // its owner might still be writing.
+  // order: release pairs with ensure_registered's acquire load — a thread
+  // that observes the new generation also observes the cleared registry
+  // state published by this critical section.
   generation_.fetch_add(1, std::memory_order_release);
   buffers_.clear();
   track_names_.clear();
+  // order: relaxed — see the constructor's epoch_ns_ rationale.
   epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  // order: release so the generation bump and registry reset above are
+  // visible before any site observes tracing as enabled.
   detail::g_trace_enabled.store(true, std::memory_order_release);
 }
 
+// order: release so events pushed before stop() are published ahead of any
+// reader that keys off the disabled flag.
 void Tracer::stop() { detail::g_trace_enabled.store(false, std::memory_order_release); }
 
 std::int64_t Tracer::now_ns() const {
+  // order: relaxed — see the constructor's epoch_ns_ rationale.
   return steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed);
 }
 
 void Tracer::ensure_registered(ThreadState& state) {
+  // order: acquire pairs with start()'s release fetch_add (see there).
   const std::uint64_t generation = generation_.load(std::memory_order_acquire);
   if (state.generation == generation) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);  // no-span
   state.buffer = std::make_shared<EventBuffer>();
   buffers_.push_back(state.buffer);
   state.thread_track = static_cast<std::uint32_t>(track_names_.size());
@@ -183,6 +208,8 @@ void Tracer::ensure_registered(ThreadState& state) {
                              ? "thread " + std::to_string(state.thread_track)
                              : state.name);
   state.track = state.thread_track;
+  // order: relaxed — re-read under the registry mutex: whichever generation
+  // this critical section belongs to is the one the buffer was filed under.
   state.generation = generation_.load(std::memory_order_relaxed);
 }
 
@@ -213,7 +240,7 @@ void Tracer::counter(const char* name, std::int64_t value) {
 }
 
 std::uint32_t Tracer::new_track(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);  // no-span
   const auto id = static_cast<std::uint32_t>(track_names_.size());
   track_names_.push_back(name);
   return id;
@@ -223,9 +250,11 @@ void Tracer::set_thread_name(const std::string& name) {
   ThreadState& state = thread_state();
   state.name = name;
   Tracer& tracer = instance();
-  const std::lock_guard<std::mutex> lock(tracer.mutex_);
+  const MutexLock lock(tracer.mutex_);  // no-span
   // Re-check the generation under the lock: a concurrent start() may have
   // cleared the registry since the caller last registered.
+  // order: relaxed — the registry mutex already orders this read against
+  // start()'s critical section.
   if (state.generation == tracer.generation_.load(std::memory_order_relaxed) &&
       state.thread_track < tracer.track_names_.size()) {
     tracer.track_names_[state.thread_track] = name;
@@ -235,7 +264,7 @@ void Tracer::set_thread_name(const std::string& name) {
 std::size_t Tracer::event_count() {
   std::vector<std::shared_ptr<EventBuffer>> buffers;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);  // no-span
     buffers = buffers_;
   }
   std::size_t n = 0;
@@ -244,7 +273,7 @@ std::size_t Tracer::event_count() {
 }
 
 std::size_t Tracer::dropped_count() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);  // no-span
   std::size_t n = 0;
   for (const auto& buffer : buffers_) n += buffer->dropped();
   return n;
@@ -257,7 +286,7 @@ void Tracer::write_json(std::ostream& os) {
   std::vector<std::shared_ptr<EventBuffer>> buffers;
   std::vector<std::string> names;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);  // no-span
     buffers = buffers_;
     names = track_names_;
   }

@@ -5,12 +5,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "src/util/sync.h"
 
 // Compile-time kill switch for the span macros (configure with -DT2M_OBS=OFF,
 // which defines T2M_OBS_DISABLED): every T2M_SPAN expands to nothing and the
@@ -80,6 +81,8 @@ public:
   static Tracer& instance();
 
   /// True when spans are being collected — one relaxed load, safe anywhere.
+  // order: relaxed — pure gate; a span that races start()/stop() either
+  // lands in the old generation's orphaned buffer or is skipped, both fine.
   static bool enabled() { return detail::g_trace_enabled.load(std::memory_order_relaxed); }
 
   /// Discards previously collected events, restarts the clock at 0 and
@@ -126,9 +129,9 @@ private:
   /// buffer and track id on first contact.
   void ensure_registered(ThreadState& state);
 
-  std::mutex mutex_;
-  std::vector<std::shared_ptr<EventBuffer>> buffers_;
-  std::vector<std::string> track_names_;
+  Mutex mutex_;
+  std::vector<std::shared_ptr<EventBuffer>> buffers_ GUARDED_BY(mutex_);
+  std::vector<std::string> track_names_ GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> generation_{1};
   /// steady_clock nanoseconds captured at start(); atomic so spans on
   /// worker threads can read it without synchronising with start().

@@ -11,7 +11,7 @@
 namespace t2m::par {
 
 std::size_t hardware_threads() {
-  const unsigned n = std::thread::hardware_concurrency();
+  const unsigned n = Thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<std::size_t>(n);
 }
 
@@ -20,24 +20,28 @@ ThreadPool::ThreadPool(std::size_t workers) {
 }
 
 ThreadPool::~ThreadPool() {
+  // order: release pairs with the worker's acquire load under sleep_mutex_;
+  // the rendezvous below guarantees no worker is between its idle check and
+  // its wait when the notify lands.
   stopping_.store(true, std::memory_order_release);
   {
     // Rendezvous so no worker is between its idle check and its wait.
-    std::lock_guard<std::mutex> lk(sleep_mutex_);
+    const MutexLock lk(sleep_mutex_);
   }
   sleep_cv_.notify_all();
-  std::lock_guard<std::mutex> lk(grow_mutex_);
-  for (std::thread& t : threads_) t.join();
+  const MutexLock lk(grow_mutex_);
+  for (Thread& t : threads_) t.join();
 }
 
 void ThreadPool::ensure_size(std::size_t workers) {
   workers = std::min(workers, kMaxWorkers);
   if (size() >= workers) return;
-  std::lock_guard<std::mutex> lk(grow_mutex_);
+  const MutexLock lk(grow_mutex_);
   for (std::size_t i = size(); i < workers; ++i) {
     // Queue first, then publish the count, then start the thread: everyone
     // indexing < worker_count_ finds an initialised queue.
     queues_[i] = std::make_unique<WorkerQueue>();
+    // order: release publishes queues_[i]; pairs with the acquire in size().
     worker_count_.store(i + 1, std::memory_order_release);
     threads_.emplace_back([this, i] { worker_loop(i); });
   }
@@ -50,27 +54,34 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::submit(std::function<void()> task) {
   const std::size_t n = size();
+  // order: relaxed — the cursor is a round-robin hint; queue placement needs
+  // no ordering, only uniqueness-ish distribution.
   const std::size_t slot = submit_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
+  // order: release pairs with the worker's acquire re-check of pending_
+  // under sleep_mutex_ before it sleeps (the task itself is published by the
+  // queue mutex, not by this counter).
   pending_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lk(queues_[slot]->mutex);
+    const MutexLock lk(queues_[slot]->mutex);
     queues_[slot]->tasks.push_back(std::move(task));
   }
   {
     // Pairs with the pending_ check a worker makes under sleep_mutex_ before
     // waiting: either the worker is already waiting (notify reaches it) or
     // it still holds the mutex and will re-check pending_ != 0.
-    std::lock_guard<std::mutex> lk(sleep_mutex_);
+    const MutexLock lk(sleep_mutex_);
   }
   sleep_cv_.notify_one();
 }
 
 bool ThreadPool::pop_own(std::size_t index, std::function<void()>& out) {
   WorkerQueue& q = *queues_[index];
-  std::lock_guard<std::mutex> lk(q.mutex);
+  const MutexLock lk(q.mutex);
   if (q.tasks.empty()) return false;
   out = std::move(q.tasks.back());
   q.tasks.pop_back();
+  // order: release keeps the decrement from being reordered before the pop
+  // it accounts for; pairs with the acquire loads in worker_loop/wait.
   pending_.fetch_sub(1, std::memory_order_release);
   return true;
 }
@@ -80,10 +91,11 @@ bool ThreadPool::steal(std::size_t thief, std::function<void()>& out) {
   for (std::size_t d = 0; d < n; ++d) {
     const std::size_t victim = (thief + d) % n;
     WorkerQueue& q = *queues_[victim];
-    std::lock_guard<std::mutex> lk(q.mutex);
+    const MutexLock lk(q.mutex);
     if (q.tasks.empty()) continue;
     out = std::move(q.tasks.front());
     q.tasks.pop_front();
+    // order: release — same pairing as pop_own.
     pending_.fetch_sub(1, std::memory_order_release);
     return true;
   }
@@ -118,10 +130,14 @@ void ThreadPool::worker_loop(std::size_t index) {
       task = nullptr;
       continue;
     }
-    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    MutexLock lk(sleep_mutex_);
+    // order: acquire pairs with the destructor's release store; the
+    // rendezvous under sleep_mutex_ makes the flag impossible to miss.
     if (stopping_.load(std::memory_order_acquire)) return;
+    // order: acquire pairs with submit()'s release increment (missed-work
+    // re-check under the same mutex submit rendezvouses on).
     if (pending_.load(std::memory_order_acquire) != 0) continue;  // missed work
-    sleep_cv_.wait(lk);
+    sleep_cv_.wait(sleep_mutex_);
   }
 }
 
@@ -135,6 +151,8 @@ TaskGroup::~TaskGroup() {
 }
 
 void TaskGroup::run(std::function<void()> fn) {
+  // order: acq_rel — the increment must be visible before the task's own
+  // decrement can reach zero (pairs with the loads in wait()/done()).
   pending_.fetch_add(1, std::memory_order_acq_rel);
   pool_.submit([this, fn = std::move(fn)]() mutable {
     try {
@@ -146,25 +164,31 @@ void TaskGroup::run(std::function<void()> fn) {
                         "injected task-body failure");
       fn();
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mutex_);
+      const MutexLock lk(mutex_);
       if (!error_) error_ = std::current_exception();
     }
-    std::lock_guard<std::mutex> lk(mutex_);
+    const MutexLock lk(mutex_);
+    // order: acq_rel — the release half publishes this task's writes to the
+    // waiter's acquire load; the acquire half orders the zero-check after
+    // sibling decrements.
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) cv_.notify_all();
   });
 }
 
 void TaskGroup::wait() {
+  // order: acquire pairs with each task wrapper's acq_rel decrement, so a
+  // zero read here implies every task's writes are visible to this thread.
   while (pending_.load(std::memory_order_acquire) != 0) {
     if (pool_.help_one()) continue;
     // Nothing left to steal: the stragglers are running on workers. Their
     // completion notifies under mutex_, so the pending_ re-check under the
     // same mutex cannot miss it.
-    std::unique_lock<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
+    // order: acquire — same pairing as the loop condition above.
     if (pending_.load(std::memory_order_acquire) == 0) break;
-    cv_.wait(lk);
+    cv_.wait(mutex_);
   }
-  std::lock_guard<std::mutex> lk(mutex_);
+  const MutexLock lk(mutex_);
   if (error_) {
     std::exception_ptr e = error_;
     error_ = nullptr;

@@ -2,15 +2,14 @@
 #define T2M_PARALLEL_THREAD_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace t2m::par {
 
@@ -30,8 +29,13 @@ std::size_t hardware_threads();
 ///
 /// Tasks submitted directly via submit() must not throw — exception capture
 /// is TaskGroup's job (its wrapper funnels the first exception to wait()).
+///
+/// Lock hierarchy (docs/concurrency.md): a WorkerQueue mutex is a leaf —
+/// nothing else is acquired while one is held; sleep_mutex_ is taken only
+/// with no queue mutex held; grow_mutex_ serialises growth and shutdown and
+/// never nests inside the others.
 class ThreadPool {
-public:
+ public:
   /// Hard cap on workers; keeps the deque table a fixed-size array so
   /// stealing never races vector reallocation.
   static constexpr std::size_t kMaxWorkers = 128;
@@ -41,6 +45,9 @@ public:
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  // order: acquire pairs with the release store in ensure_size — a caller
+  // that observes worker_count_ == n also observes the n initialised
+  // queues_[i] pointers published before it.
   std::size_t size() const { return worker_count_.load(std::memory_order_acquire); }
 
   /// Enqueues a task. Never blocks.
@@ -59,10 +66,10 @@ public:
   /// workers; consumers requesting more parallelism grow it on demand.
   static ThreadPool& global();
 
-private:
+ private:
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t index);
@@ -77,10 +84,10 @@ private:
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::size_t> submit_cursor_{0};
   std::atomic<bool> stopping_{false};
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
-  std::mutex grow_mutex_;
-  std::vector<std::thread> threads_;  ///< guarded by grow_mutex_
+  Mutex sleep_mutex_;
+  CondVar sleep_cv_;
+  Mutex grow_mutex_;
+  std::vector<Thread> threads_ GUARDED_BY(grow_mutex_);
 };
 
 /// Fork-join scope over a pool: run() submits counted tasks, wait() blocks
@@ -88,7 +95,7 @@ private:
 /// (nested groups therefore cannot deadlock even on a one-worker pool). The
 /// first exception a task throws is captured and rethrown from wait().
 class TaskGroup {
-public:
+ public:
   explicit TaskGroup(ThreadPool& pool = ThreadPool::global()) : pool_(pool) {}
   ~TaskGroup();
   TaskGroup(const TaskGroup&) = delete;
@@ -99,14 +106,17 @@ public:
   /// True when no task is pending — for callers that interleave waiting
   /// with other duties (e.g. propagating an outer cancellation flag); pair
   /// with help_one() and finish with wait() for exception delivery.
+  // order: acquire pairs with the acq_rel fetch_sub in the task wrapper, so
+  // done() == true implies the finished tasks' writes (results, walls) are
+  // visible to this thread even before the wait() rendezvous.
   bool done() const { return pending_.load(std::memory_order_acquire) == 0; }
 
-private:
+ private:
   ThreadPool& pool_;
   std::atomic<std::size_t> pending_{0};
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::exception_ptr error_;  ///< first task exception, guarded by mutex_
+  Mutex mutex_;
+  CondVar cv_;
+  std::exception_ptr error_ GUARDED_BY(mutex_);  ///< first task exception
 };
 
 /// Splits [0, n) into `chunks` contiguous ranges and runs

@@ -329,7 +329,10 @@ private:
 
   Deadline deadline_;
   std::uint64_t conflict_budget_ = 0;  // 0 = unlimited
-  const std::atomic<bool>* stop_ = nullptr;  // cooperative cancellation
+  /// Cooperative cancellation: polled with relaxed loads at solve entry and
+  /// every conflict. The flag carries no data — result visibility comes from
+  /// the joining structure (TaskGroup) on the raising side.
+  const std::atomic<bool>* stop_ = nullptr;
   SolverConfig config_;
   Rng polarity_rng_;
 

@@ -67,6 +67,8 @@ bool should_fail_slow(const char* name);
 
 /// True when any failpoint is armed process-wide (fast gate).
 inline bool any_armed() {
+  // order: relaxed — a pure hot-path gate; arm()/disarm() publish the spec
+  // itself under the registry mutex, which should_fail_slow re-acquires.
   return detail::g_armed_count.load(std::memory_order_relaxed) > 0;
 }
 

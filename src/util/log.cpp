@@ -33,6 +33,7 @@ double uptime_seconds() {
 /// readable next to interleaved worker lines, unlike the 15-digit native id.
 std::uint32_t thread_log_id() {
   static std::atomic<std::uint32_t> next{0};
+  // order: relaxed — the counter only needs uniqueness, not ordering.
   thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
@@ -67,7 +68,7 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(Sink sink) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   sink_ = std::move(sink);
 }
 
@@ -78,8 +79,9 @@ void Logger::write(LogLevel level, const std::string& message) {
   std::string line = prefix;
   line += message;
   // One line per call, serialised: concurrent workers must not shear lines,
-  // and a sink swap must not race an in-flight write.
-  const std::lock_guard<std::mutex> lock(mutex_);
+  // and a sink swap must not race an in-flight write. A span inside this
+  // region would recurse through the tracer while the logger lock is held.
+  const MutexLock lock(mutex_);  // no-span
   if (sink_) {
     sink_(level, line);
   } else {

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "src/util/sync.h"
 
 namespace t2m {
 
@@ -40,6 +41,9 @@ public:
 
   static Logger& instance();
 
+  // order: relaxed — the level is an isolated filter value carrying no
+  // payload; a marginally stale read only delays a verbosity change by one
+  // line.
   void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
   LogLevel level() const { return level_.load(std::memory_order_relaxed); }
   bool enabled(LogLevel level) const {
@@ -55,8 +59,8 @@ private:
   Logger() = default;
 
   std::atomic<LogLevel> level_{LogLevel::Warn};
-  std::mutex mutex_;  ///< serialises write() and sink swaps
-  Sink sink_;
+  Mutex mutex_;  ///< serialises write() and sink swaps
+  Sink sink_ GUARDED_BY(mutex_);
 };
 
 namespace detail {

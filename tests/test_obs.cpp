@@ -12,7 +12,6 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -29,6 +28,7 @@
 #include "src/parallel/thread_pool.h"
 #include "src/sim/basic/counter.h"
 #include "src/util/log.h"
+#include "src/util/sync.h"
 
 namespace t2m {
 namespace {
@@ -383,11 +383,11 @@ TEST(Heartbeat, FiresCallbackAndInfoLine) {
   obs::Progress::global().add_conflicts(7);
 
   std::atomic<int> callbacks{0};
-  std::mutex lines_mutex;
+  Mutex lines_mutex;
   std::vector<std::string> lines;
   Logger::instance().set_level(LogLevel::Info);
   Logger::instance().set_sink([&](LogLevel, const std::string& line) {
-    const std::lock_guard<std::mutex> lock(lines_mutex);
+    const MutexLock lock(lines_mutex);
     lines.push_back(line);
   });
   {
@@ -402,7 +402,7 @@ TEST(Heartbeat, FiresCallbackAndInfoLine) {
   }
   Logger::instance().set_sink(nullptr);
   EXPECT_GE(callbacks.load(), 1);
-  const std::lock_guard<std::mutex> lock(lines_mutex);
+  const MutexLock lock(lines_mutex);
   bool progress_line = false;
   for (const std::string& line : lines) {
     if (line.find("progress:") != std::string::npos &&
@@ -429,10 +429,10 @@ TEST(Logger, ParseAndNameRoundTrip) {
 TEST(Logger, SinkCapturesPrefixedLines) {
   const ObsQuiescent guard;
   std::vector<std::pair<LogLevel, std::string>> captured;
-  std::mutex captured_mutex;
+  Mutex captured_mutex;
   Logger::instance().set_level(LogLevel::Info);
   Logger::instance().set_sink([&](LogLevel level, const std::string& line) {
-    const std::lock_guard<std::mutex> lock(captured_mutex);
+    const MutexLock lock(captured_mutex);
     captured.emplace_back(level, line);
   });
   log_info() << "observable " << 42;

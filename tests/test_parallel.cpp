@@ -7,13 +7,13 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "src/core/learner.h"
 #include "src/parallel/scratch_arena.h"
 #include "src/parallel/thread_pool.h"
 #include "src/sat/solver.h"
+#include "src/util/sync.h"
 
 namespace t2m {
 namespace {
@@ -24,6 +24,7 @@ TEST(ThreadPool, RunsEverySubmittedTask) {
   std::atomic<int> count{0};
   par::TaskGroup group(pool);
   for (int i = 0; i < 1000; ++i) {
+    // order: relaxed — counter only; wait() is the synchronisation point.
     group.run([&count] { count.fetch_add(1, std::memory_order_relaxed); });
   }
   group.wait();
@@ -91,6 +92,7 @@ TEST(ForChunks, CoversEveryIndexExactlyOnce) {
     for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{100}}) {
       for (const std::size_t chunks : {std::size_t{1}, std::size_t{3}, std::size_t{16}}) {
         std::vector<std::atomic<int>> hits(n);
+        // order: relaxed — counters only; for_chunks joins before the reads.
         par::for_chunks(threads, n, chunks,
                         [&](std::size_t, std::size_t begin, std::size_t end) {
                           for (std::size_t i = begin; i < end; ++i) {
@@ -147,7 +149,7 @@ TEST(ScratchArena, BumpAllocatesAndReuses) {
 TEST(ScratchArena, PerThreadInstancesAreDistinct) {
   par::ScratchArena* main_arena = &par::local_scratch();
   par::ScratchArena* other_arena = nullptr;
-  std::thread t([&other_arena] { other_arena = &par::local_scratch(); });
+  Thread t([&other_arena] { other_arena = &par::local_scratch(); });
   t.join();
   EXPECT_NE(main_arena, other_arena);
 }
